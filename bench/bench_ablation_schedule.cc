@@ -1,0 +1,126 @@
+// ABL1 / ABL2: ablations of the CVB design choices the paper discusses but
+// does not plot.
+//
+//   ABL1 (Section 4.2 analysis vs Section 7.1 experiments): the stepping
+//   schedule — doubling (analyzed: <= 2x oversampling) vs linear 5*sqrt(n)
+//   increments (experimental: cheaper merges, finer stopping granularity)
+//   vs a geometric 1.5x middle ground.
+//
+//   ABL2 (the "twists" of Section 4.2): cross-validating with every tuple
+//   of the fresh blocks vs one random tuple per block; and the fractional
+//   (Definition 4) vs raw relative-deviation (Definition 3) stopping
+//   statistics.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+namespace {
+
+void RunRow(const char* label, const bench::Dataset& dataset,
+            const CvbOptions& options) {
+  const auto result = RunCvb(dataset.table, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "CVB failed: %s\n",
+                 result.status().ToString().c_str());
+    return;
+  }
+  const double achieved =
+      FractionalErrorVsPopulation(result->histogram, dataset.truth);
+  std::printf("%-34s %6llu %12s %12.2f%% %10.4f %10s\n", label,
+              static_cast<unsigned long long>(result->iterations),
+              FormatWithThousands(result->blocks_sampled).c_str(),
+              100.0 * result->sampling_fraction, achieved,
+              result->converged ? "yes"
+                                : (result->exhausted_table ? "exhausted"
+                                                           : "cap"));
+}
+
+void Header() {
+  std::printf("%-34s %6s %12s %13s %10s %10s\n", "configuration", "iters",
+              "blocks", "rate", "true err", "converged");
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("ABL1/ABL2", "CVB design-choice ablations", scale);
+
+  const std::uint64_t n = scale.default_n;
+  const double f = 0.15;
+
+  for (const auto& [layout, layout_name] :
+       {std::pair{LayoutKind::kRandom, "random layout"},
+        std::pair{LayoutKind::kPartiallyClustered,
+                  "partially-clustered layout"}}) {
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(n, 2.0, layout, 64, 42, 0.2);
+    std::printf("--- %s (Z=2, N=%s, k=%llu, f=%.2f) ---\n", layout_name,
+                FormatWithThousands(n).c_str(),
+                static_cast<unsigned long long>(scale.k), f);
+
+    std::printf("\nABL1: stepping schedule\n");
+    Header();
+    for (const auto& [kind, name] :
+         {std::pair{ScheduleKind::kDoubling, "doubling (paper Sec 4.2)"},
+          std::pair{ScheduleKind::kLinear, "linear 5*sqrt(n) (paper Sec 7.1)"},
+          std::pair{ScheduleKind::kGeometric, "geometric 1.5x"}}) {
+      CvbOptions options;
+      options.k = scale.k;
+      options.f = f;
+      options.seed = 7;
+      options.schedule.kind = kind;
+      RunRow(name, dataset, options);
+    }
+    {
+      CvbOptions options;
+      options.k = scale.k;
+      options.f = f;
+      options.seed = 7;
+      options.error_adaptive_stepping = true;
+      RunRow("error-adaptive (Sec 4.2 twist)", dataset, options);
+    }
+
+    std::printf("\nABL2: validation style and metric (doubling schedule)\n");
+    Header();
+    {
+      CvbOptions options;
+      options.k = scale.k;
+      options.f = f;
+      options.seed = 7;
+      RunRow("all tuples + fractional (default)", dataset, options);
+      options.style = CvbValidationStyle::kOneTuplePerBlock;
+      RunRow("one tuple per block + fractional", dataset, options);
+      options.style = CvbValidationStyle::kAllTuples;
+      options.metric = CvbValidationMetric::kClaimedDeviation;
+      RunRow("all tuples + claimed deviation", dataset, options);
+      options.metric = CvbValidationMetric::kRelativeDeviation;
+      RunRow("all tuples + relative dev (Def 3)", dataset, options);
+    }
+
+    std::printf("\nABL1 extra: Theorem 4 initial budget instead of "
+                "5*sqrt(n)\n");
+    Header();
+    {
+      CvbOptions options;
+      options.k = scale.k;
+      options.f = f;
+      options.seed = 7;
+      options.initial_budget = CvbInitialBudget::kTheorem4;
+      RunRow("theorem-4 initial budget", dataset, options);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: doubling converges in few iterations with bounded "
+      "oversampling; linear\nsteps stop at a finer-grained (often smaller) "
+      "sample at the cost of more rounds;\none-tuple-per-block validation "
+      "is cheaper but noisier, so it can over- or\nunder-sample; the "
+      "Theorem 4 budget is safe but can dwarf the adaptive "
+      "equilibrium.\n");
+  return 0;
+}

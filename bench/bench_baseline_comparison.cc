@@ -1,0 +1,118 @@
+// BASE: baselines the paper positions itself against.
+//
+//   (a) equi-width vs equi-height at the same bucket budget: the classical
+//       argument for the equi-height family SQL Server uses (Section 1).
+//   (b) GMP incremental maintenance (Section 3.4's comparison target, our
+//       implementation of Gibbons-Matias-Poosala) vs periodically
+//       rebuilding from a bounded random sample with the Theorem 4 budget:
+//       error after a full insert stream, plus the maintenance bill.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+namespace {
+
+void EquiWidthVsEquiHeight(const bench::Scale& scale) {
+  std::printf("--- (a) equi-width vs equi-height, same bucket budget ---\n");
+  const std::uint64_t n = scale.default_n / 2;
+  const std::uint64_t k = scale.k;
+  std::printf("N=%s, k=%llu, 2000 range queries per distribution\n\n",
+              FormatWithThousands(n).c_str(),
+              static_cast<unsigned long long>(k));
+  std::printf("%8s | %22s | %22s\n", "skew Z", "equi-width max |err|",
+              "equi-height max |err|");
+  for (double skew : {0.0, 1.0, 2.0}) {
+    const auto freq =
+        MakeZipf({.n = n,
+                  .domain_size = n / 20,
+                  .skew = skew,
+                  .placement = FrequencyPlacement::kDecreasing});
+    const ValueSet data = ValueSet::FromFrequencies(*freq);
+    const auto width = EquiWidthHistogram::Build(data, k);
+    const auto height = BuildPerfectHistogram(data, k);
+    RangeWorkloadGenerator gen(&data, 17);
+    const auto queries = gen.UniformRanges(2000);
+    double width_worst = 0.0;
+    double height_worst = 0.0;
+    for (const RangeQuery& q : queries) {
+      const double actual = static_cast<double>(data.CountInRange(q.lo, q.hi));
+      width_worst = std::max(
+          width_worst, std::abs(width->EstimateRangeCount(q) - actual));
+      height_worst = std::max(
+          height_worst, std::abs(EstimateRangeCount(*height, q) - actual));
+    }
+    std::printf("%8.1f | %22.1f | %22.1f\n", skew, width_worst, height_worst);
+  }
+  std::printf("\nexpected shape: comparable on uniform data; equi-width "
+              "degrades sharply with skew\nwhile equi-height stays near its "
+              "2n/k guarantee.\n\n");
+}
+
+void GmpVsRebuild(const bench::Scale& scale) {
+  std::printf("--- (b) GMP incremental maintenance vs sample rebuild ---\n");
+  const std::uint64_t n = scale.default_n / 2;
+  const std::uint64_t k = scale.full ? 100 : 50;
+  const auto freq =
+      MakeZipf({.n = n, .domain_size = n / 20, .skew = 1.0, .seed = 5});
+  const ValueSet truth = ValueSet::FromFrequencies(*freq);
+  const auto stream = ExpandShuffled(*freq, 23);
+
+  // GMP: maintain while streaming.
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = k, .gamma = 0.5, .reservoir_capacity = 20000, .seed = 7});
+  Timer gmp_timer;
+  for (Value v : stream) maintained->Insert(v);
+  const double gmp_ms = gmp_timer.ElapsedMillis();
+  const auto gmp_snapshot = maintained->Snapshot();
+  const auto gmp_errors = ComputeHistogramErrors(*gmp_snapshot, truth);
+
+  // Rebuild: one Theorem 4 sample at the end.
+  const auto r = DeviationSampleSize(n, k, /*f=*/0.1, /*gamma=*/0.01);
+  Rng rng(29);
+  Timer rebuild_timer;
+  auto sample = SampleRowsWithReplacement(truth.sorted_values(),
+                                          std::min(*r, n), rng);
+  std::sort(sample.begin(), sample.end());
+  const auto rebuilt = BuildHistogramFromSample(sample, k, n);
+  const double rebuild_ms = rebuild_timer.ElapsedMillis();
+  const auto rebuilt_errors = ComputeHistogramErrors(*rebuilt, truth);
+
+  std::printf("N=%s inserts, k=%llu, Zipf Z=1\n\n",
+              FormatWithThousands(n).c_str(),
+              static_cast<unsigned long long>(k));
+  std::printf("%-26s %10s %10s %10s %12s\n", "strategy", "f_avg", "f_var",
+              "f_max", "cost");
+  std::printf("%-26s %10.3f %10.3f %10.3f %9.0f ms (stream)\n",
+              "GMP incremental", gmp_errors->f_avg, gmp_errors->f_var,
+              gmp_errors->f_max, gmp_ms);
+  std::printf("  splits=%llu merges=%llu recomputes=%llu\n",
+              static_cast<unsigned long long>(maintained->split_count()),
+              static_cast<unsigned long long>(maintained->merge_count()),
+              static_cast<unsigned long long>(maintained->recompute_count()));
+  std::printf("%-26s %10.3f %10.3f %10.3f %9.0f ms (%s tuples)\n",
+              "Theorem 4 sample rebuild", rebuilt_errors->f_avg,
+              rebuilt_errors->f_var, rebuilt_errors->f_max, rebuild_ms,
+              FormatWithThousands(sample.size()).c_str());
+  std::printf(
+      "\nexpected shape (Section 3.4's argument, empirically): the one-shot "
+      "sampling rebuild\nmatches or beats the incrementally maintained "
+      "histogram's max error, with a simple\nbounded-size sample — the "
+      "paper's bounds make the rebuild budget predictable.\n\n");
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("BASE",
+                     "baselines: equi-width histograms and GMP incremental "
+                     "maintenance",
+                     scale);
+  EquiWidthVsEquiHeight(scale);
+  GmpVsRebuild(scale);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// EX3 / EX4: regenerates the Section 3 trade-off tables — Example 3's
+// multi-functional use of Corollary 1 (solve for r, k or f) and Example 4's
+// comparison with the Gibbons-Matias-Poosala Theorem 6 bound.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+namespace {
+
+void Example3SampleSize() {
+  std::printf("--- Example 3: determining sample size (gamma = 0.01) ---\n");
+  std::printf("%-22s %12s %12s %12s\n", "setting", "n=20M", "n=100M", "n=1G");
+  struct Row {
+    std::uint64_t k;
+    double f;
+    const char* paper;
+  };
+  for (const Row& row : {Row{500, 0.2, "~1M"}, Row{100, 0.1, "~800K"}}) {
+    std::printf("k=%-4llu f=%.1f (paper %s)",
+                static_cast<unsigned long long>(row.k), row.f, row.paper);
+    for (std::uint64_t n : {std::uint64_t{20000000}, std::uint64_t{100000000},
+                            std::uint64_t{1000000000}}) {
+      const auto r = DeviationSampleSize(n, row.k, row.f, 0.01);
+      std::printf(" %12s", FormatCount(static_cast<double>(*r)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void Example3HistogramSizeAndError() {
+  std::printf("--- Example 3: histogram size and error ---\n");
+  const auto kmax = MaxBucketsForSampleSize(20000000, 1000000, 0.25, 0.01);
+  std::printf("max k for (n=20M, r=1M, f=0.25): measured %llu, paper ~800\n",
+              static_cast<unsigned long long>(*kmax));
+  const auto f = DeviationErrorForSampleSize(25000000, 200, 800000, 0.01);
+  std::printf("error f for (n=25M, r=800K, k=200): measured %.1f%%, paper "
+              "14%%\n\n",
+              *f * 100.0);
+}
+
+void Example4GmpComparison() {
+  std::printf("--- Example 4: ours vs Gibbons-Matias-Poosala Theorem 6 ---\n");
+  std::printf("%-8s | %-38s | %-20s\n", "k",
+              "GMP Thm 6 (variance error only)", "ours (max error)");
+  std::printf("%-8s | %8s %10s %17s | %6s %12s\n", "", "f", "r",
+              "needs n >=", "f", "r");
+  for (std::uint64_t k : {std::uint64_t{100}, std::uint64_t{500},
+                          std::uint64_t{1000}, std::uint64_t{10000}}) {
+    const auto gmp = GmpTheorem6(1ULL << 40, k, 4.0);
+    if (!gmp.ok()) continue;
+    const auto ours = DeviationSampleSize(1ULL << 40, k, 0.1, gmp->gamma);
+    std::printf("%-8llu | %8.3f %10s %17s | %6.3f %12s\n",
+                static_cast<unsigned long long>(k), gmp->f,
+                FormatCount(static_cast<double>(gmp->r)).c_str(),
+                FormatCount(static_cast<double>(gmp->min_n_theorem)).c_str(),
+                0.1, FormatCount(static_cast<double>(*ours)).c_str());
+  }
+  std::printf("\npaper's headline (Example 4 item 5): at k=500, GMP cannot "
+              "guarantee f < 0.43 and\nExample 4 reads its applicability as "
+              "n >= r^3 (~460 * 10^12 rows); our bound gives\nany f at "
+              "moderate r for all n. GMP's f floor across practical k:\n");
+  double worst = 1.0;
+  for (std::uint64_t k = 3; k <= 100000; k = k * 3 / 2 + 1) {
+    const auto gmp = GmpTheorem6(1ULL << 50, k, 4.0);
+    if (gmp.ok() && gmp->f < worst) worst = gmp->f;
+  }
+  std::printf("  min f over k in [3, 100000]: %.3f (paper: f < 0.35 "
+              "unreachable in practice)\n\n",
+              worst);
+}
+
+void SingleQueryVsAllQueries() {
+  std::printf("--- single-query adequacy vs the all-queries guarantee ---\n");
+  std::printf("(Piatetsky-Shapiro & Connell regime vs Theorem 4; s = n/k, "
+              "delta = f*n/k, gamma = 0.01)\n");
+  std::printf("%-10s %6s %16s %16s %10s\n", "n", "k", "one query",
+              "all queries", "premium");
+  for (const auto& [n, k] :
+       {std::pair<std::uint64_t, std::uint64_t>{10000000, 100},
+        std::pair<std::uint64_t, std::uint64_t>{10000000, 600},
+        std::pair<std::uint64_t, std::uint64_t>{1000000000, 600}}) {
+    const double s = static_cast<double>(n) / static_cast<double>(k);
+    const auto single = SingleQuerySampleSize(n, s, 0.1 * s, 0.01);
+    const auto all = DeviationSampleSize(n, k, 0.1, 0.01);
+    if (!single.ok() || !all.ok()) continue;
+    std::printf("%-10s %6llu %16s %16s %9.1fx\n",
+                FormatCount(static_cast<double>(n)).c_str(),
+                static_cast<unsigned long long>(k),
+                FormatCount(static_cast<double>(*single)).c_str(),
+                FormatCount(static_cast<double>(*all)).c_str(),
+                static_cast<double>(*all) / static_cast<double>(*single));
+  }
+  std::printf("\nreading: certifying every query at once costs only a "
+              "logarithmic premium over\ncertifying one — the paper's "
+              "qualitative jump over [27] is nearly free.\n\n");
+}
+
+void Theorem5Separation() {
+  std::printf("--- Theorem 5: delta-separation needs more than "
+              "delta-deviation ---\n");
+  const std::uint64_t n = 10000000;
+  std::printf("%-10s %16s %16s %8s\n", "k (f=0.2)", "r (Thm 4)", "r (Thm 5)",
+              "ratio");
+  for (std::uint64_t k : {std::uint64_t{100}, std::uint64_t{300},
+                          std::uint64_t{600}}) {
+    const double delta = 0.2 * static_cast<double>(n) / static_cast<double>(k);
+    const auto dev = DeviationSampleSizeAbsolute(n, k, delta, 0.01);
+    const auto sep = SeparationSampleSize(n, k, delta, 0.01);
+    std::printf("%-10llu %16s %16s %7.1fx\n",
+                static_cast<unsigned long long>(k),
+                FormatCount(static_cast<double>(*dev)).c_str(),
+                FormatCount(static_cast<double>(*sep)).c_str(),
+                static_cast<double>(*sep) / static_cast<double>(*dev));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("EX3/EX4",
+                     "Section 3 sampling trade-offs and prior-work comparison",
+                     bench::GetScale());
+  Example3SampleSize();
+  Example3HistogramSizeAndError();
+  Example4GmpComparison();
+  SingleQueryVsAllQueries();
+  Theorem5Separation();
+  return 0;
+}

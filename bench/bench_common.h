@@ -1,0 +1,78 @@
+#ifndef EQUIHIST_BENCH_BENCH_COMMON_H_
+#define EQUIHIST_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the experiment harnesses that regenerate the
+// paper's tables and figures. Each bench binary prints the same rows or
+// series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Scale: the paper ran with N = 5..20 million rows and k = 600 buckets on
+// SQL Server. By default the harnesses run a reduced "fast" scale so the
+// whole suite finishes in minutes on one core; set EQUIHIST_FULL_SCALE=1
+// to run at the paper's numbers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "equihist/equihist.h"
+
+namespace equihist::bench {
+
+struct Scale {
+  bool full = false;
+  // The paper's default table size (most figures): 10M rows full, 1M fast.
+  std::uint64_t default_n = 1000000;
+  // Histogram buckets: 600 full (one SQL Server page of integer steps),
+  // 100 fast.
+  std::uint64_t k = 100;
+  // Figure 3/4 N sweep: {5,10,15,20}M full, {0.5,1,1.5,2}M fast.
+  std::vector<std::uint64_t> n_sweep;
+  // Zipf domain size used when generating a column of n tuples.
+  std::uint64_t DomainFor(std::uint64_t n) const { return n / 100; }
+};
+
+// Reads EQUIHIST_FULL_SCALE from the environment.
+Scale GetScale();
+
+// Prints the standard experiment banner (experiment id, paper figure,
+// scale note).
+void PrintBanner(const std::string& experiment_id, const std::string& title,
+                 const Scale& scale);
+
+// Builds a Zipf(Z) column of n tuples and the matching paged table.
+struct Dataset {
+  FrequencyVector frequencies;
+  ValueSet truth;
+  Table table;
+};
+Dataset MakeZipfDataset(std::uint64_t n, double skew, LayoutKind layout,
+                        std::uint32_t record_size_bytes = 64,
+                        std::uint64_t seed = 42,
+                        double clustered_fraction = 0.2);
+
+// Builds the paper's Unif/Dup dataset: `distinct` values each occurring
+// n / distinct times.
+Dataset MakeUnifDupDataset(std::uint64_t n, std::uint64_t distinct,
+                           LayoutKind layout,
+                           std::uint32_t record_size_bytes = 64,
+                           std::uint64_t seed = 42);
+
+// Measures the histogram error obtained from sampling `blocks` random
+// pages of `dataset.table` (without replacement), averaged over `trials`
+// seeds. Error is the fractional max error of the histogram against the
+// population (FractionalErrorVsPopulation) — the paper's Section 5
+// duplicate-aware generalization of the max error metric, the same family
+// its prototype computed for cross-validation.
+double MeasuredErrorAtBlocks(const Dataset& dataset, std::uint64_t blocks,
+                             std::uint64_t k, int trials, std::uint64_t seed0);
+
+// Finds the smallest number of sampled blocks whose measured error drops
+// below `target_error`, by doubling then bisecting. Returns the block
+// count (capped at the table's page count).
+std::uint64_t BlocksForTargetError(const Dataset& dataset, double target_error,
+                                   std::uint64_t k, int trials,
+                                   std::uint64_t seed0);
+
+}  // namespace equihist::bench
+
+#endif  // EQUIHIST_BENCH_BENCH_COMMON_H_

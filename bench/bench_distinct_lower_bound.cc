@@ -1,0 +1,76 @@
+// THM8: the Theorem 8 lower bound on distinct-value estimation, and an
+// empirical demonstration of why it holds and why the paper's estimator is
+// (near-)optimal against it.
+//
+// The hard family: columns where every value occurs exactly m times, for
+// m between 1 and n/r. A random sample of size r from any of them looks
+// like "mostly singletons", yet d = n/m ranges over a factor of n/r. Any
+// single estimate e must therefore be off by ~sqrt(n/r) on one of them;
+// the paper's sqrt(n/r)*f1 term is the geometric midpoint that equalizes
+// (and thus minimizes) the worst-case ratio error.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("THM8",
+                     "Theorem 8: worst-case floor for distinct-value "
+                     "estimation",
+                     scale);
+
+  const std::uint64_t n = scale.default_n;
+
+  std::printf("--- the analytic floor, gamma = 0.5 ---\n");
+  std::printf("%14s %18s\n", "sampling rate", "ratio-error floor");
+  for (double rate : {0.01, 0.05, 0.2, 0.5}) {
+    const auto bound = DistinctValueErrorLowerBound(
+        n, static_cast<std::uint64_t>(rate * static_cast<double>(n)), 0.5);
+    std::printf("%13.0f%% %18.2f\n", rate * 100.0, *bound);
+  }
+  std::printf("\npaper's calibration: at r = 0.2n the floor is 1.86, in the "
+              "same regime as the\nmax error 2.86 Haas et al observed over "
+              "24 high-skew datasets.\n\n");
+
+  std::printf("--- the hard family, empirically (r = 1%% of n) ---\n");
+  const std::uint64_t r = n / 100;
+  const auto mid = static_cast<std::uint64_t>(
+      std::sqrt(static_cast<double>(n) / static_cast<double>(r)));
+  std::printf("%14s %12s | %12s %11s | %12s %11s\n", "multiplicity m",
+              "true d", "paper est", "ratio err", "naive D*n/r", "ratio err");
+  double paper_worst = 1.0;
+  double naive_worst = 1.0;
+  for (std::uint64_t m :
+       {std::uint64_t{1}, mid, static_cast<std::uint64_t>(n / r)}) {
+    // Column: every value occurs exactly m times (d = n/m values).
+    const std::uint64_t d = n / m;
+    auto freq = MakeUniformDup(d * m, d);
+    const ValueSet data = ValueSet::FromFrequencies(*freq);
+    Rng rng(17 + m);
+    auto sample = SampleRowsWithoutReplacement(data.sorted_values(), r, rng);
+    const auto profile = FrequencyProfile::FromUnsorted(std::move(*sample));
+    const auto paper = PaperEstimator(profile, data.size());
+    const auto naive = NaiveScaleUp(profile, data.size());
+    const double paper_err = *RatioError(*paper, d);
+    const double naive_err = *RatioError(*naive, d);
+    paper_worst = std::max(paper_worst, paper_err);
+    naive_worst = std::max(naive_worst, naive_err);
+    std::printf("%14llu %12s | %12.0f %11.2f | %12.0f %11.2f\n",
+                static_cast<unsigned long long>(m),
+                FormatWithThousands(d).c_str(), *paper, paper_err, *naive,
+                naive_err);
+  }
+  const double floor = std::sqrt(static_cast<double>(n) / static_cast<double>(r));
+  std::printf("\nworst ratio error across the family: paper estimator %.2f, "
+              "naive scale-up %.2f\nsqrt(n/r) = %.1f: the paper estimator's "
+              "worst case sits near sqrt(n/r) on both ends\n(optimal "
+              "balance); the naive estimator is catastrophically wrong on "
+              "one end.\n",
+              paper_worst, naive_worst, floor);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figures 3 and 4: vary the number of records N (Z=2, max error <= 0.1).
+//
+//   Figure 3: required sampling *rate* vs N  — expected to fall ~log(n)/n.
+//   Figure 4: number of disk blocks sampled vs N — expected ~constant.
+//
+// "Required sampling" is measured directly: the smallest number of sampled
+// blocks whose histogram meets the error target against ground truth
+// (bisection over block counts, averaged over seeds). A second table shows
+// what the adaptive CVB algorithm actually spends at the same target.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner(
+      "FIG3/FIG4",
+      "sampling rate and blocks sampled vs N (max error <= 0.1, Z=2)", scale);
+
+  const double f = 0.1;
+  const int trials = scale.full ? 3 : 5;
+  std::printf("k=%llu, f=%.1f, Zipf Z=2, random layout, 8KB pages / 64B "
+              "records\n\n",
+              static_cast<unsigned long long>(scale.k), f);
+  std::printf("--- required sampling (measured against ground truth) ---\n");
+  std::printf("%12s %16s %18s %18s\n", "N", "blocks (Fig 4)",
+              "tuples sampled", "rate (Fig 3)");
+
+  for (std::uint64_t n : scale.n_sweep) {
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(n, 2.0, LayoutKind::kRandom);
+    const std::uint64_t blocks =
+        bench::BlocksForTargetError(dataset, f, scale.k, trials, 11);
+    const std::uint64_t tuples = blocks * dataset.table.tuples_per_page();
+    std::printf("%12s %16s %18s %17.2f%%\n", FormatWithThousands(n).c_str(),
+                FormatWithThousands(blocks).c_str(),
+                FormatWithThousands(tuples).c_str(),
+                100.0 * static_cast<double>(tuples) / static_cast<double>(n));
+  }
+
+  std::printf("\n--- what adaptive CVB spends at the same target ---\n");
+  std::printf("%12s %16s %18s %12s\n", "N", "blocks", "rate", "converged");
+  for (std::uint64_t n : scale.n_sweep) {
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(n, 2.0, LayoutKind::kRandom);
+    CvbOptions options;
+    options.k = scale.k;
+    options.f = f;
+    options.seed = 1234;
+    const auto result = RunCvb(dataset.table, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "CVB failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%12s %16s %17.2f%% %12s\n", FormatWithThousands(n).c_str(),
+                FormatWithThousands(result->blocks_sampled).c_str(),
+                100.0 * result->sampling_fraction,
+                result->converged ? "yes" : "exhausted");
+  }
+
+  std::printf(
+      "\nexpected shape (paper): the required rate falls roughly like "
+      "log(n)/n as N grows\n(Figure 3) while the required blocks stay "
+      "nearly constant (Figure 4) — the sample\nsize needed is essentially "
+      "independent of N (Section 3.3). CVB tracks the required\namount "
+      "within its stepping granularity (at most ~2x with doubling).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5: max error vs sampling rate for three Zipf skews (Z = 0, 2, 4)
+// over a random layout. The paper's observation: the error-vs-rate curves
+// nearly coincide — convergence is independent of the data distribution,
+// as Theorem 4 predicts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("FIG5",
+                     "max error vs sampling rate for Z in {0, 2, 4} "
+                     "(random layout)",
+                     scale);
+
+  const std::uint64_t n = scale.default_n;
+  const std::vector<double> rates = {0.002, 0.005, 0.01, 0.02,
+                                     0.05, 0.1, 0.2};
+  const std::vector<double> skews = {0.0, 2.0, 4.0};
+  const int trials = scale.full ? 3 : 5;
+
+  std::printf("N=%s, k=%llu, error = fractional max error f' "
+              "(Definition 4 vs ground truth)\n\n",
+              FormatWithThousands(n).c_str(),
+              static_cast<unsigned long long>(scale.k));
+  std::printf("%14s | %10s %10s %10s\n", "sampling rate", "Z=0", "Z=2",
+              "Z=4");
+
+  std::vector<bench::Dataset> datasets;
+  datasets.reserve(skews.size());
+  for (double z : skews) {
+    datasets.push_back(bench::MakeZipfDataset(n, z, LayoutKind::kRandom));
+  }
+
+  for (double rate : rates) {
+    std::printf("%13.1f%% |", rate * 100.0);
+    for (const bench::Dataset& dataset : datasets) {
+      const auto blocks = static_cast<std::uint64_t>(
+          rate * static_cast<double>(dataset.table.page_count()));
+      const double error = bench::MeasuredErrorAtBlocks(
+          dataset, std::max<std::uint64_t>(blocks, 1), scale.k, trials, 99);
+      std::printf(" %10.4f", error);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nexpected shape (paper): the three columns track each other "
+              "closely at every rate —\nthe convergence point does not "
+              "depend on the skew (Figure 5).\n");
+  return 0;
+}

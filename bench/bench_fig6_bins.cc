@@ -1,0 +1,49 @@
+// Figure 6: required sampling rate vs number of histogram bins
+// (max error <= 0.2, Z=2). Expected shape: linear in k — Corollary 1's
+// r = 4 k ln(2n/gamma) / f^2 scales with k, and so does the measured
+// requirement.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("FIG6",
+                     "sampling rate vs number of bins (max error <= 0.2, Z=2)",
+                     scale);
+
+  const std::uint64_t n = scale.default_n;
+  const double f = 0.2;
+  const int trials = scale.full ? 3 : 5;
+  bench::Dataset dataset = bench::MakeZipfDataset(n, 2.0, LayoutKind::kRandom);
+
+  const std::vector<std::uint64_t> bins =
+      scale.full ? std::vector<std::uint64_t>{50, 100, 200, 300, 400, 500, 600}
+                 : std::vector<std::uint64_t>{25, 50, 100, 150, 200, 250, 300};
+
+  std::printf("N=%s, f=%.1f, Zipf Z=2, random layout\n\n",
+              FormatWithThousands(n).c_str(), f);
+  std::printf("%8s %16s %18s %16s %14s\n", "bins k", "blocks needed",
+              "tuples sampled", "sampling rate", "rate/k (ppm)");
+
+  for (std::uint64_t k : bins) {
+    const std::uint64_t blocks =
+        bench::BlocksForTargetError(dataset, f, k, trials, 21);
+    const std::uint64_t tuples = blocks * dataset.table.tuples_per_page();
+    const double rate = static_cast<double>(tuples) / static_cast<double>(n);
+    std::printf("%8llu %16s %18s %15.2f%% %14.1f\n",
+                static_cast<unsigned long long>(k),
+                FormatWithThousands(blocks).c_str(),
+                FormatWithThousands(tuples).c_str(), 100.0 * rate,
+                1e6 * rate / static_cast<double>(k));
+  }
+
+  std::printf("\nexpected shape (paper): the sampling rate grows linearly "
+              "with the number of bins —\nthe rate/k column should be "
+              "roughly flat (Figure 6).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: sampling requirement vs record size (max error <= 0.1, Z=2,
+// N fixed at one million — the paper's setting for this figure). Larger
+// records mean fewer tuples per 8KB page, so hitting the same tuple budget
+// requires reading proportionally more blocks: the required amount of
+// sampling (in blocks) grows linearly with the record size.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("FIG8",
+                     "sampling vs record size (max error <= 0.1, Z=2, N=1M)",
+                     scale);
+
+  const std::uint64_t n = 1000000;  // the paper fixes N = 1M here
+  const double f = 0.1;
+  const int trials = scale.full ? 3 : 5;
+  std::printf("N=%s, k=%llu, f=%.1f, 8KB pages, random layout\n\n",
+              FormatWithThousands(n).c_str(),
+              static_cast<unsigned long long>(scale.k), f);
+  std::printf("%12s %14s %14s %16s %16s %14s\n", "record size",
+              "tuples/page", "total pages", "blocks needed",
+              "tuples sampled", "page fraction");
+
+  double first_blocks = 0.0;
+  std::vector<double> block_counts;
+  const std::vector<std::uint32_t> record_sizes = {16, 32, 64, 128};
+  for (std::uint32_t record_size : record_sizes) {
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(n, 2.0, LayoutKind::kRandom, record_size);
+    const std::uint64_t blocks =
+        bench::BlocksForTargetError(dataset, f, scale.k, trials, 31);
+    const std::uint64_t tuples = blocks * dataset.table.tuples_per_page();
+    std::printf("%10uB %14u %14s %16s %16s %13.2f%%\n", record_size,
+                dataset.table.tuples_per_page(),
+                FormatWithThousands(dataset.table.page_count()).c_str(),
+                FormatWithThousands(blocks).c_str(),
+                FormatWithThousands(tuples).c_str(),
+                100.0 * static_cast<double>(blocks) /
+                    static_cast<double>(dataset.table.page_count()));
+    if (first_blocks == 0.0) first_blocks = static_cast<double>(blocks);
+    block_counts.push_back(static_cast<double>(blocks));
+  }
+
+  std::printf("\nblocks needed relative to the 16B row:");
+  for (std::size_t i = 0; i < block_counts.size(); ++i) {
+    std::printf("  %uB: %.1fx", record_sizes[i],
+                block_counts[i] / first_blocks);
+  }
+  std::printf("\n\nexpected shape (paper): the blocks-needed column grows "
+              "~linearly with the record\nsize (1x, 2x, 4x, 8x), since the "
+              "tuple budget for a given error is unchanged but\neach block "
+              "carries proportionally fewer tuples (Figure 8).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figures 9-12: distinct-value estimation vs sampling rate.
+//
+//   Figure 9 : Z=2       — numDVReal vs numDVSamp vs numDVEst
+//   Figure 10: Unif/Dup  — same columns (every value occurs exactly 100x)
+//   Figure 11: Z=2       — estimation error vs sampling rate
+//   Figure 12: Unif/Dup  — same
+//
+// numDVEst is the paper's estimator e = sqrt(n/r) f1+ + sum_{j>=2} f_j.
+// Extra columns show the classical estimators for context (not in the
+// paper's figures, but in its Section 6 discussion).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+namespace {
+
+void RunSeries(const char* fig_pair, const char* dist_name,
+               const bench::Dataset& dataset) {
+  const std::uint64_t n = dataset.truth.size();
+  const std::uint64_t d = dataset.truth.DistinctCount();
+  std::printf("--- %s: %s (numDVReal = %s) ---\n", fig_pair, dist_name,
+              FormatWithThousands(d).c_str());
+  std::printf("%8s | %10s %10s %10s %10s | %10s %10s\n", "rate", "numDVSamp",
+              "numDVEst", "chao-lee", "shlosser", "ratio err", "|rel err|");
+
+  for (double rate : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    const auto blocks = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               rate * static_cast<double>(dataset.table.page_count())));
+    Rng rng(31 + static_cast<std::uint64_t>(rate * 1000));
+    auto sample =
+        SampleBlocksWithoutReplacement(dataset.table, blocks, rng, nullptr);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+      return;
+    }
+    const auto profile = FrequencyProfile::FromUnsorted(std::move(*sample));
+    const auto paper = PaperEstimator(profile, n);
+    const auto chao_lee = ChaoLeeEstimator(profile, n);
+    const auto shlosser = ShlosserEstimator(profile, n);
+    const auto ratio = RatioError(*paper, d);
+    const auto rel = AbsRelError(*paper, d, n);
+    std::printf("%7.0f%% | %10s %10.0f %10.0f %10.0f | %10.2f %10.4f\n",
+                rate * 100.0,
+                FormatWithThousands(profile.distinct_in_sample()).c_str(),
+                *paper, *chao_lee, *shlosser, *ratio, *rel);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("FIG9-12",
+                     "distinct-value estimation vs sampling rate "
+                     "(Z=2 and Unif/Dup)",
+                     scale);
+
+  const std::uint64_t n = scale.default_n;
+
+  bench::Dataset zipf = bench::MakeZipfDataset(n, 2.0, LayoutKind::kRandom);
+  RunSeries("FIG9/FIG11", "Zipf Z=2", zipf);
+
+  // Paper: 100,000 distinct values each occurring 100 times at N = 10M;
+  // scaled down proportionally for the fast configuration.
+  const std::uint64_t distinct = n / 100;
+  bench::Dataset unif_dup =
+      bench::MakeUnifDupDataset(n, distinct, LayoutKind::kRandom);
+  RunSeries("FIG10/FIG12", "Unif/Dup (each value x100)", unif_dup);
+
+  std::printf(
+      "expected shape (paper): for Zipf the estimate tracks numDVReal from "
+      "small rates\n(few, frequent values are all seen early); for Unif/Dup "
+      "the sample count and the\nestimate approach d only as the rate "
+      "grows, but |rel err| = |d - e|/n stays small\nat every rate — the "
+      "paper's argument that rel-error is the reliable metric\n"
+      "(Figures 9-12).\n");
+  return 0;
+}

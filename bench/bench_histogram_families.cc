@@ -1,0 +1,211 @@
+// FAM: histogram-family shootout — the paper's "ongoing research goal" of
+// extending its sampling analysis to other histogram structures [15, 16],
+// studied empirically. Four families at the same bucket budget, built
+// (a) exactly from the full data and (b) from the same random sample, are
+// scored on range-query workloads and on equality-predicate error.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace equihist;
+
+namespace {
+
+struct FamilyResult {
+  double range_mean = 0.0;
+  double range_max = 0.0;
+  double eq_mean_rel = 0.0;
+};
+
+template <typename EstimateFn>
+FamilyResult Score(const ValueSet& data, const FrequencyVector& freq,
+                   const std::vector<RangeQuery>& queries,
+                   const EstimateFn& estimate_range,
+                   const std::function<double(Value)>& estimate_eq) {
+  FamilyResult result;
+  KahanSum range_sum;
+  for (const RangeQuery& q : queries) {
+    const double actual = static_cast<double>(data.CountInRange(q.lo, q.hi));
+    const double err = std::abs(estimate_range(q) - actual);
+    range_sum.Add(err);
+    result.range_max = std::max(result.range_max, err);
+  }
+  result.range_mean = range_sum.Value() / static_cast<double>(queries.size());
+
+  KahanSum eq_sum;
+  std::size_t eq_count = 0;
+  for (const FrequencyEntry& entry : freq.entries()) {
+    if (++eq_count > 500) break;  // cap the probe count
+    const double actual = static_cast<double>(entry.count);
+    eq_sum.Add(std::abs(estimate_eq(entry.value) - actual) / actual);
+  }
+  result.eq_mean_rel = eq_sum.Value() / static_cast<double>(eq_count);
+  return result;
+}
+
+void Row(const char* name, const FamilyResult& r) {
+  std::printf("%-22s %12.1f %12.1f %14.3f\n", name, r.range_mean, r.range_max,
+              r.eq_mean_rel);
+}
+
+double HistEq(const Histogram& h, Value v) {
+  // Equality estimate from a bucket histogram: the bucket's claimed count
+  // spread over its domain width (uniform-within-bucket assumption).
+  const std::uint64_t j = h.BucketIndexForValue(v);
+  const Value lo = h.BucketLowerBound(j);
+  const Value hi = h.BucketUpperBound(j);
+  const double width = static_cast<double>(hi > lo ? hi - lo : 1);
+  return static_cast<double>(h.counts()[j]) / width;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("FAM",
+                     "histogram families: equi-height vs equi-width vs "
+                     "V-optimal vs MaxDiff",
+                     scale);
+
+  // V-optimal's DP is quadratic in distinct values: keep d moderate.
+  const std::uint64_t n = scale.default_n / 4;
+  const std::uint64_t d = 2000;
+  const std::uint64_t k = scale.full ? 100 : 50;
+  const auto freq = MakeZipf({.n = n, .domain_size = d, .skew = 1.5,
+                              .seed = 3});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  RangeWorkloadGenerator gen(&data, 17);
+  const auto queries = gen.UniformRanges(1000);
+
+  std::printf("N=%s, d=%s distinct, k=%llu, Zipf Z=1.5, 1000 range queries "
+              "+ 500 equality probes\n\n",
+              FormatWithThousands(n).c_str(), FormatWithThousands(d).c_str(),
+              static_cast<unsigned long long>(k));
+
+  std::printf("--- built exactly from the full data ---\n");
+  std::printf("%-22s %12s %12s %14s\n", "family", "range mean", "range max",
+              "eq mean rel");
+  {
+    const auto equi_height = BuildPerfectHistogram(data, k);
+    const auto equi_width = EquiWidthHistogram::Build(data, k);
+    const auto voptimal = BuildVOptimalHistogram(*freq, k);
+    const auto maxdiff = BuildMaxDiffHistogram(*freq, k);
+    const auto compressed = CompressedHistogram::BuildPerfect(data, k);
+    Row("compressed (Sec 5)",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return compressed->EstimateRangeCount(q);
+              },
+              [&](Value v) {
+                for (const auto& s : compressed->singletons()) {
+                  if (s.value == v) return static_cast<double>(s.count);
+                }
+                const Histogram* equi = compressed->equi_height_part();
+                return equi != nullptr ? HistEq(*equi, v) : 0.0;
+              }));
+    Row("equi-height",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*equi_height, q);
+              },
+              [&](Value v) { return HistEq(*equi_height, v); }));
+    Row("equi-width",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return equi_width->EstimateRangeCount(q);
+              },
+              [&](Value v) {
+                const std::uint64_t j = equi_width->BucketIndexForValue(v);
+                const double width =
+                    static_cast<double>(equi_width->BucketUpperBound(j) -
+                                        equi_width->BucketLowerBound(j));
+                return static_cast<double>(equi_width->counts()[j]) /
+                       std::max(width, 1.0);
+              }));
+    Row("v-optimal",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*voptimal, q);
+              },
+              [&](Value v) { return HistEq(*voptimal, v); }));
+    Row("maxdiff",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*maxdiff, q);
+              },
+              [&](Value v) { return HistEq(*maxdiff, v); }));
+  }
+
+  std::printf("\n--- built from the same 5%% random sample ---\n");
+  std::printf("%-22s %12s %12s %14s\n", "family", "range mean", "range max",
+              "eq mean rel");
+  {
+    Rng rng(23);
+    auto sample = SampleRowsWithoutReplacement(data.sorted_values(),
+                                               n / 20, rng);
+    std::sort(sample->begin(), sample->end());
+    const auto equi_height = BuildHistogramFromSample(*sample, k, n);
+    const auto equi_width =
+        EquiWidthHistogram::BuildFromSample(*sample, k, n);
+    const auto voptimal = BuildVOptimalFromSample(*sample, k, n);
+    const auto maxdiff = BuildMaxDiffFromSample(*sample, k, n);
+    const auto compressed = CompressedHistogram::BuildFromSample(*sample, k, n);
+    Row("compressed (Sec 5)",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return compressed->EstimateRangeCount(q);
+              },
+              [&](Value v) {
+                for (const auto& s : compressed->singletons()) {
+                  if (s.value == v) return static_cast<double>(s.count);
+                }
+                const Histogram* equi = compressed->equi_height_part();
+                return equi != nullptr ? HistEq(*equi, v) : 0.0;
+              }));
+    Row("equi-height",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*equi_height, q);
+              },
+              [&](Value v) { return HistEq(*equi_height, v); }));
+    Row("equi-width",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return equi_width->EstimateRangeCount(q);
+              },
+              [&](Value v) {
+                const std::uint64_t j = equi_width->BucketIndexForValue(v);
+                const double width =
+                    static_cast<double>(equi_width->BucketUpperBound(j) -
+                                        equi_width->BucketLowerBound(j));
+                return static_cast<double>(equi_width->counts()[j]) /
+                       std::max(width, 1.0);
+              }));
+    Row("v-optimal",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*voptimal, q);
+              },
+              [&](Value v) { return HistEq(*voptimal, v); }));
+    Row("maxdiff",
+        Score(data, *freq, queries,
+              [&](const RangeQuery& q) {
+                return EstimateRangeCount(*maxdiff, q);
+              },
+              [&](Value v) { return HistEq(*maxdiff, v); }));
+  }
+
+  std::printf(
+      "\nreading: on heavily duplicated data, plain bucket families "
+      "(equi-height, equi-width)\nsuffer from heavy values smeared across a "
+      "bucket's value range — exactly the Section 5\nproblem. The "
+      "compressed histogram (singling out values heavier than n/k) and "
+      "the\nfrequency-grouping families (V-optimal, MaxDiff) avoid it; "
+      "sample-built versions\npreserve each family's character, the "
+      "empirical ground for extending the paper's\nbounds beyond "
+      "equi-height.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// sample_size_advisor: the Example 3 calculator. Given any three of
+// (n, k, f, gamma, r), solve for the missing quantity using the paper's
+// trade-off formulas (Theorem 4 / Corollary 1), plus the comparison
+// against Gibbons-Matias-Poosala (Theorem 6) and the distinct-value
+// estimation floor (Theorem 8).
+//
+//   $ ./sample_size_advisor                      # reproduce Example 3
+//   $ ./sample_size_advisor r  <n> <k> <f> <g>   # solve sample size
+//   $ ./sample_size_advisor f  <n> <k> <r> <g>   # solve error
+//   $ ./sample_size_advisor k  <n> <r> <f> <g>   # solve histogram size
+//   $ ./sample_size_advisor g  <n> <k> <f> <r>   # solve failure prob.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "equihist/equihist.h"
+
+namespace {
+
+using namespace equihist;
+
+void PrintExample3() {
+  std::printf("Reproducing the paper's Example 3 (gamma = 0.01):\n\n");
+  const double gamma = 0.01;
+
+  std::printf("Determining sample size:\n");
+  for (const auto& [k, f] : {std::pair<std::uint64_t, double>{500, 0.2},
+                             std::pair<std::uint64_t, double>{100, 0.1}}) {
+    std::printf("  k=%-4llu f=%.1f:", static_cast<unsigned long long>(k), f);
+    for (std::uint64_t n : {std::uint64_t{20000000}, std::uint64_t{100000000},
+                            std::uint64_t{1000000000}}) {
+      const auto r = DeviationSampleSize(n, k, f, gamma);
+      std::printf("  n=%-5s -> r=%s", FormatCount(static_cast<double>(n)).c_str(),
+                  FormatCount(static_cast<double>(*r)).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDetermining histogram size:\n");
+  const auto kmax = MaxBucketsForSampleSize(20000000, 1000000, 0.25, gamma);
+  std::printf("  n=20M, r=1M, f=0.25 -> k <= %llu (paper: ~800)\n",
+              static_cast<unsigned long long>(*kmax));
+
+  std::printf("\nDetermining histogram error:\n");
+  const auto f = DeviationErrorForSampleSize(25000000, 200, 800000, gamma);
+  std::printf("  n=25M, r=800K, k=200 -> f <= %.1f%% (paper: 14%%)\n",
+              *f * 100.0);
+
+  std::printf("\nComparison with Gibbons-Matias-Poosala Theorem 6 "
+              "(Example 4):\n");
+  for (std::uint64_t k : {std::uint64_t{100}, std::uint64_t{500},
+                          std::uint64_t{1000}}) {
+    const auto gmp = GmpTheorem6(1ULL << 40, k, 4.0);
+    const auto ours =
+        DeviationSampleSize(1ULL << 40, k, /*f=*/0.1, gmp->gamma);
+    std::printf("  k=%-5llu  GMP: f=%.2f r=%-8s (needs n >= %s)   "
+                "ours: f=0.10 r=%s\n",
+                static_cast<unsigned long long>(k), gmp->f,
+                FormatCount(static_cast<double>(gmp->r)).c_str(),
+                FormatCount(static_cast<double>(gmp->min_n_theorem)).c_str(),
+                FormatCount(static_cast<double>(*ours)).c_str());
+  }
+
+  std::printf("\nDistinct-value estimation floor (Theorem 8, gamma=0.5):\n");
+  for (double fraction : {0.01, 0.05, 0.2, 0.5}) {
+    const std::uint64_t n = 10000000;
+    const auto bound = DistinctValueErrorLowerBound(
+        n, static_cast<std::uint64_t>(fraction * static_cast<double>(n)), 0.5);
+    std::printf("  sample %4.0f%% of n -> no estimator beats ratio error "
+                "%.2f\n",
+                fraction * 100.0, *bound);
+  }
+}
+
+template <typename T>
+void PrintOrFail(const Result<T>& result, const char* label) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  if constexpr (std::is_integral_v<T>) {
+    std::printf("%s = %s\n", label,
+                FormatWithThousands(static_cast<std::uint64_t>(*result)).c_str());
+  } else {
+    std::printf("%s = %.6f\n", label, static_cast<double>(*result));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintExample3();
+    return 0;
+  }
+  if (argc != 6) {
+    std::fprintf(stderr,
+                 "usage: %s [r|f|k|g] <four remaining parameters>\n"
+                 "  r <n> <k> <f> <gamma>\n"
+                 "  f <n> <k> <r> <gamma>\n"
+                 "  k <n> <r> <f> <gamma>\n"
+                 "  g <n> <k> <f> <r>\n",
+                 argv[0]);
+    return 2;
+  }
+  const char solve = argv[1][0];
+  const auto u = [&](int i) { return std::strtoull(argv[i], nullptr, 10); };
+  const auto d = [&](int i) { return std::strtod(argv[i], nullptr); };
+  switch (solve) {
+    case 'r':
+      PrintOrFail(DeviationSampleSize(u(2), u(3), d(4), d(5)),
+                  "sample size r");
+      break;
+    case 'f':
+      PrintOrFail(DeviationErrorForSampleSize(u(2), u(3), u(4), d(5)),
+                  "relative max error f");
+      break;
+    case 'k':
+      PrintOrFail(MaxBucketsForSampleSize(u(2), u(3), d(4), d(5)),
+                  "max supportable buckets k");
+      break;
+    case 'g':
+      PrintOrFail(DeviationFailureProbability(u(2), u(3), d(4), u(5)),
+                  "failure probability gamma");
+      break;
+    default:
+      std::fprintf(stderr, "unknown solve target '%c'\n", solve);
+      return 2;
+  }
+  return 0;
+}

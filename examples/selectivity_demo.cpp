@@ -1,0 +1,113 @@
+// selectivity_demo: why a query optimizer should insist on the max error
+// metric (Sections 2 and Theorems 1/3, live).
+//
+//   $ ./selectivity_demo [n] [k]
+//
+// Builds three histograms over the same skewed column — the perfect one, a
+// sample-based one with small max error, and an adversarial one that has
+// *small average error but one terrible bucket* — then runs the same range
+// workload through all three and compares estimation errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "equihist/equihist.h"
+
+namespace {
+
+using namespace equihist;
+
+// Builds an adversarial histogram: start from the perfect separators, then
+// collapse one interior separator so a single bucket doubles. Average error
+// stays ~2n/k^2-small while max error hits ~n/k.
+Histogram MakeAdversarial(const Histogram& perfect) {
+  std::vector<Value> separators = perfect.separators();
+  const std::size_t mid = separators.size() / 2;
+  separators[mid] = separators[mid + 1];
+  Histogram skewed =
+      Histogram::Create(separators, perfect.counts(), perfect.lower_fence(),
+                        perfect.upper_fence())
+          .value();
+  // Claim the ideal n/k in every bucket, as an optimizer would.
+  return skewed;
+}
+
+void Report(const char* name, const Histogram& histogram,
+            const std::vector<RangeQuery>& queries, const ValueSet& truth) {
+  const auto errors = ComputeHistogramErrors(histogram, truth);
+  const auto report = EvaluateRangeWorkload(histogram, queries, truth);
+  if (!errors.ok() || !report.ok()) {
+    std::fprintf(stderr, "evaluation failed for %s\n", name);
+    return;
+  }
+  std::printf("%-22s f_avg=%6.4f f_var=%6.4f f_max=%6.4f | "
+              "range err: mean=%8.1f max=%8.1f (rel max=%5.2f)\n",
+              name, errors->f_avg, errors->f_var, errors->f_max,
+              report->mean_absolute_error, report->max_absolute_error,
+              report->max_relative_error);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000;
+  const std::uint64_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
+
+  std::printf("selectivity demo: n=%s, k=%llu\n",
+              FormatWithThousands(n).c_str(),
+              static_cast<unsigned long long>(k));
+  std::printf("Theorem 1.1 floor (any histogram): alpha >= 2n/k = %.0f\n\n",
+              PerfectHistogramAbsoluteErrorBound(n, k));
+
+  // Duplicate-free data: the setting of Theorems 1 and 3 (Section 5 covers
+  // duplicates separately; see analyze_tool and the FAM bench for those).
+  const auto freq = MakeAllDistinct(n);
+  if (!freq.ok()) {
+    std::fprintf(stderr, "%s\n", freq.status().ToString().c_str());
+    return 1;
+  }
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+
+  const auto perfect = BuildPerfectHistogram(data, k);
+  if (!perfect.ok()) {
+    std::fprintf(stderr, "%s\n", perfect.status().ToString().c_str());
+    return 1;
+  }
+
+  // Sample-based histogram at f = 0.1.
+  const auto r = DeviationSampleSize(n, k, 0.1, 0.01);
+  Rng rng(7);
+  std::vector<Value> sample =
+      SampleRowsWithReplacement(data.sorted_values(), *r, rng);
+  std::sort(sample.begin(), sample.end());
+  const auto sampled = BuildHistogramFromSample(sample, k, n);
+  if (!sampled.ok()) {
+    std::fprintf(stderr, "%s\n", sampled.status().ToString().c_str());
+    return 1;
+  }
+
+  const Histogram adversarial = MakeAdversarial(*perfect);
+
+  // Workload: uniform ranges plus narrow fixed-selectivity ranges (the
+  // t*n/k regime of Example 1).
+  RangeWorkloadGenerator gen(&data, 13);
+  std::vector<RangeQuery> queries = gen.UniformRanges(400);
+  const auto narrow = gen.FixedSelectivityRanges(400, 10 * n / k);
+  if (narrow.ok()) {
+    queries.insert(queries.end(), narrow->begin(), narrow->end());
+  }
+
+  std::printf("%zu range queries over duplicate-free data:\n\n", queries.size());
+  Report("perfect histogram", *perfect, queries, data);
+  Report("sampled (f<=0.1)", *sampled, queries, data);
+  Report("adversarial avg-good", adversarial, queries, data);
+
+  std::printf(
+      "\nreading: the adversarial histogram matches the others on the\n"
+      "average/variance metrics but its one bad bucket leaks straight into\n"
+      "worst-case range estimates — exactly the gap Theorems 1 and 3 bound.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "baseline/equi_width.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/math.h"
+#include "common/string_util.h"
+
+namespace equihist {
+namespace {
+
+Status Validate(std::uint64_t m, std::uint64_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (m == 0) {
+    return Status::FailedPrecondition(
+        "cannot build a histogram over an empty value set");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EquiWidthHistogram> EquiWidthHistogram::Build(const ValueSet& population,
+                                                     std::uint64_t k) {
+  EQUIHIST_RETURN_IF_ERROR(Validate(population.size(), k));
+  EquiWidthHistogram h;
+  h.lo_ = population.min() - 1;
+  h.hi_ = population.max();
+  h.total_ = population.size();
+  h.counts_.assign(k, 0);
+  for (Value v : population.sorted_values()) {
+    ++h.counts_[h.BucketIndexForValue(v)];
+  }
+  return h;
+}
+
+Result<EquiWidthHistogram> EquiWidthHistogram::BuildFromSample(
+    std::span<const Value> sorted_sample, std::uint64_t k,
+    std::uint64_t population_size) {
+  EQUIHIST_RETURN_IF_ERROR(Validate(sorted_sample.size(), k));
+  if (population_size == 0) {
+    return Status::InvalidArgument("population_size must be positive");
+  }
+  EquiWidthHistogram h;
+  h.lo_ = sorted_sample.front() - 1;
+  h.hi_ = sorted_sample.back();
+  h.total_ = population_size;
+  h.counts_.assign(k, 0);
+  std::vector<std::uint64_t> sample_counts(k, 0);
+  for (Value v : sorted_sample) {
+    ++sample_counts[h.BucketIndexForValue(v)];
+  }
+  // Scale to the population with largest-remainder rounding.
+  std::vector<double> weights;
+  weights.reserve(k);
+  for (std::uint64_t c : sample_counts) {
+    weights.push_back(static_cast<double>(c));
+  }
+  h.counts_ = ApportionProportionally(weights, population_size);
+  return h;
+}
+
+std::uint64_t EquiWidthHistogram::BucketIndexForValue(Value v) const {
+  if (v <= lo_ + 1) return 0;
+  if (v >= hi_) return counts_.size() - 1;
+  // Bucket j covers (lo + j*w, lo + (j+1)*w] for width w = (hi-lo)/k.
+  const double width = static_cast<double>(hi_ - lo_) /
+                       static_cast<double>(counts_.size());
+  const auto index = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(v - lo_) / width) - 1.0);
+  return std::min<std::uint64_t>(index, counts_.size() - 1);
+}
+
+Value EquiWidthHistogram::BucketLowerBound(std::uint64_t j) const {
+  if (j == 0) return lo_;
+  const double width = static_cast<double>(hi_ - lo_) /
+                       static_cast<double>(counts_.size());
+  return lo_ + static_cast<Value>(std::llround(width * static_cast<double>(j)));
+}
+
+Value EquiWidthHistogram::BucketUpperBound(std::uint64_t j) const {
+  if (j == counts_.size() - 1) return hi_;
+  const double width = static_cast<double>(hi_ - lo_) /
+                       static_cast<double>(counts_.size());
+  return lo_ +
+         static_cast<Value>(std::llround(width * static_cast<double>(j + 1)));
+}
+
+double EquiWidthHistogram::EstimateRangeCount(const RangeQuery& query) const {
+  const Value q_lo = std::max(query.lo, lo_);
+  const Value q_hi = std::min(query.hi, hi_);
+  if (q_hi <= q_lo) return 0.0;
+  KahanSum estimate;
+  for (std::uint64_t j = 0; j < counts_.size(); ++j) {
+    const Value b_lo = BucketLowerBound(j);
+    const Value b_hi = BucketUpperBound(j);
+    if (b_hi <= b_lo) continue;
+    const Value cover_lo = std::max(q_lo, b_lo);
+    const Value cover_hi = std::min(q_hi, b_hi);
+    if (cover_hi <= cover_lo) continue;
+    const double fraction = static_cast<double>(cover_hi - cover_lo) /
+                            static_cast<double>(b_hi - b_lo);
+    estimate.Add(static_cast<double>(counts_[j]) * fraction);
+  }
+  return estimate.Value();
+}
+
+std::string EquiWidthHistogram::ToString(std::size_t max_buckets) const {
+  std::ostringstream os;
+  os << "EquiWidthHistogram{k=" << counts_.size()
+     << ", n=" << FormatWithThousands(total_) << ", domain=(" << lo_ << ", "
+     << hi_ << "]}\n";
+  const std::size_t show = std::min<std::size_t>(counts_.size(), max_buckets);
+  for (std::size_t j = 0; j < show; ++j) {
+    os << "  B" << j + 1 << ": (" << BucketLowerBound(j) << ", "
+       << BucketUpperBound(j) << "]  count=" << counts_[j] << "\n";
+  }
+  if (show < counts_.size()) {
+    os << "  ... (" << counts_.size() - show << " more buckets)\n";
+  }
+  return os.str();
+}
+
+}  // namespace equihist

@@ -1,0 +1,67 @@
+#ifndef EQUIHIST_BASELINE_EQUI_WIDTH_H_
+#define EQUIHIST_BASELINE_EQUI_WIDTH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value_set.h"
+#include "data/workload.h"
+
+namespace equihist {
+
+// The classical equi-width histogram: k buckets of equal *domain* width
+// over [lo, hi]. Included as the baseline the equi-height family is always
+// contrasted with — trivially cheap to build (one pass, no sort, no
+// quantiles), but its bucket counts are unbounded functions of the data
+// skew, so the paper's error guarantees are unattainable for it.
+// bench_range_error quantifies the gap.
+class EquiWidthHistogram {
+ public:
+  // Builds from the full data: exact counts per width bucket. k >= 1,
+  // non-empty population.
+  static Result<EquiWidthHistogram> Build(const ValueSet& population,
+                                          std::uint64_t k);
+
+  // Builds from a sorted sample with counts scaled to population_size.
+  // The bucket *boundaries* require only the sample min/max, which is the
+  // classical weakness: unseen extreme values fall outside every bucket.
+  static Result<EquiWidthHistogram> BuildFromSample(
+      std::span<const Value> sorted_sample, std::uint64_t k,
+      std::uint64_t population_size);
+
+  std::uint64_t bucket_count() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  Value lo() const { return lo_; }
+  Value hi() const { return hi_; }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  // Bucket index for a value, clamping values outside [lo, hi] into the
+  // first/last bucket.
+  std::uint64_t BucketIndexForValue(Value v) const;
+
+  // Exclusive lower / inclusive upper bound of bucket j.
+  Value BucketLowerBound(std::uint64_t j) const;
+  Value BucketUpperBound(std::uint64_t j) const;
+
+  // Range estimation, lo < X <= hi, with linear interpolation inside
+  // buckets (same Section 2.2 strategy as the equi-height estimator).
+  double EstimateRangeCount(const RangeQuery& query) const;
+
+  std::string ToString(std::size_t max_buckets = 16) const;
+
+ private:
+  EquiWidthHistogram() = default;
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  Value lo_ = 0;  // exclusive lower end of bucket 0
+  Value hi_ = 0;  // inclusive upper end of bucket k-1
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_BASELINE_EQUI_WIDTH_H_

@@ -1,0 +1,162 @@
+#include "baseline/gmp_incremental.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/histogram_builder.h"
+
+namespace equihist {
+
+Result<IncrementalEquiDepth> IncrementalEquiDepth::Create(
+    const GmpOptions& options) {
+  if (options.buckets == 0) {
+    return Status::InvalidArgument("buckets must be positive");
+  }
+  if (options.gamma <= 0.0) {
+    return Status::InvalidArgument("gamma must be positive");
+  }
+  if (options.reservoir_capacity < options.buckets) {
+    return Status::InvalidArgument(
+        "reservoir must hold at least one value per bucket");
+  }
+  return IncrementalEquiDepth(options);
+}
+
+IncrementalEquiDepth::IncrementalEquiDepth(const GmpOptions& options)
+    : options_(options),
+      reservoir_(options.reservoir_capacity, options.seed) {}
+
+double IncrementalEquiDepth::Threshold() const {
+  return (2.0 + options_.gamma) * static_cast<double>(n_) /
+         static_cast<double>(options_.buckets);
+}
+
+std::uint64_t IncrementalEquiDepth::BucketIndexForValue(Value value) const {
+  const auto it =
+      std::lower_bound(separators_.begin(), separators_.end(), value);
+  return static_cast<std::uint64_t>(it - separators_.begin());
+}
+
+void IncrementalEquiDepth::Insert(Value value) {
+  reservoir_.Add(value);
+  ++n_;
+  if (!initialized_) {
+    min_value_ = value;
+    max_value_ = value;
+    separators_.assign(options_.buckets - 1, value);
+    counts_.assign(options_.buckets, 0);
+    counts_[0] = 1;
+    initialized_ = true;
+    return;
+  }
+  min_value_ = std::min(min_value_, value);
+  max_value_ = std::max(max_value_, value);
+
+  const std::uint64_t j = BucketIndexForValue(value);
+  ++counts_[j];
+  if (static_cast<double>(counts_[j]) <= Threshold()) return;
+
+  // Split, funding the extra bucket by merging the lightest adjacent pair;
+  // recompute from the backing sample when either step is impossible.
+  // Maintenance is rate-limited to once per ~1% table growth: a value
+  // heavier than the threshold keeps its bucket permanently over T (no
+  // split can divide one value, and a recompute cannot cure it), and
+  // without the cooldown every insert into that bucket would scan the
+  // reservoir and recompute. The original algorithm assumes per-value
+  // masses below T; the cooldown keeps maintenance O(1) amortized outside
+  // that assumption at no accuracy cost.
+  if (n_ < maintenance_cooldown_until_) return;
+  maintenance_cooldown_until_ = n_ + std::max<std::uint64_t>(n_ / 100, 16);
+  if (!TrySplit(j) || !TryMergeLightestPair()) {
+    RecomputeFromSample();
+  }
+}
+
+bool IncrementalEquiDepth::TrySplit(std::uint64_t j) {
+  // Approximate median of bucket j's contents from the backing sample.
+  const Value lo = (j == 0) ? std::numeric_limits<Value>::min()
+                            : separators_[j - 1];
+  const Value hi = (j == counts_.size() - 1)
+                       ? std::numeric_limits<Value>::max()
+                       : separators_[j];
+  std::vector<Value> in_bucket;
+  for (Value v : reservoir_.sample()) {
+    if (v > lo && v <= hi) in_bucket.push_back(v);
+  }
+  if (in_bucket.size() < 2) return false;
+  std::sort(in_bucket.begin(), in_bucket.end());
+  const Value median = in_bucket[in_bucket.size() / 2];
+  // The split separator must divide the bucket into two non-trivial value
+  // ranges; a median equal to the upper bound (all mass at the top value)
+  // cannot.
+  if (median >= hi || median <= lo) return false;
+
+  // Estimate the left share from the backing sample.
+  const auto left = static_cast<double>(
+      std::upper_bound(in_bucket.begin(), in_bucket.end(), median) -
+      in_bucket.begin());
+  const double left_fraction = left / static_cast<double>(in_bucket.size());
+  const auto left_count = static_cast<std::uint64_t>(
+      left_fraction * static_cast<double>(counts_[j]));
+
+  separators_.insert(separators_.begin() + static_cast<std::ptrdiff_t>(j),
+                     median);
+  const std::uint64_t right_count = counts_[j] - left_count;
+  counts_[j] = left_count;
+  counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(j) + 1,
+                 right_count);
+  ++splits_;
+  return true;
+}
+
+bool IncrementalEquiDepth::TryMergeLightestPair() {
+  // counts_ currently holds B+1 buckets (after a split). Merge the
+  // lightest adjacent pair whose combined count stays under the threshold.
+  std::size_t best = counts_.size();
+  std::uint64_t best_sum = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+    const std::uint64_t sum = counts_[i] + counts_[i + 1];
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = i;
+    }
+  }
+  if (best == counts_.size() ||
+      static_cast<double>(best_sum) > Threshold()) {
+    // Undo is unnecessary: the caller recomputes from the sample, which
+    // rebuilds separators and counts wholesale.
+    return false;
+  }
+  counts_[best] = best_sum;
+  counts_.erase(counts_.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  separators_.erase(separators_.begin() + static_cast<std::ptrdiff_t>(best));
+  ++merges_;
+  return true;
+}
+
+void IncrementalEquiDepth::RecomputeFromSample() {
+  ++recomputes_;
+  std::vector<Value> sample = reservoir_.sample();
+  std::sort(sample.begin(), sample.end());
+  auto histogram = BuildHistogramFromSample(sample, options_.buckets, n_);
+  assert(histogram.ok());
+  separators_ = histogram->separators();
+  counts_ = histogram->counts();
+}
+
+Result<Histogram> IncrementalEquiDepth::Snapshot() const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("no values inserted yet");
+  }
+  std::vector<Value> separators = separators_;
+  // Clamp separators into the observed domain so Histogram validation
+  // holds even after recomputes from a sample that missed the extremes.
+  for (Value& s : separators) {
+    s = std::clamp(s, min_value_ - 1, max_value_);
+  }
+  return Histogram::Create(std::move(separators), counts_, min_value_ - 1,
+                           max_value_);
+}
+
+}  // namespace equihist

@@ -1,0 +1,87 @@
+#ifndef EQUIHIST_BASELINE_GMP_INCREMENTAL_H_
+#define EQUIHIST_BASELINE_GMP_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/histogram.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+
+// The Gibbons-Matias-Poosala incremental equi-depth histogram (VLDB 1997)
+// — the prior work the paper compares its bounds against in Section 3.4,
+// implemented here as the baseline *maintenance* strategy:
+//
+//   * a backing random sample of the stream is kept in a reservoir;
+//   * every insert increments the count of the bucket holding the value;
+//   * when a bucket exceeds the threshold T = (2 + gamma) * N / B, it is
+//     split at its approximate median (taken from the backing sample), and
+//     the lightest adjacent bucket pair is merged to keep B buckets;
+//   * if no adjacent pair is light enough to merge, the whole histogram is
+//     recomputed from the backing sample.
+//
+// The paper's alternative is to simply *recompute from a bounded sample*
+// with the Theorem 4 budget; bench_baseline_comparison races the two.
+struct GmpOptions {
+  std::uint64_t buckets = 100;          // B
+  double gamma = 0.5;                   // threshold slack, T = (2+gamma)N/B
+  std::uint64_t reservoir_capacity = 10000;
+  std::uint64_t seed = 1;
+};
+
+class IncrementalEquiDepth {
+ public:
+  // Returns InvalidArgument for buckets == 0, gamma <= 0, or a reservoir
+  // smaller than the bucket count.
+  static Result<IncrementalEquiDepth> Create(const GmpOptions& options);
+
+  // Inserts one value: updates the reservoir, bumps the bucket count, and
+  // splits/merges/recomputes as required by the thresholds.
+  void Insert(Value value);
+
+  std::uint64_t size() const { return n_; }
+
+  // The current approximate histogram. FailedPrecondition before the first
+  // insert.
+  Result<Histogram> Snapshot() const;
+
+  // Maintenance counters (for the cost accounting in benchmarks).
+  std::uint64_t split_count() const { return splits_; }
+  std::uint64_t merge_count() const { return merges_; }
+  std::uint64_t recompute_count() const { return recomputes_; }
+
+  const ReservoirSampler& backing_sample() const { return reservoir_; }
+
+ private:
+  explicit IncrementalEquiDepth(const GmpOptions& options);
+
+  double Threshold() const;
+  std::uint64_t BucketIndexForValue(Value value) const;
+  // Splits bucket j at the approximate median of its contents; returns
+  // false if the backing sample cannot provide a separator strictly inside
+  // the bucket (e.g. the bucket is one repeated value).
+  bool TrySplit(std::uint64_t j);
+  // Merges the lightest adjacent pair if its combined count is below the
+  // threshold; returns false otherwise.
+  bool TryMergeLightestPair();
+  void RecomputeFromSample();
+
+  GmpOptions options_;
+  ReservoirSampler reservoir_;
+  std::uint64_t n_ = 0;
+  Value min_value_ = 0;
+  Value max_value_ = 0;
+  std::vector<Value> separators_;        // size B-1 once initialized
+  std::vector<std::uint64_t> counts_;    // size B once initialized
+  bool initialized_ = false;
+  std::uint64_t maintenance_cooldown_until_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t recomputes_ = 0;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_BASELINE_GMP_INCREMENTAL_H_

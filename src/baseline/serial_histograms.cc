@@ -1,0 +1,223 @@
+#include "baseline/serial_histograms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/math.h"
+
+namespace equihist {
+namespace {
+
+Status ValidateInputs(std::uint64_t d, std::uint64_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (d == 0) {
+    return Status::FailedPrecondition(
+        "cannot build a histogram over an empty value set");
+  }
+  return Status::OK();
+}
+
+// Builds the Histogram for group boundaries expressed as the (0-based,
+// inclusive) index of each group's last entry. Pads with empty trailing
+// buckets when fewer than k groups exist.
+Result<Histogram> FromGroupEnds(const FrequencyVector& frequencies,
+                                std::vector<std::size_t> group_ends,
+                                std::uint64_t k) {
+  const auto& entries = frequencies.entries();
+  std::vector<Value> separators;
+  std::vector<std::uint64_t> counts;
+  separators.reserve(k - 1);
+  counts.reserve(k);
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < group_ends.size(); ++g) {
+    const std::size_t end = group_ends[g];
+    std::uint64_t sum = 0;
+    for (std::size_t i = begin; i <= end; ++i) sum += entries[i].count;
+    counts.push_back(sum);
+    if (g + 1 < k) separators.push_back(entries[end].value);
+    begin = end + 1;
+  }
+  while (counts.size() < k) {
+    counts.push_back(0);
+    if (separators.size() < k - 1) {
+      separators.push_back(entries.back().value);
+    }
+  }
+  return Histogram::Create(std::move(separators), std::move(counts),
+                           entries.front().value - 1, entries.back().value);
+}
+
+// Scales a histogram's claimed counts to a new total (used by the
+// sample-based builders).
+Histogram ScaleClaimedCounts(const Histogram& histogram,
+                             std::uint64_t new_total) {
+  std::vector<double> weights;
+  weights.reserve(histogram.counts().size());
+  for (std::uint64_t c : histogram.counts()) {
+    weights.push_back(static_cast<double>(c));
+  }
+  return Histogram::Create(histogram.separators(),
+                           ApportionProportionally(weights, new_total),
+                           histogram.lower_fence(), histogram.upper_fence())
+      .value();
+}
+
+FrequencyVector FrequenciesOfSorted(std::span<const Value> sorted) {
+  std::vector<FrequencyEntry> entries;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    entries.push_back(FrequencyEntry{sorted[i], j - i});
+    i = j;
+  }
+  return FrequencyVector(std::move(entries));
+}
+
+}  // namespace
+
+Result<Histogram> BuildVOptimalHistogram(const FrequencyVector& frequencies,
+                                         std::uint64_t k) {
+  EQUIHIST_RETURN_IF_ERROR(
+      ValidateInputs(frequencies.distinct_count(), k));
+  const auto& entries = frequencies.entries();
+  const std::size_t d = entries.size();
+  const std::size_t groups = std::min<std::size_t>(d, k);
+
+  // Prefix sums of frequencies and squared frequencies for O(1) group SSE:
+  // sse(a..b) = S2 - S1^2 / len.
+  std::vector<double> s1(d + 1, 0.0);
+  std::vector<double> s2(d + 1, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    const auto f = static_cast<double>(entries[i].count);
+    s1[i + 1] = s1[i] + f;
+    s2[i + 1] = s2[i] + f * f;
+  }
+  auto sse = [&](std::size_t a, std::size_t b) {  // inclusive indices
+    const double len = static_cast<double>(b - a + 1);
+    const double sum = s1[b + 1] - s1[a];
+    const double sq = s2[b + 1] - s2[a];
+    return sq - sum * sum / len;
+  };
+
+  // dp[i] = cost of optimally covering entries [0..i] with the current
+  // number of groups; parent[g][i] = start of the last group.
+  constexpr double kInf = 1e300;
+  std::vector<double> prev(d, 0.0);
+  std::vector<double> curr(d, kInf);
+  std::vector<std::vector<std::uint32_t>> parent(
+      groups, std::vector<std::uint32_t>(d, 0));
+  for (std::size_t i = 0; i < d; ++i) prev[i] = sse(0, i);
+  for (std::size_t g = 1; g < groups; ++g) {
+    for (std::size_t i = g; i < d; ++i) {
+      double best = kInf;
+      std::uint32_t best_start = static_cast<std::uint32_t>(i);
+      for (std::size_t m = g; m <= i; ++m) {
+        const double cost = prev[m - 1] + sse(m, i);
+        if (cost < best) {
+          best = cost;
+          best_start = static_cast<std::uint32_t>(m);
+        }
+      }
+      curr[i] = best;
+      parent[g][i] = best_start;
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+
+  // Reconstruct the group ends.
+  std::vector<std::size_t> ends(groups);
+  std::size_t end = d - 1;
+  for (std::size_t g = groups; g-- > 0;) {
+    ends[g] = end;
+    if (g == 0) break;
+    const std::size_t start = parent[g][end];
+    end = start - 1;
+  }
+  return FromGroupEnds(frequencies, std::move(ends), k);
+}
+
+Result<Histogram> BuildVOptimalFromSample(std::span<const Value> sorted_sample,
+                                          std::uint64_t k,
+                                          std::uint64_t population_size) {
+  if (population_size == 0) {
+    return Status::InvalidArgument("population_size must be positive");
+  }
+  if (sorted_sample.empty()) {
+    return Status::FailedPrecondition("sample must be non-empty");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const Histogram from_sample,
+      BuildVOptimalHistogram(FrequenciesOfSorted(sorted_sample), k));
+  return ScaleClaimedCounts(from_sample, population_size);
+}
+
+Result<Histogram> BuildMaxDiffHistogram(const FrequencyVector& frequencies,
+                                        std::uint64_t k) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateInputs(frequencies.distinct_count(), k));
+  const auto& entries = frequencies.entries();
+  const std::size_t d = entries.size();
+
+  // Rank the adjacent frequency differences; boundaries go after the
+  // positions with the k-1 largest |f_{i+1} - f_i|.
+  std::vector<std::pair<double, std::size_t>> diffs;
+  diffs.reserve(d > 0 ? d - 1 : 0);
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    const double diff =
+        std::abs(static_cast<double>(entries[i + 1].count) -
+                 static_cast<double>(entries[i].count));
+    diffs.emplace_back(diff, i);
+  }
+  std::sort(diffs.begin(), diffs.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const std::size_t boundaries = std::min<std::size_t>(k - 1, diffs.size());
+  std::vector<std::size_t> ends;
+  ends.reserve(boundaries + 1);
+  for (std::size_t i = 0; i < boundaries; ++i) {
+    ends.push_back(diffs[i].second);
+  }
+  std::sort(ends.begin(), ends.end());
+  ends.push_back(d - 1);
+  return FromGroupEnds(frequencies, std::move(ends), k);
+}
+
+Result<Histogram> BuildMaxDiffFromSample(std::span<const Value> sorted_sample,
+                                         std::uint64_t k,
+                                         std::uint64_t population_size) {
+  if (population_size == 0) {
+    return Status::InvalidArgument("population_size must be positive");
+  }
+  if (sorted_sample.empty()) {
+    return Status::FailedPrecondition("sample must be non-empty");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const Histogram from_sample,
+      BuildMaxDiffHistogram(FrequenciesOfSorted(sorted_sample), k));
+  return ScaleClaimedCounts(from_sample, population_size);
+}
+
+double FrequencyVarianceObjective(const Histogram& histogram,
+                                  const FrequencyVector& frequencies) {
+  const auto& entries = frequencies.entries();
+  KahanSum total;
+  std::size_t i = 0;
+  for (std::uint64_t b = 0; b < histogram.bucket_count(); ++b) {
+    // Collect the frequencies of the distinct values in bucket b.
+    std::vector<double> fs;
+    while (i < entries.size() &&
+           histogram.BucketIndexForValue(entries[i].value) == b) {
+      fs.push_back(static_cast<double>(entries[i].count));
+      ++i;
+    }
+    if (fs.empty()) continue;
+    const double mean = Mean(fs);
+    for (double f : fs) total.Add((f - mean) * (f - mean));
+  }
+  return total.Value();
+}
+
+}  // namespace equihist

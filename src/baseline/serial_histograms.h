@@ -1,0 +1,61 @@
+#ifndef EQUIHIST_BASELINE_SERIAL_HISTOGRAMS_H_
+#define EQUIHIST_BASELINE_SERIAL_HISTOGRAMS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/result.h"
+#include "core/histogram.h"
+#include "data/distribution.h"
+
+namespace equihist {
+
+// The serial histogram families of Ioannidis & Poosala (references [15,16]
+// of the paper). Extending the sampling bounds to these structures is the
+// paper's stated ongoing work ("Extending our results to the case of other
+// histogram structures [15, 16] is one of our ongoing research goals");
+// this module provides the structures themselves so the extension can be
+// studied empirically: both builders also accept samples, and
+// bench_histogram_families races all families on range workloads.
+//
+// Both produce a standard equihist::Histogram (separators at group ends,
+// claimed counts = group frequency sums), so every error metric and the
+// range estimator apply unchanged.
+
+// V-Optimal(V,F): partitions the ordered distinct values into k contiguous
+// groups minimizing the total within-group variance of the value
+// *frequencies* — the optimal serial histogram for equality-predicate
+// error under the uniform-frequency assumption. Exact dynamic program,
+// O(d^2 k) time and O(d k) memory over d distinct values: intended for
+// d up to a few thousand (use the sample-based builder beyond that).
+Result<Histogram> BuildVOptimalHistogram(const FrequencyVector& frequencies,
+                                         std::uint64_t k);
+
+// The same, over the observed frequencies of a sorted random sample, with
+// counts scaled to population_size — the natural "construct from a random
+// sample" analog this library's bounds would need to cover to extend
+// Theorem 4 to the V-optimal family.
+Result<Histogram> BuildVOptimalFromSample(std::span<const Value> sorted_sample,
+                                          std::uint64_t k,
+                                          std::uint64_t population_size);
+
+// MaxDiff(V,F): places the k-1 boundaries at the k-1 largest adjacent
+// differences |f_{i+1} - f_i| of the frequency sequence. O(d log d); the
+// practical member of the family recommended by [16].
+Result<Histogram> BuildMaxDiffHistogram(const FrequencyVector& frequencies,
+                                        std::uint64_t k);
+
+// MaxDiff from a sorted sample, counts scaled to population_size.
+Result<Histogram> BuildMaxDiffFromSample(std::span<const Value> sorted_sample,
+                                         std::uint64_t k,
+                                         std::uint64_t population_size);
+
+// The objective the V-optimal DP minimizes, exposed for testing and for
+// comparing families: total within-bucket frequency variance of
+// `histogram`'s buckets over the given frequency vector.
+double FrequencyVarianceObjective(const Histogram& histogram,
+                                  const FrequencyVector& frequencies);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_BASELINE_SERIAL_HISTOGRAMS_H_

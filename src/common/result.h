@@ -1,0 +1,86 @@
+#ifndef EQUIHIST_COMMON_RESULT_H_
+#define EQUIHIST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace equihist {
+
+// Result<T> holds either a value of type T or a non-OK Status, in the style
+// of absl::StatusOr<T> / arrow::Result<T>. It is the return type of every
+// fallible library function that produces a value.
+//
+// Usage:
+//   Result<Histogram> r = BuildHistogram(...);
+//   if (!r.ok()) return r.status();
+//   Histogram h = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a status keeps call sites terse
+  // ("return histogram;" / "return Status::InvalidArgument(...)"), matching
+  // the StatusOr idiom.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Preconditions: ok(). The &&-qualified overload moves the value out.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates an error from a Result-returning expression, binding the value
+// on success. Usable in functions returning Status or Result<U>.
+#define EQUIHIST_ASSIGN_OR_RETURN(lhs, expr)       \
+  EQUIHIST_ASSIGN_OR_RETURN_IMPL_(                 \
+      EQUIHIST_CONCAT_(_equihist_result, __LINE__), lhs, expr)
+
+#define EQUIHIST_CONCAT_INNER_(a, b) a##b
+#define EQUIHIST_CONCAT_(a, b) EQUIHIST_CONCAT_INNER_(a, b)
+#define EQUIHIST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_RESULT_H_

@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+namespace equihist {
+namespace {
+
+inline std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used only for seeding, per the xoshiro reference code.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  s_[0] = SplitMix64(sm);
+  s_[1] = SplitMix64(sm);
+  s_[2] = SplitMix64(sm);
+  s_[3] = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = RotL(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  using u128 = unsigned __int128;
+  std::uint64_t x = Next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t offset = (span == 0) ? Next() : NextBounded(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) on the 2^-53 grid.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Split() {
+  // Derive the child from fresh output, then advance this stream once more
+  // so parent and child do not overlap in practice.
+  const std::uint64_t child_seed = Next() ^ 0xA3EC647659359ACDULL;
+  Next();
+  return Rng(child_seed);
+}
+
+}  // namespace equihist

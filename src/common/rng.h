@@ -1,0 +1,60 @@
+#ifndef EQUIHIST_COMMON_RNG_H_
+#define EQUIHIST_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace equihist {
+
+// Fast, reproducible pseudo-random number generator (xoshiro256++ by
+// Blackman & Vigna). Used throughout the library instead of std::mt19937_64:
+// it is ~2x faster, has a tiny state, and — unlike the standard library
+// distributions — all derived quantities (uniform ints, doubles) are
+// bit-reproducible across platforms and standard library versions, which the
+// test suite and the experiment harnesses rely on.
+//
+// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
+// be plugged into <random> distributions where exact reproducibility does
+// not matter.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four 64-bit words of state from `seed` using splitmix64, as
+  // recommended by the xoshiro authors. Any seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Next raw 64 random bits.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  // Uniform integer in [0, bound). Precondition: bound > 0.
+  // Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Returns a new generator whose stream is independent of this one
+  // (derived by jumping the state); handy for deterministic parallel or
+  // per-component sub-streams.
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_RNG_H_

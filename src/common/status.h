@@ -1,0 +1,96 @@
+#ifndef EQUIHIST_COMMON_STATUS_H_
+#define EQUIHIST_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace equihist {
+
+// Error categories used across the library. The set is deliberately small:
+// this is an algorithms library, so most failures are caller errors.
+enum class StatusCode {
+  kOk = 0,
+  // A caller-supplied argument violates a documented precondition
+  // (e.g. k <= 0, f outside (0, 1], sample larger than population).
+  kInvalidArgument = 1,
+  // The operation is valid but the inputs cannot support it
+  // (e.g. building a k-histogram over an empty value set).
+  kFailedPrecondition = 2,
+  // A resource limit was hit (e.g. an adaptive sampler exhausted the table
+  // without converging and exhaustive fallback was disabled).
+  kResourceExhausted = 3,
+  // The requested entity does not exist (e.g. page id out of range).
+  kNotFound = 4,
+  // Internal invariant violation: indicates a bug in this library.
+  kInternal = 5,
+};
+
+// Returns a stable, human-readable name such as "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap, value-semantic success/error carrier, in the style of
+// absl::Status / rocksdb::Status. The library does not throw exceptions;
+// every fallible public entry point returns Status or Result<T>.
+//
+// The OK status carries no message and allocates nothing.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller. Usable only in functions
+// returning Status.
+#define EQUIHIST_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::equihist::Status _equihist_status = (expr);      \
+    if (!_equihist_status.ok()) return _equihist_status; \
+  } while (false)
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef EQUIHIST_COMMON_STRING_UTIL_H_
+#define EQUIHIST_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace equihist {
+
+// Formatting helpers shared by examples and experiment harnesses. The
+// library core never formats anything; these exist so that every binary
+// prints tables the same way.
+
+// "1234567" -> "1,234,567".
+std::string FormatWithThousands(std::uint64_t value);
+
+// Fixed-point with `digits` decimals, e.g. FormatFixed(0.12345, 3) == "0.123".
+std::string FormatFixed(double value, int digits);
+
+// Human-readable count with K/M/G suffixes, e.g. 1'048'576 -> "1.05M".
+std::string FormatCount(double value);
+
+// Percentage with `digits` decimals: FormatPercent(0.125, 1) == "12.5%".
+std::string FormatPercent(double fraction, int digits);
+
+// Renders rows as a monospace table with a header row and column alignment.
+// All rows must have the same number of cells as `header`.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_STRING_UTIL_H_

@@ -1,0 +1,208 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <limits>
+
+namespace equihist {
+namespace {
+
+Status ValidateGamma(double gamma) {
+  if (!(gamma > 0.0 && gamma < 1.0)) {
+    return Status::InvalidArgument("gamma must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Status ValidateF(double f) {
+  if (!(f > 0.0 && f <= 1.0)) {
+    return Status::InvalidArgument("f must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ValidatePositive(std::uint64_t v, const char* name) {
+  if (v == 0) {
+    return Status::InvalidArgument(std::string(name) + " must be positive");
+  }
+  return Status::OK();
+}
+
+// ceil of a non-negative double as uint64, saturating.
+std::uint64_t CeilToU64(double x) {
+  if (x <= 0.0) return 0;
+  const double c = std::ceil(x);
+  if (c >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(c);
+}
+
+}  // namespace
+
+Result<std::uint64_t> DeviationSampleSize(std::uint64_t n, std::uint64_t k,
+                                          double f, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateF(f));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double r = 4.0 * static_cast<double>(k) *
+                   std::log(2.0 * static_cast<double>(n) / gamma) / (f * f);
+  return CeilToU64(r);
+}
+
+Result<std::uint64_t> DeviationSampleSizeAbsolute(std::uint64_t n,
+                                                  std::uint64_t k, double delta,
+                                                  double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double ideal = static_cast<double>(n) / static_cast<double>(k);
+  if (!(delta > 0.0 && delta <= ideal)) {
+    return Status::InvalidArgument("delta must be in (0, n/k]");
+  }
+  const double nd = static_cast<double>(n);
+  const double r = 4.0 * nd * nd * std::log(2.0 * nd / gamma) /
+                   (static_cast<double>(k) * delta * delta);
+  return CeilToU64(r);
+}
+
+Result<double> DeviationErrorForSampleSize(std::uint64_t n, std::uint64_t k,
+                                           std::uint64_t r, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(r, "r"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  return std::sqrt(4.0 * static_cast<double>(k) *
+                   std::log(2.0 * static_cast<double>(n) / gamma) /
+                   static_cast<double>(r));
+}
+
+Result<std::uint64_t> MaxBucketsForSampleSize(std::uint64_t n, std::uint64_t r,
+                                              double f, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(r, "r"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateF(f));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double k = static_cast<double>(r) * f * f /
+                   (4.0 * std::log(2.0 * static_cast<double>(n) / gamma));
+  if (k < 1.0) return std::uint64_t{0};
+  return static_cast<std::uint64_t>(std::floor(k));
+}
+
+Result<double> DeviationFailureProbability(std::uint64_t n, std::uint64_t k,
+                                           double f, std::uint64_t r) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(r, "r"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateF(f));
+  const double gamma =
+      2.0 * static_cast<double>(n) *
+      std::exp(-static_cast<double>(r) * f * f / (4.0 * static_cast<double>(k)));
+  return gamma > 1.0 ? 1.0 : gamma;
+}
+
+Result<std::uint64_t> DeviationSampleSizeWithoutReplacement(std::uint64_t n,
+                                                            std::uint64_t k,
+                                                            double f,
+                                                            double gamma) {
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t r_wr,
+                            DeviationSampleSize(n, k, f, gamma));
+  const double nd = static_cast<double>(n);
+  const double adjusted = static_cast<double>(r_wr) * nd /
+                          (nd - 1.0 + static_cast<double>(r_wr));
+  const std::uint64_t r_wor = CeilToU64(adjusted);
+  return r_wor > n ? n : r_wor;
+}
+
+Result<std::uint64_t> SeparationSampleSize(std::uint64_t n, std::uint64_t k,
+                                           double delta, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double ideal = static_cast<double>(n) / static_cast<double>(k);
+  if (!(delta > 0.0 && delta <= ideal)) {
+    return Status::InvalidArgument("delta must be in (0, n/k]");
+  }
+  const double nd = static_cast<double>(n);
+  const double r = 12.0 * nd * nd *
+                   std::log(2.0 * static_cast<double>(k) / gamma) /
+                   (delta * delta);
+  return CeilToU64(r);
+}
+
+Result<double> SeparationErrorForSampleSize(std::uint64_t n, std::uint64_t k,
+                                            std::uint64_t r, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(r, "r"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double nd = static_cast<double>(n);
+  return std::sqrt(12.0 * nd * nd *
+                   std::log(2.0 * static_cast<double>(k) / gamma) /
+                   static_cast<double>(r));
+}
+
+Result<std::uint64_t> CrossValidationDetectSize(std::uint64_t k, double f,
+                                                double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateF(f));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  return CeilToU64(4.0 * static_cast<double>(k) * std::log(1.0 / gamma) /
+                   (f * f));
+}
+
+Result<std::uint64_t> CrossValidationAcceptSize(std::uint64_t k, double f,
+                                                double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(k, "k"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateF(f));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  return CeilToU64(16.0 * static_cast<double>(k) *
+                   std::log(static_cast<double>(k) / gamma) / (f * f));
+}
+
+Result<std::uint64_t> SingleQuerySampleSize(std::uint64_t n, double s,
+                                            double delta, double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  const double nd = static_cast<double>(n);
+  if (!(s > 0.0 && s <= nd)) {
+    return Status::InvalidArgument("expected output s must be in (0, n]");
+  }
+  if (!(delta > 0.0 && delta <= nd)) {
+    return Status::InvalidArgument("delta must be in (0, n]");
+  }
+  const double r = 3.0 * s * nd * std::log(2.0 / gamma) / (delta * delta);
+  return CeilToU64(r);
+}
+
+Result<GmpBound> GmpTheorem6(std::uint64_t n, std::uint64_t k, double c) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  if (k < 3) return Status::InvalidArgument("Theorem 6 requires k >= 3");
+  if (c < 4.0) return Status::InvalidArgument("Theorem 6 requires c >= 4");
+  const double kd = static_cast<double>(k);
+  const double ln_k = std::log(kd);
+  GmpBound bound;
+  bound.r = CeilToU64(c * kd * ln_k * ln_k);
+  bound.f = std::pow(c * ln_k * ln_k, -1.0 / 6.0);
+  bound.gamma = std::pow(kd, 1.0 - std::sqrt(c)) +
+                std::pow(static_cast<double>(n), -1.0 / 3.0);
+  bound.min_n_theorem = (k >= (1ULL << 21))
+                            ? std::numeric_limits<std::uint64_t>::max()
+                            : k * k * k;
+  bound.min_n_example = std::pow(static_cast<double>(bound.r), 3.0);
+  return bound;
+}
+
+Result<double> DistinctValueErrorLowerBound(std::uint64_t n, std::uint64_t r,
+                                            double gamma) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(n, "n"));
+  EQUIHIST_RETURN_IF_ERROR(ValidatePositive(r, "r"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateGamma(gamma));
+  if (gamma <= std::exp(-static_cast<double>(r))) {
+    return Status::InvalidArgument("Theorem 8 requires gamma > e^{-r}");
+  }
+  return std::sqrt(static_cast<double>(n) * std::log(1.0 / gamma) /
+                   static_cast<double>(r));
+}
+
+}  // namespace equihist

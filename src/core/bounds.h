@@ -1,0 +1,122 @@
+#ifndef EQUIHIST_CORE_BOUNDS_H_
+#define EQUIHIST_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace equihist {
+
+// The paper's analytical sampling bounds (Sections 3, 4.3 and 6.1),
+// implemented as a calculator that can be solved for any of the free
+// parameters — the "multi-functionality" of Example 3. All formulas are
+// the paper's; functions validate parameter ranges and return Status on
+// misuse.
+//
+// Notation: n = table size, k = buckets, r = sample size (tuples),
+// delta = absolute max-error bound, f = delta / (n/k) the relative error,
+// gamma = failure probability.
+
+// -- Theorem 4 / Corollary 1: delta-deviation ------------------------------
+
+// Smallest r with r >= 4 k ln(2n/gamma) / f^2 (Corollary 1).
+// Requires n,k >= 1, f in (0,1], gamma in (0,1).
+Result<std::uint64_t> DeviationSampleSize(std::uint64_t n, std::uint64_t k,
+                                          double f, double gamma);
+
+// Smallest r for an absolute deviation bound delta <= n/k (Theorem 4 form:
+// r >= 4 n^2 ln(2n/gamma) / (k delta^2)).
+Result<std::uint64_t> DeviationSampleSizeAbsolute(std::uint64_t n,
+                                                  std::uint64_t k, double delta,
+                                                  double gamma);
+
+// The guaranteed relative error f = sqrt(4 k ln(2n/gamma) / r) for a given
+// sample size (Corollary 1, solved for f). May exceed 1, meaning the sample
+// is too small for any guarantee at this k.
+Result<double> DeviationErrorForSampleSize(std::uint64_t n, std::uint64_t k,
+                                           std::uint64_t r, double gamma);
+
+// The largest k supportable by a sample of size r at relative error f:
+// k <= r f^2 / (4 ln(2n/gamma)) (Example 3, "Determining Histogram Size").
+// Returns 0 if even k = 1 is not supportable.
+Result<std::uint64_t> MaxBucketsForSampleSize(std::uint64_t n, std::uint64_t r,
+                                              double f, double gamma);
+
+// The failure probability guaranteed by (n, k, f, r):
+// gamma = 2 n exp(-r f^2 / (4k)), clamped to (0, 1].
+Result<double> DeviationFailureProbability(std::uint64_t n, std::uint64_t k,
+                                           double f, std::uint64_t r);
+
+// Corollary 1 adjusted for sampling *without* replacement. The with-
+// replacement bound is already valid verbatim for without-replacement
+// sampling (Hoeffding 1963, Section 6: sums drawn without replacement are
+// more concentrated), so this is a refinement, not a correction: the
+// hypergeometric variance carries the finite-population factor
+// (n - r)/(n - 1), which shrinks the required sample to
+//   r_wor = r_wr * n / (n - 1 + r_wr),
+// capped at n. Noticeable exactly when the bound approaches the table
+// size — the regime where record-level sampling stops being attractive.
+Result<std::uint64_t> DeviationSampleSizeWithoutReplacement(std::uint64_t n,
+                                                            std::uint64_t k,
+                                                            double f,
+                                                            double gamma);
+
+// -- Theorem 5: delta-separation -------------------------------------------
+
+// Smallest r with r >= 12 n^2 ln(2k/gamma) / delta^2.
+Result<std::uint64_t> SeparationSampleSize(std::uint64_t n, std::uint64_t k,
+                                           double delta, double gamma);
+
+// The guaranteed separation delta = sqrt(12 n^2 ln(2k/gamma) / r).
+Result<double> SeparationErrorForSampleSize(std::uint64_t n, std::uint64_t k,
+                                            std::uint64_t r, double gamma);
+
+// -- Theorem 7: cross-validation sample sizes ------------------------------
+
+// Part 1: s >= 4 k ln(1/gamma) / f^2 suffices for a validation sample to
+// expose a histogram whose true deviation exceeds 2 f n / k.
+Result<std::uint64_t> CrossValidationDetectSize(std::uint64_t k, double f,
+                                                double gamma);
+
+// Part 2: s >= 16 k ln(k/gamma) / f^2 suffices for a validation sample to
+// pass a histogram whose true deviation is below f n / (2k).
+Result<std::uint64_t> CrossValidationAcceptSize(std::uint64_t k, double f,
+                                                double gamma);
+
+// -- Single-query adequacy (Piatetsky-Shapiro & Connell, Section 1.1) ------
+
+// Sample size sufficient to estimate the output size of ONE fixed range
+// query with expected output `s` within +-delta tuples with probability
+// 1-gamma, by a Chernoff bound on the binomial count:
+// r >= 3 s n ln(2/gamma) / delta^2. This is the regime of the earliest
+// sampling-for-histograms work the paper contrasts itself with
+// (Piatetsky-Shapiro & Connell: adequate "given a particular query"),
+// whereas DeviationSampleSize certifies *every* range query at once; the
+// gap between the two — a factor ~(4/3)ln(2n/gamma)/ln(2/gamma) at
+// s = n/k, delta = f n/k — is what the all-queries guarantee costs.
+Result<std::uint64_t> SingleQuerySampleSize(std::uint64_t n, double s,
+                                            double delta, double gamma);
+
+// -- Theorem 6 (Gibbons-Matias-Poosala), for comparison (Example 4) --------
+
+struct GmpBound {
+  std::uint64_t r = 0;   // required sample size c k ln^2 k
+  double f = 0.0;        // guaranteed variance-error fraction (c ln^2 k)^(-1/6)
+  double gamma = 0.0;    // failure probability k^(1-sqrt(c)) + n^(-1/3)
+  std::uint64_t min_n_theorem = 0;  // applicability: n >= k^3 (theorem statement)
+  double min_n_example = 0.0;       // n >= r^3 (Example 4's stricter reading)
+};
+
+// Evaluates Theorem 6 for parameters (n, k, c). Requires k >= 3, c >= 4.
+Result<GmpBound> GmpTheorem6(std::uint64_t n, std::uint64_t k, double c);
+
+// -- Theorem 8: distinct-value estimation lower bound ----------------------
+
+// Worst-case ratio error floor sqrt(n ln(1/gamma) / r) that *no* estimator
+// can beat with probability gamma, for gamma > e^{-r}.
+Result<double> DistinctValueErrorLowerBound(std::uint64_t n, std::uint64_t r,
+                                            double gamma);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_CORE_BOUNDS_H_

@@ -1,0 +1,226 @@
+#include "core/cvb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/bounds.h"
+#include "core/density.h"
+#include "core/error_metrics.h"
+#include "core/histogram_builder.h"
+#include "sampling/block_sampler.h"
+#include "sampling/sample.h"
+
+namespace equihist {
+namespace {
+
+Status ValidateOptions(const Table& table, const CvbOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be positive");
+  if (!(options.f > 0.0 && options.f <= 1.0)) {
+    return Status::InvalidArgument("f must be in (0, 1]");
+  }
+  if (!(options.gamma > 0.0 && options.gamma < 1.0)) {
+    return Status::InvalidArgument("gamma must be in (0, 1)");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (table.tuple_count() == 0) {
+    return Status::FailedPrecondition("cannot run CVB over an empty table");
+  }
+  return Status::OK();
+}
+
+// Extracts the validation subset of a fresh batch per the configured style:
+// either all tuples or one uniformly chosen tuple per sampled block. The
+// result is sorted.
+std::vector<Value> ValidationSubset(const std::vector<Value>& batch,
+                                    const std::vector<std::size_t>& offsets,
+                                    CvbValidationStyle style, Rng& rng) {
+  std::vector<Value> subset;
+  if (style == CvbValidationStyle::kAllTuples) {
+    subset = batch;
+  } else {
+    subset.reserve(offsets.size());
+    for (std::size_t p = 0; p < offsets.size(); ++p) {
+      const std::size_t begin = offsets[p];
+      const std::size_t end =
+          (p + 1 < offsets.size()) ? offsets[p + 1] : batch.size();
+      if (end <= begin) continue;
+      subset.push_back(batch[begin + rng.NextBounded(end - begin)]);
+    }
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+}  // namespace
+
+Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateOptions(table, options));
+
+  const std::uint64_t n = table.tuple_count();
+  const std::uint64_t b = table.tuples_per_page();
+
+  // Step 1: initial block budget — the paper's experimental 5*sqrt(n)
+  // tuples, or the conservative Theorem 4 record-level budget in blocks.
+  std::uint64_t g0 = options.initial_blocks_override;
+  if (g0 == 0) {
+    if (options.initial_budget == CvbInitialBudget::kTheorem4) {
+      EQUIHIST_ASSIGN_OR_RETURN(
+          const std::uint64_t r,
+          DeviationSampleSize(n, options.k, options.f, options.gamma));
+      g0 = (r + b - 1) / b;
+    } else {
+      g0 = PaperSqrtNInitialBatchBlocks(n, b);
+    }
+  }
+  g0 = std::clamp<std::uint64_t>(g0, 1, table.page_count());
+  EQUIHIST_ASSIGN_OR_RETURN(const StepSchedule schedule,
+                            StepSchedule::Create(options.schedule, g0));
+
+  Rng rng(options.seed);
+  IncrementalBlockSampler sampler(&table, rng.Next());
+
+  CvbResult result{
+      .histogram = Histogram::Create({}, {1}, 0, 1).value()  // placeholder
+  };
+
+  // Step 2/3: initial sample and histogram H0.
+  std::vector<Value> batch = sampler.NextBatch(g0, &result.io);
+  Sample accumulated(std::move(batch));
+  EQUIHIST_ASSIGN_OR_RETURN(
+      Histogram current, BuildHistogramFromSample(accumulated, options.k, n));
+
+  // Step 4: iterate cross-validation rounds.
+  std::vector<std::size_t> offsets;
+  std::uint64_t accumulated_blocks = result.io.pages_read;
+  double last_error = -1.0;  // < 0 until the first validation ran
+  for (std::uint64_t i = 1; i <= options.max_iterations; ++i) {
+    std::uint64_t want_blocks = schedule.BatchSize(i);
+    if (options.error_adaptive_stepping && last_error >= 0.0) {
+      const double ratio = last_error / options.f;
+      const double factor = std::clamp(ratio * ratio - 1.0, 0.25, 2.0);
+      want_blocks = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::llround(static_cast<double>(accumulated_blocks) *
+                              factor)));
+    }
+    IoStats batch_io;
+    batch = sampler.NextBatch(want_blocks, &batch_io, &offsets);
+    if (batch.empty()) {
+      // Table exhausted before convergence: the accumulated sample is the
+      // whole table, so the "approximate" histogram is in fact exact.
+      result.exhausted_table = true;
+      break;
+    }
+    result.io += batch_io;
+
+    CvbIterationLog entry;
+    entry.iteration = i;
+    entry.fresh_blocks = batch_io.pages_read;
+    entry.fresh_tuples = batch.size();
+
+    const std::vector<Value> validation =
+        ValidationSubset(batch, offsets, options.style, rng);
+
+    // Stopping statistic, normalized so the pass threshold is f itself.
+    switch (options.metric) {
+      case CvbValidationMetric::kFractionalMaxError:
+        entry.validation_error = FractionalMaxError(
+            current, accumulated.sorted_values(), validation);
+        break;
+      case CvbValidationMetric::kRelativeDeviation: {
+        const double ideal = static_cast<double>(validation.size()) /
+                             static_cast<double>(options.k);
+        const double deviation = RelativeDeviation(current, validation);
+        entry.validation_error = (ideal > 0.0) ? deviation / ideal : 0.0;
+        break;
+      }
+      case CvbValidationMetric::kClaimedDeviation: {
+        // Validation counts vs claimed counts scaled to the validation
+        // sample, in units of the ideal bucket size s/k.
+        const std::vector<std::uint64_t> val_counts =
+            current.PartitionSorted(validation);
+        const double scale = static_cast<double>(validation.size()) /
+                             static_cast<double>(current.total());
+        const double ideal = static_cast<double>(validation.size()) /
+                             static_cast<double>(options.k);
+        double worst = 0.0;
+        for (std::uint64_t j = 0; j < options.k; ++j) {
+          const double expected =
+              static_cast<double>(current.counts()[j]) * scale;
+          worst = std::max(
+              worst, std::abs(static_cast<double>(val_counts[j]) - expected));
+        }
+        entry.validation_error = (ideal > 0.0) ? worst / ideal : 0.0;
+        break;
+      }
+    }
+    entry.threshold = options.f;
+    entry.passed = entry.validation_error < options.f;
+
+    // Step 4(c): merge and rebuild regardless of the outcome — the fresh
+    // sample improves the histogram either way, and the paper's output is
+    // H_i (post-merge).
+    accumulated.Merge(std::move(batch));
+    EQUIHIST_ASSIGN_OR_RETURN(
+        current, BuildHistogramFromSample(accumulated, options.k, n));
+
+    entry.accumulated_tuples = accumulated.size();
+    result.log.push_back(entry);
+    result.iterations = i;
+    accumulated_blocks += batch_io.pages_read;
+    last_error = entry.validation_error;
+
+    if (entry.passed) {
+      result.converged = true;
+      break;
+    }
+    if (sampler.pages_remaining() == 0) {
+      result.exhausted_table = true;
+      break;
+    }
+  }
+
+  if (result.exhausted_table && !result.converged) {
+    // Fold in whatever was read; with the whole file sampled the
+    // accumulated sample equals the column and the histogram is perfect.
+    EQUIHIST_ASSIGN_OR_RETURN(
+        current, BuildHistogramFromSample(accumulated, options.k, n));
+  }
+
+  result.histogram = std::move(current);
+  result.blocks_sampled = result.io.pages_read;
+  result.tuples_sampled = result.io.tuples_read;
+  result.sampling_fraction =
+      static_cast<double>(result.tuples_sampled) / static_cast<double>(n);
+  result.sample_distinct = accumulated.DistinctCount();
+  result.density_estimate =
+      EstimateDensityFromSample(accumulated.sorted_values());
+  result.sample_profile =
+      FrequencyProfile::FromSorted(accumulated.sorted_values());
+
+  // Heavy hitters: values with sample multiplicity above one ideal sample
+  // bucket r/k, with counts scaled to the table (Section 5's compressed-
+  // histogram candidates).
+  const double sample_bucket = static_cast<double>(accumulated.size()) /
+                               static_cast<double>(options.k);
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(accumulated.size());
+  const auto& sorted = accumulated.sorted_values();
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const auto multiplicity = static_cast<double>(j - i);
+    if (multiplicity > sample_bucket) {
+      result.heavy_hitters.push_back(CompressedHistogram::Singleton{
+          sorted[i], static_cast<std::uint64_t>(
+                         std::llround(multiplicity * scale))});
+    }
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace equihist

@@ -1,0 +1,117 @@
+#include "core/histogram_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/math.h"
+
+namespace equihist {
+namespace {
+
+// Separator s_j (1-based j = 1..k-1) sits at sorted rank ceil(j*m/k) - 1.
+std::vector<Value> QuantileSeparators(std::span<const Value> sorted,
+                                      std::uint64_t k) {
+  const std::uint64_t m = sorted.size();
+  std::vector<Value> separators;
+  separators.reserve(k - 1);
+  for (std::uint64_t j = 1; j < k; ++j) {
+    // ceil(j*m/k) as integer arithmetic; clamp to [1, m].
+    std::uint64_t rank = (j * m + k - 1) / k;
+    if (rank == 0) rank = 1;
+    if (rank > m) rank = m;
+    separators.push_back(sorted[rank - 1]);
+  }
+  return separators;
+}
+
+// Scales the sample's per-bucket counts up to the population size, keeping
+// the exact total via largest-remainder rounding. With duplicate-free data
+// every sample bucket holds ~m/k values and the claimed counts come out as
+// the even n/k split; with duplicates the bucket holding a heavy value
+// keeps its true (scaled) share — which is what the estimation quality
+// metrics and the range estimator need, and what real systems persist.
+std::vector<std::uint64_t> ScaledCounts(
+    const std::vector<std::uint64_t>& sample_counts, std::uint64_t sample_size,
+    std::uint64_t total) {
+  (void)sample_size;  // the proportional shares carry the normalization
+  std::vector<double> weights;
+  weights.reserve(sample_counts.size());
+  for (std::uint64_t c : sample_counts) {
+    weights.push_back(static_cast<double>(c));
+  }
+  return ApportionProportionally(weights, total);
+}
+
+// Partitions the sorted values by the separators (same rule as
+// Histogram::PartitionSorted: a run of duplicated separators puts the
+// repeated value's mass in the run's *last*, zero-width bucket, so the
+// spike is never smeared by in-bucket interpolation).
+std::vector<std::uint64_t> SamplePartitionCounts(
+    std::span<const Value> sorted, const std::vector<Value>& separators) {
+  const std::size_t k = separators.size() + 1;
+  std::vector<std::uint64_t> counts(k, 0);
+  std::uint64_t prev = 0;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    const bool run_continues =
+        (j + 1 < separators.size()) && separators[j + 1] == separators[j];
+    const auto bound =
+        run_continues
+            ? std::lower_bound(sorted.begin(), sorted.end(), separators[j])
+            : std::upper_bound(sorted.begin(), sorted.end(), separators[j]);
+    const auto cum = static_cast<std::uint64_t>(bound - sorted.begin());
+    counts[j] = cum - prev;
+    prev = cum;
+  }
+  counts[k - 1] = sorted.size() - prev;
+  return counts;
+}
+
+Status ValidateInputs(std::uint64_t m, std::uint64_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be at least 1");
+  if (m == 0) {
+    return Status::FailedPrecondition(
+        "cannot build a histogram over an empty value set");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Histogram> BuildPerfectHistogram(const ValueSet& population,
+                                        std::uint64_t k) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateInputs(population.size(), k));
+  std::span<const Value> sorted = population.sorted_values();
+  std::vector<Value> separators = QuantileSeparators(sorted, k);
+
+  // True counts per bucket, under the run-aware partition rule.
+  std::vector<std::uint64_t> counts = SamplePartitionCounts(sorted, separators);
+
+  return Histogram::Create(std::move(separators), std::move(counts),
+                           population.min() - 1, population.max());
+}
+
+Result<Histogram> BuildHistogramFromSample(std::span<const Value> sorted_sample,
+                                           std::uint64_t k,
+                                           std::uint64_t population_size) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateInputs(sorted_sample.size(), k));
+  if (population_size == 0) {
+    return Status::InvalidArgument("population_size must be positive");
+  }
+  std::vector<Value> separators = QuantileSeparators(sorted_sample, k);
+  std::vector<std::uint64_t> claimed = ScaledCounts(
+      SamplePartitionCounts(sorted_sample, separators), sorted_sample.size(),
+      population_size);
+  return Histogram::Create(std::move(separators), std::move(claimed),
+                           sorted_sample.front() - 1, sorted_sample.back());
+}
+
+Result<Histogram> BuildHistogramFromSample(const Sample& sample,
+                                           std::uint64_t k,
+                                           std::uint64_t population_size) {
+  return BuildHistogramFromSample(
+      std::span<const Value>(sample.sorted_values()), k, population_size);
+}
+
+}  // namespace equihist

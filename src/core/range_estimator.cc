@@ -1,0 +1,117 @@
+#include "core/range_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace equihist {
+
+double EstimateRangeCount(const Histogram& histogram,
+                          const RangeQuery& query) {
+  // Clamp to the histogram's known domain; nothing lives outside the fences.
+  const Value lo = std::max(query.lo, histogram.lower_fence());
+  const Value hi = std::min(query.hi, histogram.upper_fence());
+  if (hi <= lo) return 0.0;
+
+  const std::uint64_t k = histogram.bucket_count();
+  // Buckets that can intersect (lo, hi]: from the first bucket whose upper
+  // boundary reaches past lo, through the last bucket whose (exclusive)
+  // lower boundary is still <= hi. The upper_bound form matters for
+  // duplicated separators: a zero-width spike bucket (v, v] with v == hi
+  // must be visited.
+  const auto& seps = histogram.separators();
+  // First bucket whose upper boundary reaches past lo. (Deliberately NOT
+  // BucketIndexForValue: that maps a duplicated-separator value to its
+  // run's last bucket, but the earlier buckets of the run — and the light
+  // bucket before it — can still intersect the range.)
+  const std::uint64_t first = static_cast<std::uint64_t>(
+      std::lower_bound(seps.begin(), seps.end(), lo + 1) - seps.begin());
+  const std::uint64_t last = static_cast<std::uint64_t>(
+      std::upper_bound(seps.begin(), seps.end(), hi) - seps.begin());
+
+  KahanSum estimate;
+  for (std::uint64_t j = first; j <= last && j < k; ++j) {
+    const Value bucket_lo = histogram.BucketLowerBound(j);
+    const Value bucket_hi = histogram.BucketUpperBound(j);
+    const double count = static_cast<double>(histogram.counts()[j]);
+    if (bucket_hi <= bucket_lo) {
+      // Zero-width bucket: a single (repeated) value at bucket_hi.
+      if (lo < bucket_hi && bucket_hi <= hi) estimate.Add(count);
+      continue;
+    }
+    const Value cover_lo = std::max(lo, bucket_lo);
+    const Value cover_hi = std::min(hi, bucket_hi);
+    if (cover_hi <= cover_lo) continue;
+    const double fraction = static_cast<double>(cover_hi - cover_lo) /
+                            static_cast<double>(bucket_hi - bucket_lo);
+    estimate.Add(count * fraction);
+  }
+  return estimate.Value();
+}
+
+double EstimateRangeSelectivity(const Histogram& histogram,
+                                const RangeQuery& query) {
+  const double total = static_cast<double>(histogram.total());
+  if (total == 0.0) return 0.0;
+  return EstimateRangeCount(histogram, query) / total;
+}
+
+double PerfectHistogramAbsoluteErrorBound(std::uint64_t n, std::uint64_t k) {
+  return 2.0 * static_cast<double>(n) / static_cast<double>(k);
+}
+
+double MaxErrorHistogramAbsoluteErrorBound(std::uint64_t n, std::uint64_t k,
+                                           double f) {
+  return (1.0 + f) * PerfectHistogramAbsoluteErrorBound(n, k);
+}
+
+double AvgErrorHistogramAbsoluteErrorFloor(std::uint64_t n, std::uint64_t k,
+                                           double f) {
+  return (1.0 + f * static_cast<double>(k) / 4.0) *
+         PerfectHistogramAbsoluteErrorBound(n, k);
+}
+
+double VarErrorHistogramAbsoluteErrorFloor(std::uint64_t n, std::uint64_t k,
+                                           double f, double t) {
+  return (1.0 + f * std::sqrt(static_cast<double>(k) * t / 8.0)) *
+         PerfectHistogramAbsoluteErrorBound(n, k);
+}
+
+Result<RangeWorkloadReport> EvaluateRangeWorkload(
+    const Histogram& histogram, std::span<const RangeQuery> queries,
+    const ValueSet& truth) {
+  if (truth.empty()) {
+    return Status::InvalidArgument("truth value set must be non-empty");
+  }
+  RangeWorkloadReport report;
+  report.query_count = queries.size();
+  KahanSum abs_sum;
+  KahanSum rel_sum;
+  for (const RangeQuery& query : queries) {
+    const double estimate = EstimateRangeCount(histogram, query);
+    const auto actual =
+        static_cast<double>(truth.CountInRange(query.lo, query.hi));
+    const double abs_error = std::abs(estimate - actual);
+    abs_sum.Add(abs_error);
+    report.max_absolute_error = std::max(report.max_absolute_error, abs_error);
+    if (actual > 0.0) {
+      const double rel_error = abs_error / actual;
+      rel_sum.Add(rel_error);
+      report.max_relative_error =
+          std::max(report.max_relative_error, rel_error);
+      ++report.relative_query_count;
+    }
+  }
+  if (report.query_count > 0) {
+    report.mean_absolute_error =
+        abs_sum.Value() / static_cast<double>(report.query_count);
+  }
+  if (report.relative_query_count > 0) {
+    report.mean_relative_error =
+        rel_sum.Value() / static_cast<double>(report.relative_query_count);
+  }
+  return report;
+}
+
+}  // namespace equihist

@@ -1,0 +1,165 @@
+#include "data/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/math.h"
+
+namespace equihist {
+
+FrequencyVector::FrequencyVector(std::vector<FrequencyEntry> entries)
+    : entries_(std::move(entries)) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    assert(entries_[i].count > 0);
+    assert(i == 0 || entries_[i - 1].value < entries_[i].value);
+    total_count_ += entries_[i].count;
+  }
+}
+
+namespace {
+
+// Rounds fractional shares `weights` (arbitrary positive scale) to integer
+// counts summing exactly to n, using largest-remainder apportionment.
+std::vector<std::uint64_t> ApportionCounts(const std::vector<double>& weights,
+                                           std::uint64_t n) {
+  return ApportionProportionally(weights, n);
+}
+
+// Builds the FrequencyVector from rank-ordered counts. `placement` decides
+// which domain position receives which rank's count.
+FrequencyVector PlaceCounts(std::vector<std::uint64_t> rank_counts,
+                            Value value_stride, FrequencyPlacement placement,
+                            std::uint64_t seed) {
+  const std::size_t d = rank_counts.size();
+  std::vector<std::uint64_t> position_counts(d);
+  if (placement == FrequencyPlacement::kDecreasing) {
+    position_counts = std::move(rank_counts);
+  } else {
+    // Random bijection rank -> domain position.
+    std::vector<std::uint32_t> perm(d);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (std::size_t i = d; i > 1; --i) {
+      const std::uint64_t j = rng.NextBounded(i);
+      std::swap(perm[i - 1], perm[j]);
+    }
+    for (std::size_t rank = 0; rank < d; ++rank) {
+      position_counts[perm[rank]] = rank_counts[rank];
+    }
+  }
+
+  std::vector<FrequencyEntry> entries;
+  entries.reserve(d);
+  for (std::size_t pos = 0; pos < d; ++pos) {
+    if (position_counts[pos] == 0) continue;
+    entries.push_back(FrequencyEntry{
+        static_cast<Value>(pos + 1) * value_stride, position_counts[pos]});
+  }
+  return FrequencyVector(std::move(entries));
+}
+
+Status ValidateCommon(std::uint64_t n, std::uint64_t domain_size,
+                      Value value_stride) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  if (domain_size == 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  if (value_stride <= 0) {
+    return Status::InvalidArgument("value_stride must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FrequencyVector> MakeZipf(const ZipfSpec& spec) {
+  EQUIHIST_RETURN_IF_ERROR(
+      ValidateCommon(spec.n, spec.domain_size, spec.value_stride));
+  if (spec.skew < 0.0) {
+    return Status::InvalidArgument("Zipf skew must be non-negative");
+  }
+  std::vector<double> weights(spec.domain_size);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -spec.skew);
+  }
+  return PlaceCounts(ApportionCounts(weights, spec.n), spec.value_stride,
+                     spec.placement, spec.seed);
+}
+
+Result<FrequencyVector> MakeAllDistinct(std::uint64_t n, Value value_stride) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateCommon(n, n, value_stride));
+  std::vector<FrequencyEntry> entries;
+  entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    entries.push_back(
+        FrequencyEntry{static_cast<Value>(i + 1) * value_stride, 1});
+  }
+  return FrequencyVector(std::move(entries));
+}
+
+Result<FrequencyVector> MakeUniformDup(std::uint64_t n, std::uint64_t distinct,
+                                       Value value_stride) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateCommon(n, distinct, value_stride));
+  if (n % distinct != 0) {
+    return Status::InvalidArgument(
+        "Unif/Dup requires distinct to divide n exactly");
+  }
+  const std::uint64_t multiplicity = n / distinct;
+  std::vector<FrequencyEntry> entries;
+  entries.reserve(distinct);
+  for (std::uint64_t i = 0; i < distinct; ++i) {
+    entries.push_back(FrequencyEntry{
+        static_cast<Value>(i + 1) * value_stride, multiplicity});
+  }
+  return FrequencyVector(std::move(entries));
+}
+
+Result<FrequencyVector> MakeConstant(std::uint64_t n, Value value) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  return FrequencyVector({FrequencyEntry{value, n}});
+}
+
+Result<FrequencyVector> MakeSelfSimilar(const SelfSimilarSpec& spec) {
+  EQUIHIST_RETURN_IF_ERROR(
+      ValidateCommon(spec.n, spec.domain_size, spec.value_stride));
+  if (spec.h <= 0.5 || spec.h >= 1.0) {
+    return Status::InvalidArgument("self-similar h must be in (0.5, 1)");
+  }
+  // Weight of position i follows the recursive 80-20 split: interpreting the
+  // bits of i, each 0-bit multiplies by h, each 1-bit by (1-h), over
+  // ceil(log2(D)) levels.
+  int levels = 0;
+  while ((1ULL << levels) < spec.domain_size) ++levels;
+  std::vector<double> weights(spec.domain_size);
+  for (std::uint64_t i = 0; i < spec.domain_size; ++i) {
+    double w = 1.0;
+    for (int b = levels - 1; b >= 0; --b) {
+      w *= ((i >> b) & 1ULL) ? (1.0 - spec.h) : spec.h;
+    }
+    weights[i] = w;
+  }
+  return PlaceCounts(ApportionCounts(weights, spec.n), spec.value_stride,
+                     FrequencyPlacement::kDecreasing, /*seed=*/0);
+}
+
+Result<FrequencyVector> MakeNormal(const NormalSpec& spec) {
+  EQUIHIST_RETURN_IF_ERROR(
+      ValidateCommon(spec.n, spec.domain_size, spec.value_stride));
+  if (spec.sigma_fraction <= 0.0) {
+    return Status::InvalidArgument("sigma_fraction must be positive");
+  }
+  const double mu = (static_cast<double>(spec.domain_size) - 1.0) / 2.0;
+  const double sigma =
+      spec.sigma_fraction * static_cast<double>(spec.domain_size);
+  std::vector<double> weights(spec.domain_size);
+  for (std::uint64_t i = 0; i < spec.domain_size; ++i) {
+    const double z = (static_cast<double>(i) - mu) / sigma;
+    weights[i] = std::exp(-0.5 * z * z);
+  }
+  return PlaceCounts(ApportionCounts(weights, spec.n), spec.value_stride,
+                     FrequencyPlacement::kDecreasing, /*seed=*/0);
+}
+
+}  // namespace equihist

@@ -1,0 +1,121 @@
+#ifndef EQUIHIST_DATA_DISTRIBUTION_H_
+#define EQUIHIST_DATA_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace equihist {
+
+// The attribute type under study. The paper's experiments use an integer
+// column (600 histogram bins fit one SQL Server page for integers); a
+// totally ordered 64-bit domain captures everything the algorithms need.
+using Value = std::int64_t;
+
+// One distinct value and its multiplicity in a column.
+struct FrequencyEntry {
+  Value value = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const FrequencyEntry&, const FrequencyEntry&) =
+      default;
+};
+
+// A column described as (distinct value, multiplicity) pairs, sorted by
+// value ascending. This is the compact intermediate form produced by the
+// synthetic data distributions of Section 7.1; MaterializeColumn() in
+// generator.h expands it into per-tuple values.
+class FrequencyVector {
+ public:
+  FrequencyVector() = default;
+
+  // Takes entries sorted by value with strictly increasing values and
+  // positive counts; verified in debug builds.
+  explicit FrequencyVector(std::vector<FrequencyEntry> entries);
+
+  const std::vector<FrequencyEntry>& entries() const { return entries_; }
+  std::uint64_t total_count() const { return total_count_; }
+  std::uint64_t distinct_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<FrequencyEntry> entries_;
+  std::uint64_t total_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Distribution specs. Each Make* function deterministically derives a
+// FrequencyVector with (approximately) `n` total tuples. All functions
+// validate their arguments and return Status on misuse.
+// ---------------------------------------------------------------------------
+
+// How frequencies are assigned to points of the ordered value domain.
+enum class FrequencyPlacement {
+  // Highest multiplicity at the smallest value, descending: the classical
+  // textbook picture of a Zipf column.
+  kDecreasing,
+  // Frequencies assigned to domain values by a seeded random permutation.
+  // This is the realistic case (value magnitude uncorrelated with
+  // popularity) and the default for experiments.
+  kShuffled,
+};
+
+struct ZipfSpec {
+  std::uint64_t n = 0;           // target number of tuples
+  std::uint64_t domain_size = 0; // number of candidate distinct values D
+  double skew = 1.0;             // the paper's Z; 0 = uniform, 4 = extreme
+  Value value_stride = 1;        // spacing between adjacent domain values
+  FrequencyPlacement placement = FrequencyPlacement::kShuffled;
+  std::uint64_t seed = 42;       // permutation seed for kShuffled
+};
+
+// Zipf(Z) frequencies: count_i proportional to 1/i^Z over i = 1..D,
+// rounded to integers summing exactly to n (largest-remainder rounding);
+// zero-count values are dropped. Z = 0 degenerates to uniform-with-
+// duplicates over D values. Matches the generator of Section 7.1.
+Result<FrequencyVector> MakeZipf(const ZipfSpec& spec);
+
+// All n values distinct (each multiplicity 1): the duplicate-free setting
+// of Sections 2-3. Values are 1..n scaled by value_stride.
+Result<FrequencyVector> MakeAllDistinct(std::uint64_t n, Value value_stride = 1);
+
+// The paper's "Unif/Dup" distribution: exactly `distinct` values, each
+// occurring exactly n / distinct times. Requires distinct to divide n.
+// (Figure 10/12 uses n = 10M, distinct = 100,000, multiplicity 100.)
+Result<FrequencyVector> MakeUniformDup(std::uint64_t n, std::uint64_t distinct,
+                                       Value value_stride = 1);
+
+// Every tuple carries the same single value: the degenerate fully-correlated
+// column used in failure-injection tests and the block-correlation
+// discussion of Section 4.1 (scenario b).
+Result<FrequencyVector> MakeConstant(std::uint64_t n, Value value = 1);
+
+// Self-similar (80-20 style) distribution with parameter h in (0.5, 1):
+// the first half of the domain receives fraction h of the tuples,
+// recursively. A common skewed alternative used for extra coverage beyond
+// the paper's Zipf data.
+struct SelfSimilarSpec {
+  std::uint64_t n = 0;
+  std::uint64_t domain_size = 0;
+  double h = 0.8;
+  Value value_stride = 1;
+};
+Result<FrequencyVector> MakeSelfSimilar(const SelfSimilarSpec& spec);
+
+// Discretized normal over `domain_size` values centred mid-domain with the
+// given coefficient sigma (as a fraction of the domain width). Extra
+// coverage distribution.
+struct NormalSpec {
+  std::uint64_t n = 0;
+  std::uint64_t domain_size = 0;
+  double sigma_fraction = 0.15;
+  Value value_stride = 1;
+};
+Result<FrequencyVector> MakeNormal(const NormalSpec& spec);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_DATA_DISTRIBUTION_H_

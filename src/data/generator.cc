@@ -1,0 +1,29 @@
+#include "data/generator.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace equihist {
+
+std::vector<Value> ExpandSorted(const FrequencyVector& frequencies) {
+  std::vector<Value> values;
+  values.reserve(frequencies.total_count());
+  for (const FrequencyEntry& entry : frequencies.entries()) {
+    values.insert(values.end(), entry.count, entry.value);
+  }
+  return values;
+}
+
+std::vector<Value> ExpandShuffled(const FrequencyVector& frequencies,
+                                  std::uint64_t seed) {
+  std::vector<Value> values = ExpandSorted(frequencies);
+  Rng rng(seed);
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::uint64_t j = rng.NextBounded(i);
+    std::swap(values[i - 1], values[j]);
+  }
+  return values;
+}
+
+}  // namespace equihist

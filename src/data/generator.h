@@ -1,0 +1,23 @@
+#ifndef EQUIHIST_DATA_GENERATOR_H_
+#define EQUIHIST_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/distribution.h"
+
+namespace equihist {
+
+// Expands a frequency vector into one value per tuple, in ascending value
+// order (duplicates adjacent). Storage-layer layout policies reorder this
+// expansion into the on-disk tuple order; see storage/layout.h.
+std::vector<Value> ExpandSorted(const FrequencyVector& frequencies);
+
+// Expands and uniformly shuffles: the tuple order of a column inserted in
+// random order. Deterministic in `seed`.
+std::vector<Value> ExpandShuffled(const FrequencyVector& frequencies,
+                                  std::uint64_t seed);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_DATA_GENERATOR_H_

@@ -1,0 +1,51 @@
+#include "data/value_set.h"
+
+#include <algorithm>
+
+namespace equihist {
+
+ValueSet::ValueSet(std::vector<Value> values) : values_(std::move(values)) {
+  if (!std::is_sorted(values_.begin(), values_.end())) {
+    std::sort(values_.begin(), values_.end());
+  }
+}
+
+ValueSet ValueSet::FromFrequencies(const FrequencyVector& frequencies) {
+  std::vector<Value> values;
+  values.reserve(frequencies.total_count());
+  for (const FrequencyEntry& entry : frequencies.entries()) {
+    values.insert(values.end(), entry.count, entry.value);
+  }
+  ValueSet set;
+  set.values_ = std::move(values);  // already sorted by construction
+  return set;
+}
+
+std::uint64_t ValueSet::CountLessEqual(Value x) const {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(values_.begin(), values_.end(), x) - values_.begin());
+}
+
+std::uint64_t ValueSet::CountLess(Value x) const {
+  return static_cast<std::uint64_t>(
+      std::lower_bound(values_.begin(), values_.end(), x) - values_.begin());
+}
+
+std::uint64_t ValueSet::CountInRange(Value lo, Value hi) const {
+  if (hi <= lo) return 0;
+  return CountLessEqual(hi) - CountLessEqual(lo);
+}
+
+std::uint64_t ValueSet::DistinctCount() const {
+  if (!distinct_cached_) {
+    std::uint64_t distinct = 0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (i == 0 || values_[i] != values_[i - 1]) ++distinct;
+    }
+    cached_distinct_ = distinct;
+    distinct_cached_ = true;
+  }
+  return cached_distinct_;
+}
+
+}  // namespace equihist

@@ -1,0 +1,56 @@
+#ifndef EQUIHIST_DATA_VALUE_SET_H_
+#define EQUIHIST_DATA_VALUE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/distribution.h"
+
+namespace equihist {
+
+// The paper's value set V: the multiset of attribute values of all n tuples,
+// held sorted. ValueSet is the ground-truth oracle of the library — perfect
+// histograms, true range-query counts, true distinct counts and true error
+// metrics are all computed against it. O(n) memory, O(log n) rank queries.
+class ValueSet {
+ public:
+  ValueSet() = default;
+
+  // Takes ownership of `values`; sorts them if not already sorted.
+  explicit ValueSet(std::vector<Value> values);
+
+  // Builds directly from a frequency vector (avoids a sort).
+  static ValueSet FromFrequencies(const FrequencyVector& frequencies);
+
+  std::uint64_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // The i-th smallest value, 0-based. Precondition: rank < size().
+  Value ValueAtRank(std::uint64_t rank) const { return values_[rank]; }
+
+  // Number of values v with v <= x / v < x.
+  std::uint64_t CountLessEqual(Value x) const;
+  std::uint64_t CountLess(Value x) const;
+
+  // Number of values v with lo < v <= hi — the half-open range semantics
+  // used by histogram buckets (s_{j-1} < v <= s_j). Returns 0 if hi <= lo.
+  std::uint64_t CountInRange(Value lo, Value hi) const;
+
+  // Exact number of distinct values (the paper's d). Computed lazily once.
+  std::uint64_t DistinctCount() const;
+
+  Value min() const { return values_.front(); }
+  Value max() const { return values_.back(); }
+
+  // The underlying sorted values (ascending).
+  const std::vector<Value>& sorted_values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+  mutable std::uint64_t cached_distinct_ = 0;
+  mutable bool distinct_cached_ = false;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_DATA_VALUE_SET_H_

@@ -1,0 +1,66 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace equihist {
+
+RangeWorkloadGenerator::RangeWorkloadGenerator(const ValueSet* data,
+                                               std::uint64_t seed)
+    : data_(data), rng_(seed) {
+  assert(data_ != nullptr);
+  assert(!data_->empty());
+}
+
+std::vector<RangeQuery> RangeWorkloadGenerator::UniformRanges(
+    std::size_t count) {
+  // Pad the domain by one stride on each side so queries can under- and
+  // over-shoot the data.
+  const Value lo_bound = data_->min() - 1;
+  const Value hi_bound = data_->max() + 1;
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Value a = rng_.NextInRange(lo_bound, hi_bound);
+    Value b = rng_.NextInRange(lo_bound, hi_bound);
+    if (a > b) std::swap(a, b);
+    if (a == b) b = b + 1;
+    queries.push_back(RangeQuery{a, b});
+  }
+  return queries;
+}
+
+Result<std::vector<RangeQuery>> RangeWorkloadGenerator::FixedSelectivityRanges(
+    std::size_t count, std::uint64_t target_output) {
+  const std::uint64_t n = data_->size();
+  if (target_output == 0 || target_output > n) {
+    return Status::InvalidArgument(
+        "target_output must be in [1, n] for fixed-selectivity ranges");
+  }
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Window of `target_output` consecutive ranks [start, start + target).
+    const std::uint64_t start = rng_.NextBounded(n - target_output + 1);
+    // lo: just below the first selected value; hi: the last selected value.
+    const Value lo = (start == 0) ? data_->min() - 1
+                                  : data_->ValueAtRank(start - 1);
+    const Value hi = data_->ValueAtRank(start + target_output - 1);
+    queries.push_back(RangeQuery{lo, hi});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> RangeWorkloadGenerator::PrefixRanges(
+    std::size_t count) {
+  const Value lo = data_->min() - 1;
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Value hi = data_->ValueAtRank(rng_.NextBounded(data_->size()));
+    queries.push_back(RangeQuery{lo, hi});
+  }
+  return queries;
+}
+
+}  // namespace equihist

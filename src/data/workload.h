@@ -1,0 +1,54 @@
+#ifndef EQUIHIST_DATA_WORKLOAD_H_
+#define EQUIHIST_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+
+namespace equihist {
+
+// A range predicate "lo < X <= hi" over the attribute domain. The half-open
+// convention matches the histogram bucket definition (s_{j-1} < v <= s_j),
+// so a query whose endpoints coincide with separators selects whole buckets
+// exactly.
+struct RangeQuery {
+  Value lo = 0;
+  Value hi = 0;
+
+  friend bool operator==(const RangeQuery&, const RangeQuery&) = default;
+};
+
+// Generators for the range-query workloads used in the Theorem 1/3
+// experiments (bench_range_error) and in the selectivity example. All are
+// deterministic in their seed.
+class RangeWorkloadGenerator {
+ public:
+  // Queries are generated against this ground-truth value set; the set must
+  // outlive the generator.
+  RangeWorkloadGenerator(const ValueSet* data, std::uint64_t seed);
+
+  // `count` queries with endpoints uniform over the (slightly padded) value
+  // domain, lo < hi. Output sizes vary freely.
+  std::vector<RangeQuery> UniformRanges(std::size_t count);
+
+  // `count` queries each selecting (approximately) `target_output` tuples:
+  // the paper's "output size s = t*n/k" setting. Endpoints are placed at
+  // rank boundaries, so with duplicate-free data the output size is exact.
+  Result<std::vector<RangeQuery>> FixedSelectivityRanges(
+      std::size_t count, std::uint64_t target_output);
+
+  // `count` one-sided queries "X <= hi" (lo pinned below the domain),
+  // exercising prefix estimation.
+  std::vector<RangeQuery> PrefixRanges(std::size_t count);
+
+ private:
+  const ValueSet* data_;
+  Rng rng_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_DATA_WORKLOAD_H_

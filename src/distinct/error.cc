@@ -1,0 +1,32 @@
+#include "distinct/error.h"
+
+#include <cmath>
+
+namespace equihist {
+
+Result<double> RatioError(double estimate, std::uint64_t true_distinct) {
+  if (true_distinct == 0) {
+    return Status::InvalidArgument("true distinct count must be positive");
+  }
+  if (estimate <= 0.0) {
+    return Status::InvalidArgument("estimate must be positive");
+  }
+  const double d = static_cast<double>(true_distinct);
+  return estimate >= d ? estimate / d : d / estimate;
+}
+
+Result<double> RelError(double estimate, std::uint64_t true_distinct,
+                        std::uint64_t n) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  return (static_cast<double>(true_distinct) - estimate) /
+         static_cast<double>(n);
+}
+
+Result<double> AbsRelError(double estimate, std::uint64_t true_distinct,
+                           std::uint64_t n) {
+  EQUIHIST_ASSIGN_OR_RETURN(const double rel,
+                            RelError(estimate, true_distinct, n));
+  return std::abs(rel);
+}
+
+}  // namespace equihist

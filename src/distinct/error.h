@@ -1,0 +1,29 @@
+#ifndef EQUIHIST_DISTINCT_ERROR_H_
+#define EQUIHIST_DISTINCT_ERROR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace equihist {
+
+// Error metrics for distinct-value estimates (Section 6).
+
+// The classical ratio error of Definition 5: max(e/d, d/e), always >= 1.
+// Theorem 8 lower-bounds the worst case of this metric. Requires d, e > 0.
+Result<double> RatioError(double estimate, std::uint64_t true_distinct);
+
+// The paper's proposed weaker metric rel-error(e) = (d - e) / n: the
+// estimation error relative to the table size, which *can* be estimated
+// reliably and still tells an optimizer whether d << n. Signed; positive
+// means under-estimation.
+Result<double> RelError(double estimate, std::uint64_t true_distinct,
+                        std::uint64_t n);
+
+// |d - e| / n, the magnitude form used in Figures 11/12.
+Result<double> AbsRelError(double estimate, std::uint64_t true_distinct,
+                           std::uint64_t n);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_DISTINCT_ERROR_H_

@@ -1,0 +1,37 @@
+#include "distinct/frequency_profile.h"
+
+#include <algorithm>
+
+namespace equihist {
+
+FrequencyProfile FrequencyProfile::FromSorted(
+    std::span<const Value> sorted_sample) {
+  FrequencyProfile profile;
+  profile.sample_size_ = sorted_sample.size();
+  for (std::size_t i = 0; i < sorted_sample.size();) {
+    std::size_t j = i;
+    while (j < sorted_sample.size() && sorted_sample[j] == sorted_sample[i]) {
+      ++j;
+    }
+    const std::uint64_t multiplicity = j - i;
+    if (multiplicity >= profile.counts_.size()) {
+      profile.counts_.resize(multiplicity + 1, 0);
+    }
+    ++profile.counts_[multiplicity];
+    ++profile.distinct_;
+    i = j;
+  }
+  return profile;
+}
+
+FrequencyProfile FrequencyProfile::FromUnsorted(std::vector<Value> sample) {
+  std::sort(sample.begin(), sample.end());
+  return FromSorted(sample);
+}
+
+std::uint64_t FrequencyProfile::f(std::uint64_t j) const {
+  if (j == 0 || j >= counts_.size()) return 0;
+  return counts_[j];
+}
+
+}  // namespace equihist

@@ -1,0 +1,77 @@
+#include "query/planner.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/range_estimator.h"
+#include "storage/scan.h"
+
+namespace equihist {
+
+std::string_view AccessPathToString(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "full-scan";
+    case AccessPath::kIndexRangeScan:
+      return "index-range-scan";
+  }
+  return "unknown";
+}
+
+double YaoPagesTouched(std::uint64_t pages, std::uint32_t tuples_per_page,
+                       double matches) {
+  if (pages == 0 || tuples_per_page == 0 || matches <= 0.0) return 0.0;
+  const double n = static_cast<double>(pages) *
+                   static_cast<double>(tuples_per_page);
+  const double m = std::min(matches, n);
+  // Yao's approximation: P * (1 - (1 - m/n)^b). Exact for Bernoulli
+  // placement; within a fraction of a page of the hypergeometric form for
+  // the sizes a cost model cares about.
+  const double miss = std::pow(1.0 - m / n,
+                               static_cast<double>(tuples_per_page));
+  return static_cast<double>(pages) * (1.0 - miss);
+}
+
+PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
+                            const RangeQuery& query,
+                            std::uint64_t table_pages,
+                            std::uint32_t tuples_per_page,
+                            std::uint32_t index_entries_per_leaf,
+                            const CostModel& cost_model) {
+  PlanChoice choice;
+  choice.estimated_rows = stats.EstimateRangeCount(query);
+  choice.full_scan_cost =
+      static_cast<double>(table_pages) * cost_model.sequential_page_cost;
+  const double leaf_cost =
+      std::ceil(choice.estimated_rows /
+                static_cast<double>(index_entries_per_leaf));
+  choice.index_scan_cost =
+      (leaf_cost +
+       YaoPagesTouched(table_pages, tuples_per_page, choice.estimated_rows)) *
+      cost_model.random_page_cost;
+  choice.path = (choice.index_scan_cost < choice.full_scan_cost)
+                    ? AccessPath::kIndexRangeScan
+                    : AccessPath::kFullScan;
+  return choice;
+}
+
+ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
+                            const RangeQuery& query, AccessPath path) {
+  ExecutionResult result;
+  result.path = path;
+  if (path == AccessPath::kIndexRangeScan) {
+    result.rows = index.RangeScan(table, query, &result.io);
+    return result;
+  }
+  // Full scan: every page, count matches.
+  for (std::uint64_t page_id = 0; page_id < table.page_count(); ++page_id) {
+    Result<const Page*> page = table.file().ReadPage(page_id, &result.io);
+    assert(page.ok());
+    for (Value v : (*page)->values()) {
+      if (query.lo < v && v <= query.hi) ++result.rows;
+    }
+  }
+  return result;
+}
+
+}  // namespace equihist

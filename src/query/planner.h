@@ -1,0 +1,76 @@
+#ifndef EQUIHIST_QUERY_PLANNER_H_
+#define EQUIHIST_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/workload.h"
+#include "query/index.h"
+#include "stats/column_statistics.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// The decision the paper's statistics exist to inform: full scan or index
+// range scan? ("The ability of an optimizer to make a good decision is
+// critically influenced by the availability of statistical information" —
+// Section 1.) The planner costs both access paths from ColumnStatistics
+// and a classical I/O model; the executor then runs the chosen plan and
+// reports the true I/O, so statistics quality translates directly into
+// measured plan quality (bench_plan_quality).
+
+enum class AccessPath {
+  kFullScan,
+  kIndexRangeScan,
+};
+
+std::string_view AccessPathToString(AccessPath path);
+
+struct PlanChoice {
+  AccessPath path = AccessPath::kFullScan;
+  double estimated_rows = 0.0;
+  double full_scan_cost = 0.0;   // weighted page cost
+  double index_scan_cost = 0.0;  // weighted page cost
+};
+
+// I/O cost weights. A full scan reads pages sequentially; index fetches
+// are random reads, classically weighted ~4x (PostgreSQL's
+// random_page_cost default).
+struct CostModel {
+  double sequential_page_cost = 1.0;
+  double random_page_cost = 4.0;
+};
+
+// Yao's formula: expected number of distinct pages touched when `matches`
+// tuples are drawn (without replacement) from a table of `pages` pages
+// holding `tuples_per_page` tuples each. The classical cost-model
+// ingredient for unclustered index scans.
+double YaoPagesTouched(std::uint64_t pages, std::uint32_t tuples_per_page,
+                       double matches);
+
+// Costs both access paths for "lo < X <= hi" and picks the cheaper one.
+// The index cost is (leaves(matches) + Yao(pages, b, matches)) at the
+// random-read rate; the full scan cost is the page count at the
+// sequential rate.
+PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
+                            const RangeQuery& query,
+                            std::uint64_t table_pages,
+                            std::uint32_t tuples_per_page,
+                            std::uint32_t index_entries_per_leaf = 512,
+                            const CostModel& cost_model = CostModel{});
+
+struct ExecutionResult {
+  AccessPath path = AccessPath::kFullScan;
+  std::uint64_t rows = 0;
+  IoStats io{};
+};
+
+// Executes `query` with the chosen access path and returns the true row
+// count and I/O bill.
+ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
+                            const RangeQuery& query, AccessPath path);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_QUERY_PLANNER_H_

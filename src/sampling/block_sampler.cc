@@ -1,0 +1,84 @@
+#include "sampling/block_sampler.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace equihist {
+namespace {
+
+void AppendPage(const Table& table, std::uint64_t page_id, IoStats* stats,
+                std::vector<Value>& out) {
+  Result<const Page*> page = table.file().ReadPage(page_id, stats);
+  assert(page.ok());
+  for (Value v : (*page)->values()) out.push_back(v);
+}
+
+}  // namespace
+
+Result<std::vector<Value>> SampleBlocksWithoutReplacement(
+    const Table& table, std::uint64_t num_blocks, Rng& rng, IoStats* stats) {
+  const std::uint64_t pages = table.page_count();
+  if (num_blocks > pages) {
+    return Status::InvalidArgument(
+        "num_blocks exceeds page count for block sampling without "
+        "replacement");
+  }
+  // Partial Fisher-Yates over the page-id array: O(pages) space, O(blocks)
+  // time after setup. Page counts are ~n/b, small enough that the id array
+  // is cheap relative to the table itself.
+  std::vector<std::uint64_t> ids(pages);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<Value> out;
+  out.reserve(num_blocks * table.tuples_per_page());
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    const std::uint64_t j = i + rng.NextBounded(pages - i);
+    std::swap(ids[i], ids[j]);
+    AppendPage(table, ids[i], stats, out);
+  }
+  return out;
+}
+
+Result<std::vector<Value>> SampleBlocksWithReplacement(const Table& table,
+                                                       std::uint64_t num_blocks,
+                                                       Rng& rng,
+                                                       IoStats* stats) {
+  const std::uint64_t pages = table.page_count();
+  if (pages == 0) {
+    return Status::InvalidArgument("cannot sample from an empty table");
+  }
+  std::vector<Value> out;
+  out.reserve(num_blocks * table.tuples_per_page());
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    AppendPage(table, rng.NextBounded(pages), stats, out);
+  }
+  return out;
+}
+
+IncrementalBlockSampler::IncrementalBlockSampler(const Table* table,
+                                                 std::uint64_t seed)
+    : table_(table), permutation_(table->page_count()) {
+  assert(table_ != nullptr);
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = permutation_.size(); i > 1; --i) {
+    const std::uint64_t j = rng.NextBounded(i);
+    std::swap(permutation_[i - 1], permutation_[j]);
+  }
+}
+
+std::vector<Value> IncrementalBlockSampler::NextBatch(
+    std::uint64_t num_blocks, IoStats* stats,
+    std::vector<std::size_t>* page_offsets) {
+  std::vector<Value> out;
+  if (page_offsets != nullptr) page_offsets->clear();
+  const std::uint64_t take =
+      std::min<std::uint64_t>(num_blocks, pages_remaining());
+  out.reserve(take * table_->tuples_per_page());
+  for (std::uint64_t i = 0; i < take; ++i) {
+    if (page_offsets != nullptr) page_offsets->push_back(out.size());
+    AppendPage(*table_, permutation_[next_++], stats, out);
+  }
+  return out;
+}
+
+}  // namespace equihist

@@ -1,0 +1,63 @@
+#ifndef EQUIHIST_SAMPLING_BLOCK_SAMPLER_H_
+#define EQUIHIST_SAMPLING_BLOCK_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// Block-level (page-level) sampling: the Section 4 model. A sampled page
+// contributes *all* of its tuples, so g sampled pages yield ~g*b tuples for
+// the cost of g page reads — the efficiency the CVB algorithm exploits.
+
+// Draws `num_blocks` distinct pages uniformly at random (without
+// replacement) and returns all their tuples. Page reads are charged to
+// `stats`. Returns InvalidArgument if num_blocks exceeds the page count.
+Result<std::vector<Value>> SampleBlocksWithoutReplacement(const Table& table,
+                                                          std::uint64_t num_blocks,
+                                                          Rng& rng,
+                                                          IoStats* stats);
+
+// Same but with replacement (a page may be drawn twice and then contributes
+// its tuples twice). Matches the with-replacement analysis model.
+Result<std::vector<Value>> SampleBlocksWithReplacement(const Table& table,
+                                                       std::uint64_t num_blocks,
+                                                       Rng& rng, IoStats* stats);
+
+// Incremental without-replacement page sampler: hands out random page ids
+// in batches such that no page is ever repeated across batches. This is
+// what the CVB algorithm's iterations use — iteration i's fresh blocks R_i
+// must be disjoint from the accumulated sample R.
+class IncrementalBlockSampler {
+ public:
+  // Table must outlive the sampler.
+  IncrementalBlockSampler(const Table* table, std::uint64_t seed);
+
+  std::uint64_t pages_remaining() const {
+    return permutation_.size() - next_;
+  }
+  std::uint64_t pages_consumed() const { return next_; }
+
+  // Returns the tuples of the next min(num_blocks, pages_remaining()) fresh
+  // pages, charging I/O to `stats`. Returns an empty vector once the file
+  // is exhausted. If `page_offsets` is non-null it receives the start
+  // offset of each page's tuples within the returned vector (so callers
+  // can stratify by block, e.g. CVB's one-tuple-per-block validation).
+  std::vector<Value> NextBatch(std::uint64_t num_blocks, IoStats* stats,
+                               std::vector<std::size_t>* page_offsets = nullptr);
+
+ private:
+  const Table* table_;
+  std::vector<std::uint64_t> permutation_;  // random order of all page ids
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_SAMPLING_BLOCK_SAMPLER_H_

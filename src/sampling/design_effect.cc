@@ -1,0 +1,84 @@
+#include "sampling/design_effect.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "sampling/block_sampler.h"
+
+namespace equihist {
+
+Result<DesignEffect> EstimateDesignEffect(const Table& table,
+                                          std::uint64_t blocks_to_probe,
+                                          std::uint64_t seed, IoStats* stats) {
+  if (table.tuple_count() == 0) {
+    return Status::FailedPrecondition("cannot probe an empty table");
+  }
+  const std::uint64_t blocks = std::clamp<std::uint64_t>(
+      blocks_to_probe, 2, table.page_count());
+  if (table.page_count() < 2) {
+    return Status::FailedPrecondition(
+        "design effect needs at least two pages");
+  }
+
+  IncrementalBlockSampler sampler(&table, seed);
+  std::vector<std::size_t> offsets;
+  const std::vector<Value> pooled = sampler.NextBatch(blocks, stats, &offsets);
+  if (pooled.size() < 2) {
+    return Status::FailedPrecondition("probe sample too small");
+  }
+
+  // Empirical CDF positions (mid-rank for duplicates), in [0, 1].
+  std::vector<Value> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  const double m = static_cast<double>(sorted.size());
+  auto position = [&](Value v) {
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), v);
+    const auto hi = std::upper_bound(lo, sorted.end(), v);
+    const double mid = 0.5 * (static_cast<double>(lo - sorted.begin()) +
+                              static_cast<double>(hi - sorted.begin()));
+    return mid / m;
+  };
+
+  std::vector<double> positions;
+  positions.reserve(pooled.size());
+  for (Value v : pooled) positions.push_back(position(v));
+  const double total_variance = Variance(positions);
+
+  DesignEffect result;
+  result.blocks_probed = offsets.size();
+  result.tuples_probed = pooled.size();
+  const double avg_block = m / static_cast<double>(offsets.size());
+
+  if (total_variance <= 1e-12) {
+    // Degenerate (e.g. constant column): any block is representative.
+    result.rho = 0.0;
+    result.design_effect = 1.0;
+    return result;
+  }
+
+  // Mean within-block variance of the CDF positions.
+  KahanSum within_sum;
+  std::size_t groups = 0;
+  for (std::size_t g = 0; g < offsets.size(); ++g) {
+    const std::size_t begin = offsets[g];
+    const std::size_t end =
+        (g + 1 < offsets.size()) ? offsets[g + 1] : pooled.size();
+    if (end - begin < 2) continue;
+    within_sum.Add(Variance(
+        std::span<const double>(positions.data() + begin, end - begin)));
+    ++groups;
+  }
+  if (groups == 0) {
+    result.rho = 0.0;
+    result.design_effect = 1.0;
+    return result;
+  }
+  const double within = within_sum.Value() / static_cast<double>(groups);
+  result.rho = std::clamp(1.0 - within / total_variance, 0.0, 1.0);
+  result.design_effect = 1.0 + (avg_block - 1.0) * result.rho;
+  return result;
+}
+
+}  // namespace equihist

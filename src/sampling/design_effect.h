@@ -1,0 +1,53 @@
+#ifndef EQUIHIST_SAMPLING_DESIGN_EFFECT_H_
+#define EQUIHIST_SAMPLING_DESIGN_EFFECT_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// Quantifies Section 4.1's block-correlation scenarios. Block-level
+// sampling treats each page as a cluster; survey statistics measures the
+// penalty of cluster sampling with the *design effect*
+//
+//   deff = 1 + (b - 1) * rho,
+//
+// where b is the cluster (block) size and rho the intraclass correlation
+// of the studied quantity within blocks. For histogram construction the
+// relevant quantity is a tuple's position in the value CDF:
+//   scenario (a), random layout:    rho ~ 0,  deff ~ 1  (g = r/b blocks)
+//   scenario (b), sorted layout:    rho ~ 1,  deff ~ b  (g = r blocks)
+//   scenario (c), partial cluster:  in between, deff = the paper's "x".
+//
+// The estimator probes a handful of random blocks, pools their tuples into
+// an empirical CDF, and compares within-block variance of CDF positions
+// against the total variance (ANOVA on clusters). The paper's adaptive
+// algorithm discovers this factor implicitly by cross-validation; this
+// estimator measures it explicitly, which is useful for predicting the
+// block budget up front (see bench_fig7_clustering) and for diagnosing
+// layouts.
+struct DesignEffect {
+  double rho = 0.0;            // intraclass correlation, clamped to [0, 1]
+  double design_effect = 1.0;  // 1 + (b-1) rho, in [1, b]
+  std::uint64_t blocks_probed = 0;
+  std::uint64_t tuples_probed = 0;
+
+  // Multiply the record-level block budget r/b by this factor to get the
+  // block-sampling budget the layout actually needs.
+  double BlockBudgetMultiplier() const { return design_effect; }
+};
+
+// Probes `blocks_to_probe` random blocks of `table` (without replacement,
+// capped at the page count, minimum 2) and estimates the design effect.
+// I/O is charged to `stats` if provided.
+Result<DesignEffect> EstimateDesignEffect(const Table& table,
+                                          std::uint64_t blocks_to_probe,
+                                          std::uint64_t seed,
+                                          IoStats* stats = nullptr);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_SAMPLING_DESIGN_EFFECT_H_

@@ -1,0 +1,108 @@
+#include "sampling/row_sampler.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace equihist {
+
+std::vector<Value> SampleRowsWithReplacement(std::span<const Value> values,
+                                             std::uint64_t r, Rng& rng) {
+  assert(!values.empty());
+  std::vector<Value> sample;
+  sample.reserve(r);
+  for (std::uint64_t i = 0; i < r; ++i) {
+    sample.push_back(values[rng.NextBounded(values.size())]);
+  }
+  return sample;
+}
+
+Result<std::vector<Value>> SampleRowsWithoutReplacement(
+    std::span<const Value> values, std::uint64_t r, Rng& rng) {
+  const std::uint64_t n = values.size();
+  if (r > n) {
+    return Status::InvalidArgument(
+        "sample size exceeds population for sampling without replacement");
+  }
+  std::vector<Value> sample;
+  sample.reserve(r);
+  if (r == 0) return sample;
+
+  if (r <= n / 64) {
+    // Floyd's algorithm: O(r) expected time, O(r) extra space.
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(r * 2);
+    for (std::uint64_t j = n - r; j < n; ++j) {
+      const std::uint64_t t = rng.NextBounded(j + 1);
+      const std::uint64_t pick = chosen.insert(t).second ? t : j;
+      if (pick != t) chosen.insert(pick);
+      sample.push_back(values[pick]);
+    }
+  } else {
+    // Sequential selection: one pass, exact without-replacement semantics.
+    std::uint64_t remaining_population = n;
+    std::uint64_t remaining_sample = r;
+    for (std::uint64_t i = 0; i < n && remaining_sample > 0; ++i) {
+      // Include values[i] with probability remaining_sample / remaining_population.
+      if (rng.NextBounded(remaining_population) < remaining_sample) {
+        sample.push_back(values[i]);
+        --remaining_sample;
+      }
+      --remaining_population;
+    }
+  }
+  return sample;
+}
+
+Result<std::vector<Value>> SampleRowsBernoulli(std::span<const Value> values,
+                                               double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("Bernoulli probability must be in [0, 1]");
+  }
+  std::vector<Value> sample;
+  sample.reserve(static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  for (Value v : values) {
+    if (rng.NextBernoulli(p)) sample.push_back(v);
+  }
+  return sample;
+}
+
+std::vector<Value> SampleRowsFromTable(const Table& table, std::uint64_t r,
+                                       Rng& rng, IoStats* stats) {
+  std::vector<Value> sample;
+  sample.reserve(r);
+  const std::uint64_t pages = table.page_count();
+  for (std::uint64_t i = 0; i < r; ++i) {
+    // Uniform over tuples: pick a page weighted by its occupancy via
+    // rejection on a uniform (page, slot) pair. All pages except possibly
+    // the last are full, so at most one extra draw is ever needed.
+    for (;;) {
+      const std::uint64_t page_id = rng.NextBounded(pages);
+      Result<const Page*> page = table.file().ReadPage(page_id, stats);
+      assert(page.ok());
+      const std::uint32_t capacity = (*page)->capacity();
+      const auto slot = static_cast<std::uint32_t>(rng.NextBounded(capacity));
+      if (slot < (*page)->size()) {
+        sample.push_back((*page)->at(slot));
+        break;
+      }
+    }
+  }
+  return sample;
+}
+
+ReservoirSampler::ReservoirSampler(std::uint64_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  reservoir_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(Value value) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  const std::uint64_t j = rng_.NextBounded(seen_);
+  if (j < capacity_) reservoir_[j] = value;
+}
+
+}  // namespace equihist

@@ -1,0 +1,69 @@
+#ifndef EQUIHIST_SAMPLING_ROW_SAMPLER_H_
+#define EQUIHIST_SAMPLING_ROW_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// Record-level (tuple-level) samplers: the Section 3 model. Sampling is
+// uniform over tuples, ignoring page boundaries. Over a Table this is the
+// "prohibitively expensive" access path the paper warns about — each
+// sampled tuple charges a full page read.
+
+// r tuples uniformly with replacement from `values` (the paper's default
+// analysis model, binomial tails).
+std::vector<Value> SampleRowsWithReplacement(std::span<const Value> values,
+                                             std::uint64_t r, Rng& rng);
+
+// r tuples uniformly without replacement (hypergeometric model). Returns
+// InvalidArgument if r exceeds values.size(). Uses Floyd's algorithm for
+// small r and sequential (Vitter Algorithm S style) selection for large r.
+Result<std::vector<Value>> SampleRowsWithoutReplacement(
+    std::span<const Value> values, std::uint64_t r, Rng& rng);
+
+// Bernoulli sample: each tuple included independently with probability p in
+// [0, 1]. Sample size is binomially distributed around p * n.
+Result<std::vector<Value>> SampleRowsBernoulli(std::span<const Value> values,
+                                               double p, Rng& rng);
+
+// Record-level sampling against the paged table, charging one page read per
+// sampled tuple (no caching — the pessimistic model of Section 4's opening
+// argument). With replacement.
+std::vector<Value> SampleRowsFromTable(const Table& table, std::uint64_t r,
+                                       Rng& rng, IoStats* stats);
+
+// Streaming reservoir sampler (Vitter's Algorithm R): maintains a uniform
+// without-replacement sample of fixed capacity over a stream of unknown
+// length. Not used by the paper's algorithms but part of any practical
+// ANALYZE substrate; exercised by tests and the quickstart example.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(std::uint64_t capacity, std::uint64_t seed);
+
+  void Add(Value value);
+
+  std::uint64_t seen() const { return seen_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  // The current reservoir (unordered). A uniform without-replacement sample
+  // of min(capacity, seen) of the values added so far.
+  const std::vector<Value>& sample() const { return reservoir_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<Value> reservoir_;
+  Rng rng_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_SAMPLING_ROW_SAMPLER_H_

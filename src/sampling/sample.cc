@@ -1,0 +1,33 @@
+#include "sampling/sample.h"
+
+#include <algorithm>
+
+namespace equihist {
+
+Sample::Sample(std::vector<Value> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+}
+
+void Sample::Merge(std::vector<Value> batch) {
+  std::sort(batch.begin(), batch.end());
+  std::vector<Value> merged;
+  merged.reserve(values_.size() + batch.size());
+  std::merge(values_.begin(), values_.end(), batch.begin(), batch.end(),
+             std::back_inserter(merged));
+  values_ = std::move(merged);
+}
+
+std::uint64_t Sample::CountLessEqual(Value x) const {
+  return static_cast<std::uint64_t>(
+      std::upper_bound(values_.begin(), values_.end(), x) - values_.begin());
+}
+
+std::uint64_t Sample::DistinctCount() const {
+  std::uint64_t distinct = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i == 0 || values_[i] != values_[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace equihist

@@ -1,0 +1,49 @@
+#ifndef EQUIHIST_SAMPLING_SAMPLE_H_
+#define EQUIHIST_SAMPLING_SAMPLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/distribution.h"
+
+namespace equihist {
+
+// The accumulated sample R of the CVB algorithm: a multiset of sampled
+// values kept sorted so that (a) equi-height separators can be read off by
+// rank, and (b) a fresh batch R_i can be folded in with a linear merge —
+// the "merge algorithm" extension the paper made to SQL Server's block
+// sampling (Section 7.1, implementation note 2).
+class Sample {
+ public:
+  Sample() = default;
+
+  // Builds from unsorted values (sorts once).
+  explicit Sample(std::vector<Value> values);
+
+  std::uint64_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Merges an unsorted batch into the sample: sorts the batch and merges
+  // the two sorted runs in linear time.
+  void Merge(std::vector<Value> batch);
+
+  // Sorted ascending.
+  const std::vector<Value>& sorted_values() const { return values_; }
+
+  // Number of sample values v with v <= x.
+  std::uint64_t CountLessEqual(Value x) const;
+
+  // The i-th smallest sampled value, 0-based.
+  Value ValueAtRank(std::uint64_t rank) const { return values_[rank]; }
+
+  // Number of distinct values currently in the sample.
+  std::uint64_t DistinctCount() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_SAMPLING_SAMPLE_H_

@@ -1,0 +1,65 @@
+#include "sampling/schedule.h"
+
+#include <cmath>
+#include <limits>
+
+namespace equihist {
+
+std::string_view ScheduleKindToString(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kDoubling:
+      return "doubling";
+    case ScheduleKind::kLinear:
+      return "linear";
+    case ScheduleKind::kGeometric:
+      return "geometric";
+  }
+  return "unknown";
+}
+
+Result<StepSchedule> StepSchedule::Create(const ScheduleSpec& spec,
+                                          std::uint64_t initial_batch) {
+  if (initial_batch == 0) {
+    return Status::InvalidArgument("initial batch size must be positive");
+  }
+  if (spec.kind == ScheduleKind::kGeometric && spec.geometric_ratio <= 1.0) {
+    return Status::InvalidArgument("geometric ratio must exceed 1");
+  }
+  return StepSchedule(spec, initial_batch);
+}
+
+std::uint64_t StepSchedule::BatchSize(std::uint64_t iteration) const {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  switch (spec_.kind) {
+    case ScheduleKind::kDoubling: {
+      if (iteration <= 1) return initial_batch_;
+      const std::uint64_t shift = iteration - 1;
+      if (shift >= 63) return kMax;
+      const std::uint64_t factor = 1ULL << shift;
+      if (initial_batch_ > kMax / factor) return kMax;
+      return initial_batch_ * factor;
+    }
+    case ScheduleKind::kLinear:
+      return initial_batch_;
+    case ScheduleKind::kGeometric: {
+      const double size = static_cast<double>(initial_batch_) *
+                          std::pow(spec_.geometric_ratio,
+                                   static_cast<double>(iteration));
+      if (size >= static_cast<double>(kMax)) return kMax;
+      const auto rounded = static_cast<std::uint64_t>(std::llround(size));
+      return rounded == 0 ? 1 : rounded;
+    }
+  }
+  return initial_batch_;
+}
+
+std::uint64_t PaperSqrtNInitialBatchBlocks(std::uint64_t n,
+                                           std::uint32_t tuples_per_page) {
+  if (tuples_per_page == 0) return 1;
+  const double tuples = 5.0 * std::sqrt(static_cast<double>(n));
+  const auto blocks = static_cast<std::uint64_t>(
+      std::ceil(tuples / static_cast<double>(tuples_per_page)));
+  return blocks == 0 ? 1 : blocks;
+}
+
+}  // namespace equihist

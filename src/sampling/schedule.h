@@ -1,0 +1,69 @@
+#ifndef EQUIHIST_SAMPLING_SCHEDULE_H_
+#define EQUIHIST_SAMPLING_SCHEDULE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace equihist {
+
+// Stepping functions for the adaptive (CVB) algorithm: how many fresh
+// blocks iteration i draws. The paper's analysis (Section 4.2) recommends
+// doubling — g_i equals everything sampled so far, so cross-validation is
+// always performed with a sample as large as the one being validated and
+// total over-sampling is at most 2x. Its SQL Server experiments (Section
+// 7.1) instead used linear steps of 5*sqrt(n) tuples to bound the cost of
+// each merge. Both are provided, plus a geometric family interpolating
+// between them; bench_ablation_schedule compares them.
+enum class ScheduleKind {
+  // g_0 = g, g_1 = g, g_i = 2^(i-1) * g: each batch equals the accumulated
+  // sample size (the paper's analyzed schedule).
+  kDoubling,
+  // g_i = g for all i (the paper's experimental 5i*sqrt(n) stepping: equal
+  // increments).
+  kLinear,
+  // g_i = g * ratio^i for a configurable ratio > 1.
+  kGeometric,
+};
+
+std::string_view ScheduleKindToString(ScheduleKind kind);
+
+struct ScheduleSpec {
+  ScheduleKind kind = ScheduleKind::kDoubling;
+  double geometric_ratio = 1.5;  // only for kGeometric
+};
+
+// Produces batch sizes for successive iterations. Batch sizes are in
+// whatever unit the initial batch is in (blocks for CVB).
+class StepSchedule {
+ public:
+  // initial_batch must be positive; geometric_ratio must be > 1 for
+  // kGeometric.
+  static Result<StepSchedule> Create(const ScheduleSpec& spec,
+                                     std::uint64_t initial_batch);
+
+  // Size of the iteration-th batch (iteration 0 is the initial sample).
+  // Saturates instead of overflowing for absurd iteration counts.
+  std::uint64_t BatchSize(std::uint64_t iteration) const;
+
+  const ScheduleSpec& spec() const { return spec_; }
+  std::uint64_t initial_batch() const { return initial_batch_; }
+
+ private:
+  StepSchedule(const ScheduleSpec& spec, std::uint64_t initial_batch)
+      : spec_(spec), initial_batch_(initial_batch) {}
+
+  ScheduleSpec spec_;
+  std::uint64_t initial_batch_;
+};
+
+// The initial batch used by the paper's experimental stepping: 5*sqrt(n)
+// tuples expressed in blocks, i.e. ceil(5*sqrt(n) / tuples_per_page),
+// at least 1.
+std::uint64_t PaperSqrtNInitialBatchBlocks(std::uint64_t n,
+                                           std::uint32_t tuples_per_page);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_SAMPLING_SCHEDULE_H_

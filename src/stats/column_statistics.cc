@@ -1,0 +1,116 @@
+#include "stats/column_statistics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/density.h"
+#include "core/histogram_builder.h"
+#include "core/range_estimator.h"
+#include "distinct/estimators.h"
+#include "storage/scan.h"
+
+namespace equihist {
+
+double ColumnStatistics::EstimateRangeCount(const RangeQuery& query) const {
+  return ::equihist::EstimateRangeCount(histogram, query);
+}
+
+double ColumnStatistics::EstimateEqualityCount(Value value) const {
+  // Frequent values are pinned exactly (the compressed-histogram singleton
+  // list collected at build time).
+  const auto it = std::lower_bound(
+      heavy_hitters.begin(), heavy_hitters.end(), value,
+      [](const CompressedHistogram::Singleton& s, Value v) {
+        return s.value < v;
+      });
+  if (it != heavy_hitters.end() && it->value == value) {
+    return static_cast<double>(it->count);
+  }
+  // Out-of-domain values match nothing.
+  if (value <= histogram.lower_fence() || value > histogram.upper_fence()) {
+    return 0.0;
+  }
+  // Infrequent value: average multiplicity among the non-heavy values,
+  // n_light / d_light — the density-style fallback an optimizer uses when
+  // the histogram cannot resolve the value.
+  double heavy_mass = 0.0;
+  for (const auto& s : heavy_hitters) heavy_mass += static_cast<double>(s.count);
+  const double light_mass =
+      std::max(static_cast<double>(row_count) - heavy_mass, 0.0);
+  const double light_distinct = std::max(
+      distinct_estimate - static_cast<double>(heavy_hitters.size()), 1.0);
+  return std::max(light_mass / light_distinct, 0.0);
+}
+
+double ColumnStatistics::EstimateDistinctFraction() const {
+  if (row_count == 0) return 0.0;
+  return distinct_estimate / static_cast<double>(row_count);
+}
+
+std::string ColumnStatistics::ToString() const {
+  std::ostringstream os;
+  os << "ColumnStatistics{rows=" << FormatWithThousands(row_count)
+     << ", k=" << histogram.bucket_count()
+     << ", density=" << FormatFixed(density, 6)
+     << ", distinct~=" << FormatCount(distinct_estimate)
+     << ", heavy=" << heavy_hitters.size()
+     << ", built from " << (from_full_scan ? "full scan" : "sample")
+     << " of " << FormatWithThousands(sample_size) << " tuples ("
+     << FormatWithThousands(build_cost.pages_read) << " pages)}";
+  return os.str();
+}
+
+Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
+                                                 std::uint64_t buckets) {
+  IoStats io;
+  const ValueSet data(FullScan(table, &io));
+  if (data.empty()) {
+    return Status::FailedPrecondition("table is empty");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(Histogram histogram,
+                            BuildPerfectHistogram(data, buckets));
+
+  ColumnStatistics stats{.histogram = std::move(histogram)};
+  stats.density = ComputeDensity(data.sorted_values());
+  stats.distinct_estimate = static_cast<double>(data.DistinctCount());
+  stats.row_count = data.size();
+  stats.from_full_scan = true;
+  stats.sample_size = data.size();
+  stats.build_cost = io;
+
+  // Exact heavy hitters: multiplicity above the ideal bucket size.
+  const double ideal = static_cast<double>(data.size()) /
+                       static_cast<double>(buckets);
+  const auto& sorted = data.sorted_values();
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (static_cast<double>(j - i) > ideal) {
+      stats.heavy_hitters.push_back(
+          CompressedHistogram::Singleton{sorted[i], j - i});
+    }
+    i = j;
+  }
+  return stats;
+}
+
+Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
+                                                const CvbOptions& options) {
+  EQUIHIST_ASSIGN_OR_RETURN(CvbResult result, RunCvb(table, options));
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const double distinct,
+      PaperEstimator(result.sample_profile, table.tuple_count()));
+
+  ColumnStatistics stats{.histogram = std::move(result.histogram)};
+  stats.density = result.density_estimate;
+  stats.distinct_estimate = distinct;
+  stats.row_count = table.tuple_count();
+  stats.from_full_scan = false;
+  stats.sample_size = result.tuples_sampled;
+  stats.build_cost = result.io;
+  stats.heavy_hitters = std::move(result.heavy_hitters);
+  return stats;
+}
+
+}  // namespace equihist

@@ -1,0 +1,67 @@
+#ifndef EQUIHIST_STATS_COLUMN_STATISTICS_H_
+#define EQUIHIST_STATS_COLUMN_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/compressed_histogram.h"
+#include "core/cvb.h"
+#include "core/histogram.h"
+#include "data/workload.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// The statistics object a database persists per column — exactly the
+// bundle the paper's SQL Server prototype collected (Section 7.1):
+// an equi-height histogram, the density, and a distinct-value estimate,
+// plus the provenance needed to reason about freshness and cost.
+struct ColumnStatistics {
+  Histogram histogram;
+  double density = 0.0;
+  double distinct_estimate = 0.0;
+  std::uint64_t row_count = 0;
+  // Values with multiplicity above one ideal bucket (n/k), pinned with
+  // their (estimated) counts — the compressed-histogram singletons of
+  // Section 5, sorted by value.
+  std::vector<CompressedHistogram::Singleton> heavy_hitters{};
+  // How the statistics were built and what they cost.
+  bool from_full_scan = false;
+  std::uint64_t sample_size = 0;  // tuples examined
+  IoStats build_cost{};
+
+  // -- Optimizer estimation surface ----------------------------------------
+
+  // Estimated output size of "lo < X <= hi" (Section 2.2 strategy).
+  double EstimateRangeCount(const RangeQuery& query) const;
+
+  // Estimated output size of "X = v". Separator runs pin frequent values
+  // exactly (the duplicated-separator representation of Section 5 makes a
+  // heavy value's count readable from its zero-width buckets); infrequent
+  // values fall back to the density-based average — density*n is the
+  // expected count of the value held by a random tuple, SQL Server's
+  // classical use of the statistic.
+  double EstimateEqualityCount(Value value) const;
+
+  // Estimated reduction n -> d for duplicate elimination (Section 6.2's
+  // motivating use of d/n rather than absolute d).
+  double EstimateDistinctFraction() const;
+
+  std::string ToString() const;
+};
+
+// Builds exact statistics with a full scan and sort (the expensive
+// baseline the sampling path avoids). The I/O bill is recorded.
+Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
+                                                 std::uint64_t buckets);
+
+// Builds approximate statistics with the adaptive CVB algorithm plus the
+// paper's distinct-value estimator over the accumulated sample.
+Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
+                                                const CvbOptions& options);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STATS_COLUMN_STATISTICS_H_

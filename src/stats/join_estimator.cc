@@ -1,0 +1,121 @@
+#include "stats/join_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace equihist {
+namespace {
+
+Status ValidateStats(const ColumnStatistics& stats, const char* side) {
+  if (stats.row_count == 0) {
+    return Status::InvalidArgument(std::string(side) +
+                                   " statistics have zero rows");
+  }
+  if (stats.distinct_estimate <= 0.0) {
+    return Status::InvalidArgument(std::string(side) +
+                                   " statistics have no distinct estimate");
+  }
+  return Status::OK();
+}
+
+struct LightSide {
+  double mass = 0.0;      // rows not covered by heavy hitters
+  double distinct = 1.0;  // distinct values among them
+  double average = 0.0;   // average multiplicity
+};
+
+LightSide LightOf(const ColumnStatistics& stats) {
+  double heavy_mass = 0.0;
+  for (const auto& h : stats.heavy_hitters) {
+    heavy_mass += static_cast<double>(h.count);
+  }
+  LightSide light;
+  light.mass =
+      std::max(static_cast<double>(stats.row_count) - heavy_mass, 0.0);
+  light.distinct = std::max(
+      stats.distinct_estimate - static_cast<double>(stats.heavy_hitters.size()),
+      1.0);
+  light.average = light.mass / light.distinct;
+  return light;
+}
+
+bool InDomain(const ColumnStatistics& stats, Value v) {
+  return v > stats.histogram.lower_fence() &&
+         v <= stats.histogram.upper_fence();
+}
+
+bool IsHeavy(const ColumnStatistics& stats, Value v) {
+  const auto it = std::lower_bound(
+      stats.heavy_hitters.begin(), stats.heavy_hitters.end(), v,
+      [](const CompressedHistogram::Singleton& s, Value x) {
+        return s.value < x;
+      });
+  return it != stats.heavy_hitters.end() && it->value == v;
+}
+
+// Fraction of `a`'s domain that overlaps `b`'s, under the uniform-spread
+// assumption over (lower_fence, upper_fence].
+double DomainOverlapFraction(const ColumnStatistics& a,
+                             const ColumnStatistics& b) {
+  const double a_lo = static_cast<double>(a.histogram.lower_fence());
+  const double a_hi = static_cast<double>(a.histogram.upper_fence());
+  const double b_lo = static_cast<double>(b.histogram.lower_fence());
+  const double b_hi = static_cast<double>(b.histogram.upper_fence());
+  const double width = a_hi - a_lo;
+  if (width <= 0.0) return (b_lo < a_hi && a_hi <= b_hi) ? 1.0 : 0.0;
+  const double overlap = std::min(a_hi, b_hi) - std::max(a_lo, b_lo);
+  return std::clamp(overlap / width, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<double> SystemRJoinEstimate(const ColumnStatistics& left,
+                                   const ColumnStatistics& right) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateStats(left, "left"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateStats(right, "right"));
+  const double d = std::max(left.distinct_estimate, right.distinct_estimate);
+  return static_cast<double>(left.row_count) *
+         static_cast<double>(right.row_count) / d;
+}
+
+Result<double> HistogramJoinEstimate(const ColumnStatistics& left,
+                                     const ColumnStatistics& right) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateStats(left, "left"));
+  EQUIHIST_RETURN_IF_ERROR(ValidateStats(right, "right"));
+
+  const LightSide light_left = LightOf(left);
+  const LightSide light_right = LightOf(right);
+
+  double estimate = 0.0;
+  // Heavy x heavy: exact on matched values; heavy x light: the other
+  // side's average light multiplicity, if the value is in its domain.
+  for (const auto& h : left.heavy_hitters) {
+    if (!InDomain(right, h.value)) continue;
+    if (IsHeavy(right, h.value)) {
+      const auto it = std::lower_bound(
+          right.heavy_hitters.begin(), right.heavy_hitters.end(), h.value,
+          [](const CompressedHistogram::Singleton& s, Value x) {
+            return s.value < x;
+          });
+      estimate += static_cast<double>(h.count) *
+                  static_cast<double>(it->count);
+    } else {
+      estimate += static_cast<double>(h.count) * light_right.average;
+    }
+  }
+  for (const auto& h : right.heavy_hitters) {
+    if (!InDomain(left, h.value) || IsHeavy(left, h.value)) continue;
+    estimate += static_cast<double>(h.count) * light_left.average;
+  }
+
+  // Light x light: System R over the light parts, scaled by the domain
+  // overlap (values outside the intersection cannot match).
+  const double overlap = DomainOverlapFraction(left, right);
+  const double d_light = std::max(light_left.distinct, light_right.distinct);
+  if (d_light > 0.0 && overlap > 0.0) {
+    estimate += overlap * light_left.mass * light_right.mass / d_light;
+  }
+  return estimate;
+}
+
+}  // namespace equihist

@@ -1,0 +1,32 @@
+#ifndef EQUIHIST_STATS_JOIN_ESTIMATOR_H_
+#define EQUIHIST_STATS_JOIN_ESTIMATOR_H_
+
+#include "common/result.h"
+#include "stats/column_statistics.h"
+
+namespace equihist {
+
+// Equi-join output-size estimation from per-column statistics — the
+// System R use case the paper cites for distinct-value estimates
+// ("estimating relative error in join-selectivity estimation formulas
+// used in System R", Section 6).
+
+// The classical System R formula: |R JOIN S| = n_R * n_S / max(d_R, d_S),
+// using the statistics' distinct estimates. Requires both row counts and
+// distinct estimates to be positive.
+Result<double> SystemRJoinEstimate(const ColumnStatistics& left,
+                                   const ColumnStatistics& right);
+
+// A refinement exploiting everything the paper's pipeline collects: the
+// pinned heavy hitters join exactly (value by value), heavy-vs-light terms
+// use the other side's light-value average multiplicity, and the
+// light-vs-light remainder falls back to System R over the light masses,
+// scaled by the overlap of the two columns' domains. Degrades to the
+// System R estimate when no heavy hitters were collected and domains
+// coincide.
+Result<double> HistogramJoinEstimate(const ColumnStatistics& left,
+                                     const ColumnStatistics& right);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STATS_JOIN_ESTIMATOR_H_

@@ -1,0 +1,60 @@
+#ifndef EQUIHIST_STATS_SERIALIZATION_H_
+#define EQUIHIST_STATS_SERIALIZATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/histogram.h"
+#include "stats/column_statistics.h"
+
+namespace equihist {
+
+// Binary (de)serialization for persisted statistics. SQL Server stores one
+// histogram per disk page — "for an integer column this translates to 600
+// bins" (Section 7.1, implementation note 5). The format here is a compact
+// delta/varint encoding under the same budget: a 600-step histogram over a
+// 64-bit integer column fits an 8 KB page with room to spare (tested).
+//
+// Format (version 1, little-endian varints):
+//   u32 magic 'EQHS' | u8 version | varint k | varint n
+//   zigzag-varint lower_fence | zigzag-varint upper_fence
+//   k-1 zigzag-varint separator deltas (first relative to lower_fence)
+//   k   varint bucket counts
+// Statistics add: f64 density | f64 distinct | varint heavy-hitter count |
+//   per hitter: zigzag-varint value delta, varint count | u8 flags |
+//   varint sample_size.
+//
+// Deserialization validates structure and re-runs Histogram::Create's
+// invariant checks, so corrupted bytes yield Status, never UB.
+
+// Appends the encoding of `histogram` to `out`.
+void SerializeHistogram(const Histogram& histogram,
+                        std::vector<std::uint8_t>* out);
+
+// Parses a histogram from the front of `bytes`; on success advances
+// `*consumed` by the number of bytes read (if non-null).
+Result<Histogram> DeserializeHistogram(std::span<const std::uint8_t> bytes,
+                                       std::size_t* consumed = nullptr);
+
+// Whole-statistics round trip.
+void SerializeColumnStatistics(const ColumnStatistics& stats,
+                               std::vector<std::uint8_t>* out);
+Result<ColumnStatistics> DeserializeColumnStatistics(
+    std::span<const std::uint8_t> bytes);
+
+// True if the histogram's encoding fits within `page_size_bytes` — the SQL
+// Server one-page budget check.
+bool HistogramFitsInPage(const Histogram& histogram,
+                         std::uint32_t page_size_bytes);
+
+// The largest k such that an equi-height histogram with k buckets over
+// `sample_sorted`-like integer data is guaranteed to fit the page, found
+// by probing the actual encoding (used by the serialization example).
+std::uint64_t MaxBucketsForPage(const Histogram& reference,
+                                std::uint32_t page_size_bytes);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STATS_SERIALIZATION_H_

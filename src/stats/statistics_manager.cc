@@ -1,0 +1,63 @@
+#include "stats/statistics_manager.h"
+
+namespace equihist {
+
+Result<ColumnStatistics> StatisticsManager::Build(const Table& table) {
+  if (options_.prefer_sampling) {
+    CvbOptions cvb;
+    cvb.k = options_.buckets;
+    cvb.f = options_.f;
+    cvb.gamma = options_.gamma;
+    cvb.seed = options_.seed + rebuilds_;  // fresh randomness per rebuild
+    return BuildStatisticsSampled(table, cvb);
+  }
+  return BuildStatisticsFullScan(table, options_.buckets);
+}
+
+Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
+    const std::string& column, const Table& table) {
+  auto it = entries_.find(column);
+  if (it != entries_.end()) return &it->second.stats;
+  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats, Build(table));
+  total_build_cost_ += stats.build_cost;
+  ++rebuilds_;
+  auto [inserted, ok] = entries_.emplace(column, Entry{std::move(stats), 0});
+  (void)ok;
+  return &inserted->second.stats;
+}
+
+void StatisticsManager::RecordModifications(const std::string& column,
+                                            std::uint64_t count) {
+  auto it = entries_.find(column);
+  if (it != entries_.end()) it->second.modifications_since_build += count;
+}
+
+bool StatisticsManager::IsStale(const std::string& column) const {
+  const auto it = entries_.find(column);
+  if (it == entries_.end()) return false;
+  const auto& entry = it->second;
+  if (entry.stats.row_count == 0) return true;
+  const double modified_fraction =
+      static_cast<double>(entry.modifications_since_build) /
+      static_cast<double>(entry.stats.row_count);
+  return modified_fraction > options_.staleness_threshold;
+}
+
+Result<const ColumnStatistics*> StatisticsManager::EnsureFresh(
+    const std::string& column, const Table& table) {
+  if (!Has(column)) return GetOrBuild(column, table);
+  if (!IsStale(column)) return &entries_.at(column).stats;
+  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats, Build(table));
+  total_build_cost_ += stats.build_cost;
+  ++rebuilds_;
+  Entry& entry = entries_.at(column);
+  entry.stats = std::move(stats);
+  entry.modifications_since_build = 0;
+  return &entry.stats;
+}
+
+bool StatisticsManager::Drop(const std::string& column) {
+  return entries_.erase(column) > 0;
+}
+
+}  // namespace equihist

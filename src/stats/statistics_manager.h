@@ -1,0 +1,83 @@
+#ifndef EQUIHIST_STATS_STATISTICS_MANAGER_H_
+#define EQUIHIST_STATS_STATISTICS_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "stats/column_statistics.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// A small auto-statistics facility in the style of SQL Server's
+// auto-create/auto-update statistics (the production context of the
+// paper): owns per-column ColumnStatistics, tracks modification counters,
+// and rebuilds stale statistics via the sampling pipeline on demand.
+//
+// Tables in this library are immutable, so mutation is reported by the
+// caller through RecordModifications() — the same contract a storage
+// engine's DML layer would fulfil.
+class StatisticsManager {
+ public:
+  struct Options {
+    std::uint64_t buckets = 200;
+    double f = 0.1;            // CVB target error for sampled builds
+    double gamma = 0.01;
+    // Rebuild when modifications since the last build exceed this fraction
+    // of the row count (SQL Server's classical 20% rule).
+    double staleness_threshold = 0.2;
+    // Build by sampling (CVB) rather than by full scan.
+    bool prefer_sampling = true;
+    std::uint64_t seed = 99;
+  };
+
+  explicit StatisticsManager(const Options& options) : options_(options) {}
+
+  // Returns the statistics for `column`, building them on first access.
+  // The pointer stays valid until the entry is rebuilt or dropped.
+  Result<const ColumnStatistics*> GetOrBuild(const std::string& column,
+                                             const Table& table);
+
+  // Reports DML activity against the column's table.
+  void RecordModifications(const std::string& column, std::uint64_t count);
+
+  // True if statistics exist and the modification counter has crossed the
+  // staleness threshold.
+  bool IsStale(const std::string& column) const;
+
+  // Returns fresh statistics: rebuilds if stale or missing, otherwise the
+  // cached entry.
+  Result<const ColumnStatistics*> EnsureFresh(const std::string& column,
+                                              const Table& table);
+
+  // Drops a column's statistics (returns true if they existed).
+  bool Drop(const std::string& column);
+
+  bool Has(const std::string& column) const {
+    return entries_.count(column) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t rebuild_count() const { return rebuilds_; }
+
+  // Cumulative I/O spent building statistics through this manager.
+  const IoStats& total_build_cost() const { return total_build_cost_; }
+
+ private:
+  struct Entry {
+    ColumnStatistics stats;
+    std::uint64_t modifications_since_build = 0;
+  };
+
+  Result<ColumnStatistics> Build(const Table& table);
+
+  Options options_;
+  std::map<std::string, Entry> entries_;
+  IoStats total_build_cost_{};
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STATS_STATISTICS_MANAGER_H_

@@ -1,0 +1,41 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+
+namespace equihist {
+
+HeapFile::HeapFile(const PageConfig& config)
+    : config_(config), tuples_per_page_(config.TuplesPerPage()) {
+  assert(ValidatePageConfig(config).ok());
+}
+
+void HeapFile::Append(Value value) {
+  if (pages_.empty() || pages_.back().full()) {
+    pages_.emplace_back(tuples_per_page_);
+  }
+  const bool appended = pages_.back().Append(value);
+  assert(appended);
+  (void)appended;
+  ++tuple_count_;
+}
+
+void HeapFile::AppendAll(const std::vector<Value>& values) {
+  pages_.reserve(pages_.size() +
+                 (values.size() + tuples_per_page_ - 1) / tuples_per_page_);
+  for (Value v : values) Append(v);
+}
+
+Result<const Page*> HeapFile::ReadPage(std::uint64_t page_id,
+                                       IoStats* stats) const {
+  if (page_id >= pages_.size()) {
+    return Status::NotFound("page id out of range");
+  }
+  const Page& page = pages_[page_id];
+  if (stats != nullptr) {
+    stats->pages_read += 1;
+    stats->tuples_read += page.size();
+  }
+  return &page;
+}
+
+}  // namespace equihist

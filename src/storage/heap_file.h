@@ -1,0 +1,48 @@
+#ifndef EQUIHIST_STORAGE_HEAP_FILE_H_
+#define EQUIHIST_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace equihist {
+
+// An append-only heap file of fixed-geometry pages, the unit the block
+// samplers draw from. Pages are filled densely in append order, so the
+// tuple order handed to Append*() *is* the on-disk clustering — layout
+// policies (storage/layout.h) decide that order before the file is built.
+class HeapFile {
+ public:
+  explicit HeapFile(const PageConfig& config);
+
+  const PageConfig& config() const { return config_; }
+  std::uint64_t page_count() const { return pages_.size(); }
+  std::uint64_t tuple_count() const { return tuple_count_; }
+  bool empty() const { return tuple_count_ == 0; }
+
+  // Appends one record, opening a new page when the last one is full.
+  void Append(Value value);
+
+  // Bulk-append in order.
+  void AppendAll(const std::vector<Value>& values);
+
+  // Read access to page `page_id`, charging one page read (and the page's
+  // tuples) to `stats` if provided. Returns NotFound for out-of-range ids.
+  Result<const Page*> ReadPage(std::uint64_t page_id, IoStats* stats) const;
+
+  // Direct (uncharged) structural access for tests and internal use.
+  const Page& page(std::uint64_t page_id) const { return pages_[page_id]; }
+
+ private:
+  PageConfig config_;
+  std::uint32_t tuples_per_page_;
+  std::vector<Page> pages_;
+  std::uint64_t tuple_count_ = 0;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_HEAP_FILE_H_

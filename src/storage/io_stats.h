@@ -1,0 +1,28 @@
+#ifndef EQUIHIST_STORAGE_IO_STATS_H_
+#define EQUIHIST_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace equihist {
+
+// Access-path cost accounting. The paper's central efficiency argument is
+// that reading one tuple off disk costs as much as reading its whole block,
+// so every access path in this library charges its I/O here. Benchmarks
+// report pages_read as the proxy for the paper's "number of disk blocks
+// sampled" (Figure 4) and tuples_read for the logical sample size.
+struct IoStats {
+  std::uint64_t pages_read = 0;
+  std::uint64_t tuples_read = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+    pages_read += other.pages_read;
+    tuples_read += other.tuples_read;
+    return *this;
+  }
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_IO_STATS_H_

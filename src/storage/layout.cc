@@ -1,0 +1,80 @@
+#include "storage/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generator.h"
+
+namespace equihist {
+
+std::string_view LayoutKindToString(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kRandom:
+      return "random";
+    case LayoutKind::kSorted:
+      return "sorted";
+    case LayoutKind::kPartiallyClustered:
+      return "partially-clustered";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Implements the paper's partially clustered generator: every tuple gets a
+// synthetic tuple-id; for each distinct value, a `clustered_fraction` share
+// of its duplicates receives one shared id (so they sort together), the
+// remainder receive individual random ids. The file is then "clustered on
+// tuple-id", i.e. sorted by id.
+std::vector<Value> PartiallyClustered(const FrequencyVector& frequencies,
+                                      double clustered_fraction,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  struct Keyed {
+    std::uint64_t key;
+    Value value;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(frequencies.total_count());
+  for (const FrequencyEntry& entry : frequencies.entries()) {
+    const auto clustered = static_cast<std::uint64_t>(
+        std::llround(clustered_fraction * static_cast<double>(entry.count)));
+    const std::uint64_t shared_key = rng.Next();
+    for (std::uint64_t i = 0; i < entry.count; ++i) {
+      const std::uint64_t key = (i < clustered) ? shared_key : rng.Next();
+      keyed.push_back(Keyed{key, entry.value});
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  std::vector<Value> out;
+  out.reserve(keyed.size());
+  for (const Keyed& k : keyed) out.push_back(k.value);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Value>> ApplyLayout(const FrequencyVector& frequencies,
+                                       const LayoutSpec& spec) {
+  if (frequencies.empty()) {
+    return Status::InvalidArgument("cannot lay out an empty column");
+  }
+  switch (spec.kind) {
+    case LayoutKind::kRandom:
+      return ExpandShuffled(frequencies, spec.seed);
+    case LayoutKind::kSorted:
+      return ExpandSorted(frequencies);
+    case LayoutKind::kPartiallyClustered:
+      if (spec.clustered_fraction < 0.0 || spec.clustered_fraction > 1.0) {
+        return Status::InvalidArgument(
+            "clustered_fraction must be in [0, 1]");
+      }
+      return PartiallyClustered(frequencies, spec.clustered_fraction,
+                                spec.seed);
+  }
+  return Status::InvalidArgument("unknown layout kind");
+}
+
+}  // namespace equihist

@@ -1,0 +1,50 @@
+#ifndef EQUIHIST_STORAGE_LAYOUT_H_
+#define EQUIHIST_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/distribution.h"
+
+namespace equihist {
+
+// On-disk tuple orderings studied in Sections 4 and 7. Block-level sampling
+// is sensitive to how values are clustered into pages; these policies
+// reproduce the paper's layouts (Section 7.1 "Data Generation"):
+//
+//   kRandom             tuples clustered on randomly generated tuple-ids,
+//                       i.e. value order is uncorrelated with page order
+//                       (scenario (a) of Section 4.1).
+//   kSorted             the file is sorted on the studied attribute — the
+//                       fully correlated worst case (scenario (b)).
+//   kPartiallyClustered a fraction of each value's duplicates share one
+//                       tuple-id and therefore land contiguously; the rest
+//                       are placed randomly (the paper's 80/20 layout,
+//                       scenario (c)).
+enum class LayoutKind {
+  kRandom,
+  kSorted,
+  kPartiallyClustered,
+};
+
+std::string_view LayoutKindToString(LayoutKind kind);
+
+struct LayoutSpec {
+  LayoutKind kind = LayoutKind::kRandom;
+  // Only for kPartiallyClustered: the fraction of each distinct value's
+  // duplicates that is placed contiguously. The paper uses 0.2.
+  double clustered_fraction = 0.2;
+  std::uint64_t seed = 7;
+};
+
+// Produces the on-disk tuple order for a column with the given frequency
+// content under the given layout. The result feeds Table::Create /
+// HeapFile::AppendAll. Returns InvalidArgument for a bad clustered_fraction.
+Result<std::vector<Value>> ApplyLayout(const FrequencyVector& frequencies,
+                                       const LayoutSpec& spec);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_LAYOUT_H_

@@ -1,0 +1,19 @@
+#include "storage/page.h"
+
+namespace equihist {
+
+Status ValidatePageConfig(const PageConfig& config) {
+  if (config.page_size_bytes == 0) {
+    return Status::InvalidArgument("page_size_bytes must be positive");
+  }
+  if (config.record_size_bytes == 0) {
+    return Status::InvalidArgument("record_size_bytes must be positive");
+  }
+  if (config.record_size_bytes > config.page_size_bytes) {
+    return Status::InvalidArgument(
+        "record_size_bytes must not exceed page_size_bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace equihist

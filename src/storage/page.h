@@ -1,0 +1,62 @@
+#ifndef EQUIHIST_STORAGE_PAGE_H_
+#define EQUIHIST_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "data/distribution.h"
+
+namespace equihist {
+
+// Geometry of the simulated disk pages. SQL Server 7.0 used 8 KB pages; the
+// paper varies the record size 16..128 bytes to vary the blocking factor
+// (records per page), so both knobs are explicit here.
+struct PageConfig {
+  std::uint32_t page_size_bytes = 8192;
+  std::uint32_t record_size_bytes = 64;
+
+  // Records per page (the paper's b). Zero if misconfigured.
+  std::uint32_t TuplesPerPage() const {
+    if (record_size_bytes == 0) return 0;
+    return page_size_bytes / record_size_bytes;
+  }
+};
+
+Status ValidatePageConfig(const PageConfig& config);
+
+// One simulated disk page: a fixed-capacity slotted run of records. Only
+// the studied attribute is materialized per record (the rest of the record
+// is padding that influences capacity, not behaviour).
+class Page {
+ public:
+  explicit Page(std::uint32_t capacity) : capacity_(capacity) {
+    values_.reserve(capacity);
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(values_.size()); }
+  bool full() const { return size() >= capacity_; }
+  bool empty() const { return values_.empty(); }
+
+  // Appends a record; returns false if the page is full.
+  bool Append(Value value) {
+    if (full()) return false;
+    values_.push_back(value);
+    return true;
+  }
+
+  // Record in slot `slot`. Precondition: slot < size().
+  Value at(std::uint32_t slot) const { return values_[slot]; }
+
+  std::span<const Value> values() const { return values_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<Value> values_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_PAGE_H_

@@ -1,0 +1,18 @@
+#include "storage/scan.h"
+
+#include <cassert>
+
+namespace equihist {
+
+std::vector<Value> FullScan(const Table& table, IoStats* stats) {
+  std::vector<Value> values;
+  values.reserve(table.tuple_count());
+  for (std::uint64_t page_id = 0; page_id < table.page_count(); ++page_id) {
+    Result<const Page*> page = table.file().ReadPage(page_id, stats);
+    assert(page.ok());
+    for (Value v : (*page)->values()) values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace equihist

@@ -1,0 +1,19 @@
+#ifndef EQUIHIST_STORAGE_SCAN_H_
+#define EQUIHIST_STORAGE_SCAN_H_
+
+#include <vector>
+
+#include "data/distribution.h"
+#include "storage/io_stats.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// Full sequential scan: reads every page, charging all I/O to `stats`.
+// This is the cost baseline the sampling access paths are measured against
+// (a perfect histogram requires exactly this scan plus a sort).
+std::vector<Value> FullScan(const Table& table, IoStats* stats);
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_SCAN_H_

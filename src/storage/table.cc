@@ -1,0 +1,25 @@
+#include "storage/table.h"
+
+namespace equihist {
+
+Result<Table> Table::Create(const FrequencyVector& frequencies,
+                            const PageConfig& page_config,
+                            const LayoutSpec& layout) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePageConfig(page_config));
+  EQUIHIST_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            ApplyLayout(frequencies, layout));
+  return CreateFromValues(std::move(values), page_config);
+}
+
+Result<Table> Table::CreateFromValues(std::vector<Value> values,
+                                      const PageConfig& page_config) {
+  EQUIHIST_RETURN_IF_ERROR(ValidatePageConfig(page_config));
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot create an empty table");
+  }
+  auto file = std::make_unique<HeapFile>(page_config);
+  file->AppendAll(values);
+  return Table(std::move(file));
+}
+
+}  // namespace equihist

@@ -1,0 +1,58 @@
+#ifndef EQUIHIST_STORAGE_TABLE_H_
+#define EQUIHIST_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "data/distribution.h"
+#include "storage/heap_file.h"
+#include "storage/layout.h"
+#include "storage/page.h"
+
+namespace equihist {
+
+// A single-attribute relation stored in a paged heap file: the substrate all
+// experiments run against. Construction fixes the page geometry and the
+// on-disk layout; after that the table is immutable.
+//
+// Typical construction:
+//   auto freq = MakeZipf({.n = 10'000'000, .domain_size = 50'000, .skew = 2});
+//   auto table = Table::Create(*freq, PageConfig{8192, 64},
+//                              LayoutSpec{LayoutKind::kRandom});
+class Table {
+ public:
+  // Builds a table by laying out `frequencies` per `layout` and packing the
+  // resulting tuple order into pages of the given geometry.
+  static Result<Table> Create(const FrequencyVector& frequencies,
+                              const PageConfig& page_config,
+                              const LayoutSpec& layout);
+
+  // Builds a table from an explicit tuple order (already laid out).
+  static Result<Table> CreateFromValues(std::vector<Value> values,
+                                        const PageConfig& page_config);
+
+  Table(Table&&) noexcept = default;
+  Table& operator=(Table&&) noexcept = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const HeapFile& file() const { return *file_; }
+  const PageConfig& page_config() const { return file_->config(); }
+  std::uint64_t tuple_count() const { return file_->tuple_count(); }
+  std::uint64_t page_count() const { return file_->page_count(); }
+  std::uint32_t tuples_per_page() const {
+    return file_->config().TuplesPerPage();
+  }
+
+ private:
+  explicit Table(std::unique_ptr<HeapFile> file) : file_(std::move(file)) {}
+
+  // unique_ptr keeps Table cheaply movable while HeapFile stays simple.
+  std::unique_ptr<HeapFile> file_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_TABLE_H_

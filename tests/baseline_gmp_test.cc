@@ -1,0 +1,107 @@
+#include "baseline/gmp_incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_metrics.h"
+#include "data/distribution.h"
+#include "data/generator.h"
+#include "data/value_set.h"
+
+namespace equihist {
+namespace {
+
+TEST(GmpIncrementalTest, CreateValidatesOptions) {
+  EXPECT_FALSE(IncrementalEquiDepth::Create({.buckets = 0}).ok());
+  EXPECT_FALSE(IncrementalEquiDepth::Create({.gamma = 0.0}).ok());
+  EXPECT_FALSE(IncrementalEquiDepth::Create(
+                   {.buckets = 100, .reservoir_capacity = 10})
+                   .ok());
+  EXPECT_TRUE(IncrementalEquiDepth::Create({}).ok());
+}
+
+TEST(GmpIncrementalTest, SnapshotBeforeInsertFails) {
+  auto maintained = IncrementalEquiDepth::Create({.buckets = 10});
+  ASSERT_TRUE(maintained.ok());
+  EXPECT_FALSE(maintained->Snapshot().ok());
+}
+
+TEST(GmpIncrementalTest, CountsAlwaysSumToN) {
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = 10, .reservoir_capacity = 500, .seed = 3});
+  ASSERT_TRUE(maintained.ok());
+  const auto values = ExpandShuffled(*MakeAllDistinct(5000), 7);
+  std::uint64_t inserted = 0;
+  for (Value v : values) {
+    maintained->Insert(v);
+    ++inserted;
+    if (inserted % 1000 == 0) {
+      const auto snapshot = maintained->Snapshot();
+      ASSERT_TRUE(snapshot.ok());
+      EXPECT_EQ(snapshot->total(), inserted);
+      EXPECT_EQ(maintained->size(), inserted);
+    }
+  }
+}
+
+TEST(GmpIncrementalTest, MaintainsReasonableErrorOnRandomStream) {
+  const std::uint64_t n = 50000;
+  const std::uint64_t k = 20;
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = k, .gamma = 0.5, .reservoir_capacity = 2000, .seed = 5});
+  ASSERT_TRUE(maintained.ok());
+  const auto freq = MakeZipf({.n = n, .domain_size = n / 2, .skew = 0.5});
+  const auto values = ExpandShuffled(*freq, 11);
+  for (Value v : values) maintained->Insert(v);
+
+  const auto snapshot = maintained->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const ValueSet truth = ValueSet::FromFrequencies(*freq);
+  const auto errors = ComputeHistogramErrors(*snapshot, truth);
+  ASSERT_TRUE(errors.ok());
+  // The GMP guarantee is loose (f ~ 0.5-1 regimes, Section 3.4); we only
+  // require that maintenance tracked the distribution at all: every bucket
+  // within 2x the ideal size.
+  EXPECT_LT(errors->f_max, 2.0);
+}
+
+TEST(GmpIncrementalTest, SplitsFireOnSkewedInsertions) {
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = 8, .reservoir_capacity = 400, .seed = 9});
+  ASSERT_TRUE(maintained.ok());
+  // Ascending inserts continually overflow the last bucket.
+  for (Value v = 0; v < 20000; ++v) maintained->Insert(v);
+  EXPECT_GT(maintained->split_count() + maintained->recompute_count(), 0u);
+  const auto snapshot = maintained->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  // The sorted stream must not leave everything in one bucket.
+  std::uint64_t max_count = 0;
+  for (std::uint64_t c : snapshot->counts()) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LT(max_count, 20000u / 2);
+}
+
+TEST(GmpIncrementalTest, ConstantStreamDegradesGracefully) {
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = 4, .reservoir_capacity = 100, .seed = 13});
+  ASSERT_TRUE(maintained.ok());
+  for (int i = 0; i < 10000; ++i) maintained->Insert(42);
+  const auto snapshot = maintained->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->total(), 10000u);
+  // All mass on one value: splits are impossible, so recomputes are the
+  // only escape valve and the structure must not blow up.
+  EXPECT_EQ(snapshot->bucket_count(), 4u);
+}
+
+TEST(GmpIncrementalTest, BackingSampleTracksStream) {
+  auto maintained = IncrementalEquiDepth::Create(
+      {.buckets = 4, .reservoir_capacity = 128, .seed = 17});
+  ASSERT_TRUE(maintained.ok());
+  for (Value v = 0; v < 1000; ++v) maintained->Insert(v);
+  EXPECT_EQ(maintained->backing_sample().seen(), 1000u);
+  EXPECT_EQ(maintained->backing_sample().sample().size(), 128u);
+}
+
+}  // namespace
+}  // namespace equihist

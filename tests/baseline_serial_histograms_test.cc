@@ -1,0 +1,211 @@
+#include "baseline/serial_histograms.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/histogram_builder.h"
+#include "data/distribution.h"
+#include "data/generator.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+namespace {
+
+// Brute-force minimum of the V-optimal objective over all partitions of d
+// entries into at most k contiguous groups (exponential; tiny inputs only).
+double BruteForceVOptimal(const FrequencyVector& freq, std::uint64_t k) {
+  const auto& entries = freq.entries();
+  const std::size_t d = entries.size();
+  double best = 1e300;
+  // Each of the d-1 gaps is either a boundary or not; count subsets with
+  // at most k-1 boundaries.
+  const std::uint32_t masks = 1u << (d - 1);
+  for (std::uint32_t mask = 0; mask < masks; ++mask) {
+    if (static_cast<std::uint64_t>(__builtin_popcount(mask)) > k - 1) continue;
+    double cost = 0.0;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const bool boundary = (i + 1 == d) || ((mask >> i) & 1u);
+      if (!boundary) continue;
+      // group [begin..i]
+      double sum = 0.0;
+      double sq = 0.0;
+      for (std::size_t j = begin; j <= i; ++j) {
+        const auto f = static_cast<double>(entries[j].count);
+        sum += f;
+        sq += f * f;
+      }
+      const double len = static_cast<double>(i - begin + 1);
+      cost += sq - sum * sum / len;
+      begin = i + 1;
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(VOptimalTest, MatchesBruteForceOnSmallInputs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t d = 3 + rng.NextBounded(8);  // 3..10 distinct values
+    std::vector<FrequencyEntry> entries;
+    for (std::size_t i = 0; i < d; ++i) {
+      entries.push_back(FrequencyEntry{static_cast<Value>(i * 3 + 1),
+                                       1 + rng.NextBounded(50)});
+    }
+    FrequencyVector freq(entries);
+    const std::uint64_t k = 2 + rng.NextBounded(4);  // 2..5 buckets
+    const auto h = BuildVOptimalHistogram(freq, k);
+    ASSERT_TRUE(h.ok());
+    const double dp_cost = FrequencyVarianceObjective(*h, freq);
+    const double brute = BruteForceVOptimal(freq, k);
+    EXPECT_NEAR(dp_cost, brute, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(VOptimalTest, IsolatesAnOutlierFrequency) {
+  // One value is vastly more frequent: with k >= 2 the optimum puts it in
+  // its own bucket (within-group variance drops to ~0).
+  FrequencyVector freq({{1, 10}, {2, 10}, {3, 10000}, {4, 10}, {5, 10}});
+  const auto h = BuildVOptimalHistogram(freq, 3);
+  ASSERT_TRUE(h.ok());
+  const double objective = FrequencyVarianceObjective(*h, freq);
+  EXPECT_LT(objective, 1.0);  // all groups internally uniform
+}
+
+TEST(VOptimalTest, CountsSumToN) {
+  const auto freq = MakeZipf({.n = 20000, .domain_size = 200, .skew = 1.5});
+  const auto h = BuildVOptimalHistogram(*freq, 20);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total(), 20000u);
+  EXPECT_EQ(h->bucket_count(), 20u);
+}
+
+TEST(VOptimalTest, KLargerThanDistinctGivesPerBucketValues) {
+  FrequencyVector freq({{1, 5}, {9, 7}, {20, 3}});
+  const auto h = BuildVOptimalHistogram(freq, 8);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->bucket_count(), 8u);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h->counts()) total += c;
+  EXPECT_EQ(total, 15u);
+  EXPECT_NEAR(FrequencyVarianceObjective(*h, freq), 0.0, 1e-12);
+}
+
+TEST(VOptimalTest, ObjectiveNeverWorseThanEquiHeight) {
+  const auto freq = MakeZipf({.n = 30000, .domain_size = 300, .skew = 2.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const std::uint64_t k = 15;
+  const auto voptimal = BuildVOptimalHistogram(*freq, k);
+  const auto equi_height = BuildPerfectHistogram(data, k);
+  ASSERT_TRUE(voptimal.ok());
+  ASSERT_TRUE(equi_height.ok());
+  EXPECT_LE(FrequencyVarianceObjective(*voptimal, *freq),
+            FrequencyVarianceObjective(*equi_height, *freq) + 1e-9);
+}
+
+TEST(VOptimalTest, FromSampleScalesToPopulation) {
+  const auto freq = MakeZipf({.n = 50000, .domain_size = 200, .skew = 1.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  Rng rng(11);
+  auto sample = SampleRowsWithoutReplacement(data.sorted_values(), 5000, rng);
+  std::sort(sample->begin(), sample->end());
+  const auto h = BuildVOptimalFromSample(*sample, 15, data.size());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total(), data.size());
+}
+
+TEST(VOptimalTest, Validation) {
+  FrequencyVector freq({{1, 5}});
+  EXPECT_FALSE(BuildVOptimalHistogram(freq, 0).ok());
+  EXPECT_FALSE(BuildVOptimalHistogram(FrequencyVector(), 5).ok());
+  EXPECT_FALSE(
+      BuildVOptimalFromSample(std::vector<Value>{}, 5, 100).ok());
+  EXPECT_FALSE(
+      BuildVOptimalFromSample(std::vector<Value>{1}, 5, 0).ok());
+}
+
+TEST(MaxDiffTest, BoundariesAtLargestFrequencyJumps) {
+  // Frequencies: 10,10,10,500,10,10 -> the two largest diffs straddle the
+  // spike, so with k=3 the spike gets its own bucket.
+  FrequencyVector freq(
+      {{1, 10}, {2, 10}, {3, 10}, {4, 500}, {5, 10}, {6, 10}});
+  const auto h = BuildMaxDiffHistogram(freq, 3);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->separators().size(), 2u);
+  EXPECT_EQ(h->separators()[0], 3);  // boundary after value 3
+  EXPECT_EQ(h->separators()[1], 4);  // boundary after the spike
+  EXPECT_EQ(h->counts()[1], 500u);
+}
+
+TEST(MaxDiffTest, CountsSumToN) {
+  const auto freq = MakeZipf({.n = 20000, .domain_size = 400, .skew = 2.0});
+  const auto h = BuildMaxDiffHistogram(*freq, 25);
+  ASSERT_TRUE(h.ok());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h->counts()) total += c;
+  EXPECT_EQ(total, 20000u);
+  EXPECT_EQ(h->bucket_count(), 25u);
+}
+
+TEST(MaxDiffTest, UniformFrequenciesDegradeGracefully) {
+  // All diffs are zero: boundaries are arbitrary but the structure must be
+  // valid and complete.
+  const auto freq = MakeUniformDup(1000, 20);
+  const auto h = BuildMaxDiffHistogram(*freq, 5);
+  ASSERT_TRUE(h.ok());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h->counts()) total += c;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(MaxDiffTest, FromSampleWorks) {
+  const auto freq = MakeZipf({.n = 50000, .domain_size = 300, .skew = 2.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  Rng rng(13);
+  auto sample = SampleRowsWithoutReplacement(data.sorted_values(), 5000, rng);
+  std::sort(sample->begin(), sample->end());
+  const auto h = BuildMaxDiffFromSample(*sample, 20, data.size());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total(), data.size());
+}
+
+TEST(MaxDiffTest, Validation) {
+  EXPECT_FALSE(BuildMaxDiffHistogram(FrequencyVector(), 5).ok());
+  FrequencyVector freq({{1, 5}});
+  EXPECT_FALSE(BuildMaxDiffHistogram(freq, 0).ok());
+}
+
+// Property sweep: both families produce valid histograms whose claimed
+// counts sum to n across distributions and bucket counts.
+class SerialHistogramPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(SerialHistogramPropertyTest, ValidAndComplete) {
+  const auto [skew, k] = GetParam();
+  const auto freq =
+      MakeZipf({.n = 10000, .domain_size = 150, .skew = skew, .seed = 3});
+  for (const auto& h :
+       {BuildVOptimalHistogram(*freq, k), BuildMaxDiffHistogram(*freq, k)}) {
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->bucket_count(), k);
+    EXPECT_TRUE(std::is_sorted(h->separators().begin(),
+                               h->separators().end()));
+    std::uint64_t total = 0;
+    for (std::uint64_t c : h->counts()) total += c;
+    EXPECT_EQ(total, 10000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewsAndBuckets, SerialHistogramPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.0),
+                       ::testing::Values(std::uint64_t{2}, std::uint64_t{10},
+                                         std::uint64_t{64})));
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,152 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(KahanSumTest, SumsExactlyRepresentableValues) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.Add(i);
+  EXPECT_DOUBLE_EQ(sum.Value(), 5050.0);
+}
+
+TEST(KahanSumTest, CompensatesSmallTermsAgainstLargeBase) {
+  // Naive summation of 1e16 + 1.0 * 1000 - 1e16 loses the ones entirely;
+  // Neumaier compensation keeps them.
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 1000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_NEAR(sum.Value(), 1000.0, 1e-6);
+}
+
+TEST(StableSumTest, MatchesKahan) {
+  const std::vector<double> values = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(StableSum(values), 1.0, 1e-12);
+}
+
+TEST(MeanVarianceTest, BasicMoments) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+}
+
+TEST(MeanVarianceTest, EmptySpanIsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(Mean(empty), 0.0);
+  EXPECT_EQ(Variance(empty), 0.0);
+}
+
+TEST(GeneralizedHarmonicTest, OrdinaryHarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  // H_n ~ ln n + gamma.
+  EXPECT_NEAR(GeneralizedHarmonic(100000, 1.0),
+              std::log(100000.0) + 0.5772156649, 1e-4);
+}
+
+TEST(GeneralizedHarmonicTest, ConvergesForSGreaterThanOne) {
+  // H_{inf,2} = pi^2/6.
+  EXPECT_NEAR(GeneralizedHarmonic(1000000, 2.0), 1.6449340668, 1e-5);
+}
+
+TEST(GeneralizedHarmonicTest, ZeroTermsIsZero) {
+  EXPECT_EQ(GeneralizedHarmonic(0, 2.0), 0.0);
+}
+
+TEST(LogBinomialTest, SmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(HoeffdingTest, TailDecreasesWithThreshold) {
+  const double loose = HoeffdingTwoSidedTail(1000.0, 10.0);
+  const double tight = HoeffdingTwoSidedTail(1000.0, 100.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_LE(loose, 1.0);
+  EXPECT_GE(tight, 0.0);
+}
+
+TEST(HoeffdingTest, KnownValue) {
+  // 2 exp(-2 * 50^2 / 1000) = 2 exp(-5).
+  EXPECT_NEAR(HoeffdingTwoSidedTail(1000.0, 50.0), 2.0 * std::exp(-5.0),
+              1e-12);
+}
+
+TEST(HoeffdingTest, DegenerateInputsClampToOne) {
+  EXPECT_EQ(HoeffdingTwoSidedTail(0.0, 1.0), 1.0);
+  EXPECT_EQ(HoeffdingTwoSidedTail(100.0, 0.0), 1.0);
+}
+
+TEST(BinarySearchFirstTrueTest, FindsThreshold) {
+  auto pred = [](std::int64_t x) { return x * x >= 1000; };
+  EXPECT_EQ(BinarySearchFirstTrue(0, 1000, pred), 32);
+}
+
+TEST(BinarySearchFirstTrueTest, AllFalseReturnsHiPlusOne) {
+  auto never = [](std::int64_t) { return false; };
+  EXPECT_EQ(BinarySearchFirstTrue(0, 10, never), 11);
+}
+
+TEST(BinarySearchFirstTrueTest, AllTrueReturnsLo) {
+  auto always = [](std::int64_t) { return true; };
+  EXPECT_EQ(BinarySearchFirstTrue(-5, 10, always), -5);
+}
+
+TEST(BinarySearchFirstTrueTest, EmptyRange) {
+  auto always = [](std::int64_t) { return true; };
+  EXPECT_EQ(BinarySearchFirstTrue(10, 5, always), 6);
+}
+
+TEST(ChiSquareStatisticTest, PerfectFitIsZero) {
+  const std::vector<std::uint64_t> observed = {10, 10, 10};
+  const std::vector<double> expected = {10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(observed, expected), 0.0);
+}
+
+TEST(ChiSquareStatisticTest, KnownValue) {
+  const std::vector<std::uint64_t> observed = {12, 8};
+  const std::vector<double> expected = {10.0, 10.0};
+  // (2^2)/10 + (2^2)/10 = 0.8
+  EXPECT_NEAR(ChiSquareStatistic(observed, expected), 0.8, 1e-12);
+}
+
+TEST(ChiSquareStatisticTest, SkipsZeroExpectedCells) {
+  const std::vector<std::uint64_t> observed = {5, 0};
+  const std::vector<double> expected = {5.0, 0.0};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(observed, expected), 0.0);
+}
+
+TEST(NormalQuantileTest, KnownQuantiles) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.8413447461), 1.0, 1e-5);
+}
+
+TEST(NormalQuantileTest, TailsAreMonotone) {
+  double prev = NormalQuantile(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChiSquareCriticalValueTest, MatchesTables) {
+  // chi^2_{0.05, 10} = 18.307; Wilson-Hilferty is good to ~1%.
+  EXPECT_NEAR(ChiSquareCriticalValue(10.0, 0.05), 18.307, 0.2);
+  // chi^2_{0.01, 5} = 15.086.
+  EXPECT_NEAR(ChiSquareCriticalValue(5.0, 0.01), 15.086, 0.3);
+  // chi^2_{0.05, 100} = 124.342.
+  EXPECT_NEAR(ChiSquareCriticalValue(100.0, 0.05), 124.342, 0.6);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,147 @@
+#include "common/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace equihist {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // xoshiro with all-zero state would be degenerate; splitmix seeding must
+  // avoid it.
+  std::uint64_t x = rng.Next();
+  std::uint64_t y = rng.Next();
+  EXPECT_FALSE(x == 0 && y == 0);
+  EXPECT_NE(x, y);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || (v == -3);
+    saw_hi = saw_hi || (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.NextInRange(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double min_seen = 1.0;
+  double max_seen = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min_seen = std::min(min_seen, x);
+    max_seen = std::max(max_seen, x);
+  }
+  EXPECT_LT(min_seen, 0.01);
+  EXPECT_GT(max_seen, 0.99);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRateRoughlyCorrect) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedUniformityChiSquare) {
+  // 16 cells, 64k draws: chi-square should be below the 0.999 critical
+  // value for 15 dof with overwhelming probability under uniformity.
+  Rng rng(31);
+  constexpr std::uint64_t kCells = 16;
+  constexpr std::uint64_t kDraws = 1 << 16;
+  std::vector<std::uint64_t> observed(kCells, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    ++observed[rng.NextBounded(kCells)];
+  }
+  std::vector<double> expected(kCells,
+                               static_cast<double>(kDraws) / kCells);
+  const double stat = ChiSquareStatistic(observed, expected);
+  const double critical = ChiSquareCriticalValue(kCells - 1, 0.001);
+  EXPECT_LT(stat, critical);
+}
+
+TEST(RngTest, WorksWithStdShuffleRequirements) {
+  // UniformRandomBitGenerator interface sanity.
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+  Rng rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace equihist

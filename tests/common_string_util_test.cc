@@ -1,0 +1,56 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(FormatWithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithThousands(0), "0");
+  EXPECT_EQ(FormatWithThousands(999), "999");
+  EXPECT_EQ(FormatWithThousands(1000), "1,000");
+  EXPECT_EQ(FormatWithThousands(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithThousands(10000000), "10,000,000");
+}
+
+TEST(FormatFixedTest, RoundsToDigits) {
+  EXPECT_EQ(FormatFixed(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatFixed(2.0, 1), "2.0");
+  EXPECT_EQ(FormatFixed(-1.25, 1), "-1.2");  // banker-ish via printf
+}
+
+TEST(FormatCountTest, UsesSuffixes) {
+  EXPECT_EQ(FormatCount(512), "512");
+  EXPECT_EQ(FormatCount(1500), "1.50K");
+  EXPECT_EQ(FormatCount(2500000), "2.50M");
+  EXPECT_EQ(FormatCount(3000000000.0), "3.00G");
+}
+
+TEST(FormatPercentTest, ScalesFraction) {
+  EXPECT_EQ(FormatPercent(0.125, 1), "12.5%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(RenderTableTest, AlignsColumns) {
+  const std::string table =
+      RenderTable({"name", "count"}, {{"a", "1"}, {"long-name", "22"}});
+  // Header, separator, two rows.
+  EXPECT_NE(table.find("| name"), std::string::npos);
+  EXPECT_NE(table.find("| long-name"), std::string::npos);
+  const auto lines = [&] {
+    int count = 0;
+    for (char c : table) {
+      if (c == '\n') ++count;
+    }
+    return count;
+  }();
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(RenderTableTest, EmptyRowsStillRendersHeader) {
+  const std::string table = RenderTable({"x"}, {});
+  EXPECT_NE(table.find("| x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace equihist

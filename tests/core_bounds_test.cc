@@ -1,0 +1,332 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+constexpr std::uint64_t kMeg = 1000000;
+
+TEST(DeviationSampleSizeTest, PaperExample3SampleSizes) {
+  // Example 3: gamma = 0.01. "For k = 500 and relative error f = 0.2, we
+  // require sample size roughly 1Meg for essentially all reasonable n."
+  for (std::uint64_t n : {10 * kMeg, 100 * kMeg, 1000 * kMeg}) {
+    const auto r = DeviationSampleSize(n, 500, 0.2, 0.01);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(*r, 900000u) << n;
+    EXPECT_LT(*r, 1400000u) << n;
+  }
+  // "For k = 100 and relative error f = 0.1, roughly 800K."
+  for (std::uint64_t n : {10 * kMeg, 100 * kMeg, 1000 * kMeg}) {
+    const auto r = DeviationSampleSize(n, 100, 0.1, 0.01);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(*r, 700000u) << n;
+    EXPECT_LT(*r, 1100000u) << n;
+  }
+}
+
+TEST(DeviationSampleSizeTest, EssentiallyIndependentOfN) {
+  // Growing n by 100x should grow r only logarithmically (< 1.3x here).
+  const auto small = DeviationSampleSize(10 * kMeg, 500, 0.2, 0.01);
+  const auto large = DeviationSampleSize(1000 * kMeg, 500, 0.2, 0.01);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(static_cast<double>(*large) / static_cast<double>(*small), 1.3);
+}
+
+TEST(DeviationSampleSizeTest, LinearInK) {
+  const auto k100 = DeviationSampleSize(10 * kMeg, 100, 0.1, 0.01);
+  const auto k200 = DeviationSampleSize(10 * kMeg, 200, 0.1, 0.01);
+  const auto k400 = DeviationSampleSize(10 * kMeg, 400, 0.1, 0.01);
+  ASSERT_TRUE(k100.ok());
+  EXPECT_NEAR(static_cast<double>(*k200) / static_cast<double>(*k100), 2.0,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(*k400) / static_cast<double>(*k100), 4.0,
+              0.01);
+}
+
+TEST(DeviationSampleSizeTest, InverseSquareInF) {
+  const auto f2 = DeviationSampleSize(10 * kMeg, 100, 0.2, 0.01);
+  const auto f1 = DeviationSampleSize(10 * kMeg, 100, 0.1, 0.01);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NEAR(static_cast<double>(*f1) / static_cast<double>(*f2), 4.0, 0.01);
+}
+
+TEST(DeviationSampleSizeTest, AbsoluteFormMatchesRelativeForm) {
+  const std::uint64_t n = 10 * kMeg;
+  const std::uint64_t k = 200;
+  const double f = 0.25;
+  const double delta = f * static_cast<double>(n) / static_cast<double>(k);
+  const auto rel = DeviationSampleSize(n, k, f, 0.01);
+  const auto abs = DeviationSampleSizeAbsolute(n, k, delta, 0.01);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(abs.ok());
+  EXPECT_NEAR(static_cast<double>(*rel), static_cast<double>(*abs), 2.0);
+}
+
+TEST(DeviationSampleSizeTest, Validation) {
+  EXPECT_FALSE(DeviationSampleSize(0, 10, 0.1, 0.01).ok());
+  EXPECT_FALSE(DeviationSampleSize(10, 0, 0.1, 0.01).ok());
+  EXPECT_FALSE(DeviationSampleSize(10, 10, 0.0, 0.01).ok());
+  EXPECT_FALSE(DeviationSampleSize(10, 10, 1.5, 0.01).ok());
+  EXPECT_FALSE(DeviationSampleSize(10, 10, 0.1, 0.0).ok());
+  EXPECT_FALSE(DeviationSampleSize(10, 10, 0.1, 1.0).ok());
+  EXPECT_FALSE(DeviationSampleSizeAbsolute(1000, 10, 0.0, 0.01).ok());
+  EXPECT_FALSE(DeviationSampleSizeAbsolute(1000, 10, 200.0, 0.01).ok());
+}
+
+TEST(WithoutReplacementTest, NeverExceedsWithReplacementOrTableSize) {
+  for (std::uint64_t n : {std::uint64_t{100000}, std::uint64_t{10000000}}) {
+    for (std::uint64_t k : {std::uint64_t{50}, std::uint64_t{600}}) {
+      const auto wr = DeviationSampleSize(n, k, 0.1, 0.01);
+      const auto wor = DeviationSampleSizeWithoutReplacement(n, k, 0.1, 0.01);
+      ASSERT_TRUE(wr.ok());
+      ASSERT_TRUE(wor.ok());
+      EXPECT_LE(*wor, *wr);
+      EXPECT_LE(*wor, n);
+    }
+  }
+}
+
+TEST(WithoutReplacementTest, MatchesWithReplacementWhenSampleIsTiny) {
+  // r << n: the finite-population correction is negligible.
+  const std::uint64_t n = 1ULL << 40;
+  const auto wr = DeviationSampleSize(n, 100, 0.2, 0.01);
+  const auto wor = DeviationSampleSizeWithoutReplacement(n, 100, 0.2, 0.01);
+  ASSERT_TRUE(wr.ok());
+  ASSERT_TRUE(wor.ok());
+  EXPECT_NEAR(static_cast<double>(*wor), static_cast<double>(*wr),
+              static_cast<double>(*wr) * 1e-3);
+}
+
+TEST(WithoutReplacementTest, CapsAtTableSize) {
+  // Tiny table, demanding target: the WR bound exceeds n, the WOR bound
+  // saturates at a full scan.
+  const auto wor = DeviationSampleSizeWithoutReplacement(1000, 100, 0.05, 0.01);
+  ASSERT_TRUE(wor.ok());
+  EXPECT_EQ(*wor, 1000u);
+}
+
+TEST(MaxBucketsTest, PaperExample3HistogramSize) {
+  // "Sample at most 1Meg from n = 20Meg with f = 0.25: k should not exceed
+  // 800." The formula gives ~700; the paper rounds generously.
+  const auto k = MaxBucketsForSampleSize(20 * kMeg, 1 * kMeg, 0.25, 0.01);
+  ASSERT_TRUE(k.ok());
+  EXPECT_GT(*k, 600u);
+  EXPECT_LE(*k, 800u);
+}
+
+TEST(MaxBucketsTest, TinySampleSupportsNoBuckets) {
+  const auto k = MaxBucketsForSampleSize(kMeg, 10, 0.1, 0.01);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 0u);
+}
+
+TEST(DeviationErrorTest, PaperExample3HistogramError) {
+  // "Sample 800K from n = 25Meg with k = 200: f is bounded by 14%."
+  const auto f = DeviationErrorForSampleSize(25 * kMeg, 200, 800000, 0.01);
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(*f, 0.12);
+  EXPECT_LE(*f, 0.15);
+}
+
+TEST(DeviationErrorTest, RoundTripsWithSampleSize) {
+  const std::uint64_t n = 5 * kMeg;
+  const std::uint64_t k = 300;
+  const double gamma = 0.05;
+  const auto r = DeviationSampleSize(n, k, 0.2, gamma);
+  ASSERT_TRUE(r.ok());
+  const auto f = DeviationErrorForSampleSize(n, k, *r, gamma);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(*f, 0.2, 1e-3);
+}
+
+TEST(FailureProbabilityTest, RoundTripsWithSampleSize) {
+  const std::uint64_t n = 5 * kMeg;
+  const std::uint64_t k = 300;
+  const auto r = DeviationSampleSize(n, k, 0.2, 0.01);
+  ASSERT_TRUE(r.ok());
+  const auto gamma = DeviationFailureProbability(n, k, 0.2, *r);
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_LE(*gamma, 0.0101);
+  EXPECT_GT(*gamma, 0.005);
+}
+
+TEST(FailureProbabilityTest, ClampsToOne) {
+  const auto gamma = DeviationFailureProbability(kMeg, 1000, 0.01, 10);
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_EQ(*gamma, 1.0);
+}
+
+TEST(SeparationTest, NeedsMoreSamplesThanDeviation) {
+  // Theorem 5's bound (k^2-ish) dominates Theorem 4's (k) for fixed f.
+  const std::uint64_t n = kMeg;
+  const std::uint64_t k = 100;
+  const double delta = 0.2 * static_cast<double>(n) / static_cast<double>(k);
+  const auto dev = DeviationSampleSizeAbsolute(n, k, delta, 0.01);
+  const auto sep = SeparationSampleSize(n, k, delta, 0.01);
+  ASSERT_TRUE(dev.ok());
+  ASSERT_TRUE(sep.ok());
+  EXPECT_GT(*sep, *dev);
+}
+
+TEST(SeparationTest, RoundTrip) {
+  const std::uint64_t n = kMeg;
+  const std::uint64_t k = 100;
+  const double delta = 1500.0;
+  const auto r = SeparationSampleSize(n, k, delta, 0.01);
+  ASSERT_TRUE(r.ok());
+  const auto back = SeparationErrorForSampleSize(n, k, *r, 0.01);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(*back, delta, 1.0);
+}
+
+TEST(SeparationTest, Validation) {
+  EXPECT_FALSE(SeparationSampleSize(1000, 10, 0.0, 0.01).ok());
+  EXPECT_FALSE(SeparationSampleSize(1000, 10, 150.0, 0.01).ok());
+}
+
+TEST(CrossValidationTest, AcceptNeedsMoreThanDetect) {
+  // Theorem 7: 16 k ln(k/gamma) vs 4 k ln(1/gamma).
+  const auto detect = CrossValidationDetectSize(600, 0.1, 0.01);
+  const auto accept = CrossValidationAcceptSize(600, 0.1, 0.01);
+  ASSERT_TRUE(detect.ok());
+  ASSERT_TRUE(accept.ok());
+  EXPECT_GT(*accept, *detect);
+}
+
+TEST(CrossValidationTest, KnownValues) {
+  // 4 * 100 * ln(100) / 0.01 with gamma = 0.01: ln(1/0.01) = ln(100).
+  const auto detect = CrossValidationDetectSize(100, 0.1, 0.01);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_NEAR(static_cast<double>(*detect),
+              4.0 * 100.0 * std::log(100.0) / 0.01, 1.0);
+}
+
+TEST(SingleQueryTest, FormulaAndComparisonWithAllQueries) {
+  // One bucket-sized query (s = n/k) to +-delta = f*n/k needs
+  // 3 k ln(2/gamma)/f^2 samples; the all-queries guarantee needs
+  // 4 k ln(2n/gamma)/f^2 — a ~(4/3)ln(2n/gamma)/ln(2/gamma) premium.
+  // This is the Piatetsky-Shapiro & Connell single-query regime the paper
+  // contrasts itself with (Section 1.1).
+  const std::uint64_t n = 10000000;
+  const std::uint64_t k = 100;
+  const double f = 0.1;
+  const double s = static_cast<double>(n) / static_cast<double>(k);
+  const double delta = f * s;
+  const auto single = SingleQuerySampleSize(n, s, delta, 0.01);
+  const auto all = DeviationSampleSize(n, k, f, 0.01);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(all.ok());
+  EXPECT_LT(*single, *all);
+  const double premium =
+      static_cast<double>(*all) / static_cast<double>(*single);
+  EXPECT_NEAR(premium,
+              (4.0 / 3.0) * std::log(2.0 * static_cast<double>(n) / 0.01) /
+                  std::log(2.0 / 0.01),
+              0.1);
+  // Exact formula check.
+  const double expected = 3.0 * s * static_cast<double>(n) *
+                          std::log(2.0 / 0.01) / (delta * delta);
+  EXPECT_NEAR(static_cast<double>(*single), expected, 2.0);
+}
+
+TEST(SingleQueryTest, Validation) {
+  EXPECT_FALSE(SingleQuerySampleSize(0, 5.0, 10.0, 0.01).ok());
+  EXPECT_FALSE(SingleQuerySampleSize(100, 0.0, 10.0, 0.01).ok());
+  EXPECT_FALSE(SingleQuerySampleSize(100, 200.0, 10.0, 0.01).ok());
+  EXPECT_FALSE(SingleQuerySampleSize(100, 5.0, 0.0, 0.01).ok());
+  EXPECT_FALSE(SingleQuerySampleSize(100, 5.0, 200.0, 0.01).ok());
+  EXPECT_FALSE(SingleQuerySampleSize(100, 5.0, 10.0, 0.0).ok());
+}
+
+TEST(GmpTheorem6Test, PaperExample4Numbers) {
+  // Example 4 item 4: for k = 100 (c = 4) Theorem 6 guarantees f ~= 0.48.
+  const auto bound = GmpTheorem6(1000 * kMeg, 100, 4.0);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(bound->f, 0.48, 0.01);
+  // r = 4 k ln^2 k ~= 8482.
+  EXPECT_NEAR(static_cast<double>(bound->r), 8482.0, 5.0);
+  EXPECT_EQ(bound->min_n_theorem, 100ull * 100 * 100);
+}
+
+TEST(GmpTheorem6Test, CannotReachSmallF) {
+  // Example 4 item 4: f < 0.35 needs k > 100,000 — for any practical k the
+  // guaranteed f stays above 0.35.
+  for (std::uint64_t k : {100u, 1000u, 10000u, 100000u}) {
+    const auto bound = GmpTheorem6(1ULL << 50, k, 4.0);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_GT(bound->f, 0.33) << k;
+  }
+}
+
+TEST(GmpTheorem6Test, OursBeatsTheirsOnSampleSize) {
+  // Example 4 item 5 (in spirit): at the same failure probability, our
+  // Theorem 4 sample size for a *stronger* error metric and smaller f is
+  // far below Theorem 6's requirement.
+  const std::uint64_t n = 1ULL << 40;
+  const std::uint64_t k = 500;
+  const auto gmp = GmpTheorem6(n, k, 4.0);
+  ASSERT_TRUE(gmp.ok());
+  const auto ours = DeviationSampleSize(n, k, /*f=*/0.2, gmp->gamma);
+  ASSERT_TRUE(ours.ok());
+  // Our f=0.2 beats their f~=0.43, and the paper contrasts our 4Meg with
+  // their 77Meg for that setting; at minimum ours must guarantee a smaller
+  // f than theirs can ever reach.
+  EXPECT_LT(0.2, gmp->f);
+}
+
+TEST(GmpTheorem6Test, Validation) {
+  EXPECT_FALSE(GmpTheorem6(1000, 2, 4.0).ok());
+  EXPECT_FALSE(GmpTheorem6(1000, 10, 3.0).ok());
+}
+
+TEST(Theorem8Test, HaasComparisonNumber) {
+  // Section 6.1: r = 0.2 n, gamma = 0.5 gives a worst-case ratio error of
+  // at least 1.86, matching Haas et al's observed max error 2.86 regime.
+  const std::uint64_t n = 10 * kMeg;
+  const auto bound = DistinctValueErrorLowerBound(n, n / 5, 0.5);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_NEAR(*bound, 1.86, 0.01);
+}
+
+TEST(Theorem8Test, ShrinksWithSampleSize) {
+  const std::uint64_t n = kMeg;
+  const auto small = DistinctValueErrorLowerBound(n, n / 100, 0.5);
+  const auto large = DistinctValueErrorLowerBound(n, n / 2, 0.5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(*small, *large);
+}
+
+TEST(Theorem8Test, RequiresGammaAboveExpMinusR) {
+  EXPECT_FALSE(DistinctValueErrorLowerBound(100, 1, 0.2).ok());
+  EXPECT_TRUE(DistinctValueErrorLowerBound(100, 10, 0.2).ok());
+}
+
+// Property sweep: sample size must be monotone in each parameter.
+class BoundMonotonicityTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BoundMonotonicityTest, MonotoneInAllParameters) {
+  const auto [k, f] = GetParam();
+  const std::uint64_t n = 10 * kMeg;
+  const auto base = DeviationSampleSize(n, k, f, 0.01);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LE(*base, *DeviationSampleSize(n * 10, k, f, 0.01));
+  EXPECT_LT(*base, *DeviationSampleSize(n, k * 2, f, 0.01));
+  EXPECT_LT(*base, *DeviationSampleSize(n, k, f / 2, 0.01));
+  EXPECT_LT(*base, *DeviationSampleSize(n, k, f, 0.001));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundMonotonicityTest,
+    ::testing::Combine(::testing::Values(std::uint64_t{10}, std::uint64_t{100},
+                                         std::uint64_t{600}),
+                       ::testing::Values(0.05, 0.1, 0.25, 0.5)));
+
+}  // namespace
+}  // namespace equihist

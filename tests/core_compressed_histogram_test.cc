@@ -1,0 +1,136 @@
+#include "core/compressed_histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+namespace {
+
+// A column with two heavy hitters and a uniform tail.
+ValueSet SkewedData() {
+  FrequencyVector fv({{5, 4000}, {10, 1}, {11, 1}, {12, 1}, {13, 1},
+                      {20, 3000}, {30, 1}, {31, 1}, {32, 1}, {33, 1},
+                      {40, 992}});
+  return ValueSet::FromFrequencies(fv);
+}
+
+TEST(CompressedHistogramTest, PerfectPullsOutHeavyHitters) {
+  const ValueSet data = SkewedData();  // n = 8000
+  const auto ch = CompressedHistogram::BuildPerfect(data, 10);
+  ASSERT_TRUE(ch.ok());
+  // Ideal bucket = 800: values 5 (4000), 20 (3000) and 40 (990) qualify.
+  ASSERT_EQ(ch->singletons().size(), 3u);
+  EXPECT_EQ(ch->singletons()[0].value, 5);
+  EXPECT_EQ(ch->singletons()[0].count, 4000u);
+  EXPECT_EQ(ch->singletons()[1].value, 20);
+  EXPECT_EQ(ch->singletons()[1].count, 3000u);
+  EXPECT_EQ(ch->singletons()[2].value, 40);
+  EXPECT_EQ(ch->singletons()[2].count, 992u);
+  ASSERT_NE(ch->equi_height_part(), nullptr);
+  EXPECT_EQ(ch->equi_height_part()->bucket_count(), 7u);
+  EXPECT_EQ(ch->equi_height_part()->total(), 8u);  // the 8 tail values
+}
+
+TEST(CompressedHistogramTest, NoHeavyHittersMeansNoSingletons) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  const auto ch = CompressedHistogram::BuildPerfect(data, 10);
+  ASSERT_TRUE(ch.ok());
+  EXPECT_TRUE(ch->singletons().empty());
+  ASSERT_NE(ch->equi_height_part(), nullptr);
+  EXPECT_EQ(ch->equi_height_part()->bucket_count(), 10u);
+}
+
+TEST(CompressedHistogramTest, AllDataInOneValue) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeConstant(1000, 9));
+  const auto ch = CompressedHistogram::BuildPerfect(data, 5);
+  ASSERT_TRUE(ch.ok());
+  ASSERT_EQ(ch->singletons().size(), 1u);
+  EXPECT_EQ(ch->singletons()[0].count, 1000u);
+  EXPECT_EQ(ch->equi_height_part(), nullptr);
+}
+
+TEST(CompressedHistogramTest, RangeEstimationCountsSingletonsExactly) {
+  const ValueSet data = SkewedData();
+  const auto ch = CompressedHistogram::BuildPerfect(data, 10);
+  ASSERT_TRUE(ch.ok());
+  // (4, 5] hits exactly the value-5 singleton.
+  EXPECT_NEAR(ch->EstimateRangeCount({4, 5}), 4000.0, 1e-9);
+  // (5, 20]: value-20 singleton plus tail values 10..13.
+  EXPECT_NEAR(ch->EstimateRangeCount({5, 20}), 3004.0, 1.0);
+  // Full domain.
+  EXPECT_NEAR(ch->EstimateRangeCount({0, 40}), 8000.0, 1.0);
+}
+
+TEST(CompressedHistogramTest, FromSampleFindsHeavyHitters) {
+  const ValueSet data = SkewedData();
+  Rng rng(3);
+  auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 800, rng);
+  ASSERT_TRUE(sample.ok());
+  std::sort(sample->begin(), sample->end());
+  const auto ch = CompressedHistogram::BuildFromSample(*sample, 10, 8000);
+  ASSERT_TRUE(ch.ok());
+  // The two dominant values must be detected from a 10% sample.
+  const auto& singles = ch->singletons();
+  const bool found5 = std::any_of(singles.begin(), singles.end(),
+                                  [](const auto& s) { return s.value == 5; });
+  const bool found20 = std::any_of(singles.begin(), singles.end(),
+                                   [](const auto& s) { return s.value == 20; });
+  EXPECT_TRUE(found5);
+  EXPECT_TRUE(found20);
+  // Scaled counts should be near the truth.
+  for (const auto& s : singles) {
+    if (s.value == 5) {
+      EXPECT_NEAR(static_cast<double>(s.count), 4000.0, 600.0);
+    }
+    if (s.value == 20) {
+      EXPECT_NEAR(static_cast<double>(s.count), 3000.0, 600.0);
+    }
+  }
+}
+
+TEST(CompressedHistogramTest, CompareReportsAgreement) {
+  const ValueSet data = SkewedData();
+  Rng rng(5);
+  auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 1600, rng);
+  ASSERT_TRUE(sample.ok());
+  std::sort(sample->begin(), sample->end());
+  const auto perfect = CompressedHistogram::BuildPerfect(data, 10);
+  const auto approx = CompressedHistogram::BuildFromSample(*sample, 10, 8000);
+  ASSERT_TRUE(perfect.ok());
+  ASSERT_TRUE(approx.ok());
+  const auto report = CompareCompressed(*perfect, *approx, data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->perfect_singletons, 3u);
+  EXPECT_GE(report->matched_singletons, 2u);
+  EXPECT_LT(report->max_singleton_count_rel_error, 0.3);
+}
+
+TEST(CompressedHistogramTest, Validation) {
+  const ValueSet data = SkewedData();
+  EXPECT_FALSE(CompressedHistogram::BuildPerfect(data, 0).ok());
+  EXPECT_FALSE(CompressedHistogram::BuildPerfect(ValueSet(), 5).ok());
+  EXPECT_FALSE(
+      CompressedHistogram::BuildFromSample(std::vector<Value>{}, 5, 100).ok());
+  EXPECT_FALSE(
+      CompressedHistogram::BuildFromSample(std::vector<Value>{1}, 5, 0).ok());
+}
+
+TEST(CompressedHistogramTest, ToStringMentionsSingletons) {
+  const ValueSet data = SkewedData();
+  const auto ch = CompressedHistogram::BuildPerfect(data, 10);
+  ASSERT_TRUE(ch.ok());
+  const std::string text = ch->ToString();
+  EXPECT_NE(text.find("singletons=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace equihist

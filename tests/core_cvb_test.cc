@@ -1,0 +1,274 @@
+#include "core/cvb.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_metrics.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{8192, 64};  // 128 tuples per page
+
+Table MakeZipfTable(std::uint64_t n, double skew, LayoutKind layout,
+                    std::uint64_t seed = 7) {
+  const auto freq = MakeZipf(
+      {.n = n, .domain_size = n / 20, .skew = skew, .seed = seed});
+  return Table::Create(*freq, kPage, {.kind = layout, .seed = seed}).value();
+}
+
+ValueSet GroundTruth(std::uint64_t n, double skew, std::uint64_t seed = 7) {
+  const auto freq = MakeZipf(
+      {.n = n, .domain_size = n / 20, .skew = skew, .seed = seed});
+  return ValueSet::FromFrequencies(*freq);
+}
+
+TEST(CvbTest, ConvergesOnRandomLayout) {
+  Table table = MakeZipfTable(200000, 1.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 100;
+  options.f = 0.2;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged || result->exhausted_table);
+  EXPECT_GT(result->tuples_sampled, 0u);
+  EXPECT_EQ(result->io.pages_read, result->blocks_sampled);
+}
+
+TEST(CvbTest, ResultHistogramMeetsErrorTargetOnRandomLayout) {
+  const std::uint64_t n = 200000;
+  Table table = MakeZipfTable(n, 1.0, LayoutKind::kRandom);
+  ValueSet truth = GroundTruth(n, 1.0);
+  CvbOptions options;
+  options.k = 100;
+  options.f = 0.2;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  // Zipf(1) at this scale has heavy values above n/k, so the raw
+  // bucket-count error is unavoidably large; the duplicate-aware
+  // claimed-count error is what the stopping rule controls. Allow 2x slack
+  // for cross-validation noise (Theorem 7 distinguishes f/2 from 2f).
+  const auto claimed = ComputeClaimedErrors(result->histogram, truth);
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_LT(claimed->f_max, 2.0 * options.f);
+}
+
+TEST(CvbTest, SortedLayoutSamplesMoreThanRandom) {
+  // With the default 5*sqrt(n) initial budget (~25 pages of ~3125) the
+  // random layout converges quickly while the sorted layout's
+  // block-correlated samples keep failing validation (scenario (b) of
+  // Section 4.1).
+  const std::uint64_t n = 400000;
+  Table random_table = MakeZipfTable(n, 1.0, LayoutKind::kRandom);
+  Table sorted_table = MakeZipfTable(n, 1.0, LayoutKind::kSorted);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.3;
+  const auto random_result = RunCvb(random_table, options);
+  const auto sorted_result = RunCvb(sorted_table, options);
+  ASSERT_TRUE(random_result.ok());
+  ASSERT_TRUE(sorted_result.ok());
+  EXPECT_GT(sorted_result->blocks_sampled, random_result->blocks_sampled);
+}
+
+TEST(CvbTest, ExhaustsTinyTableAndIsExact) {
+  const auto freq = MakeAllDistinct(1000);
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  ValueSet truth = ValueSet::FromFrequencies(*freq);
+  CvbOptions options;
+  options.k = 10;
+  options.f = 0.01;  // unreachable before the 8-page table is exhausted
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exhausted_table);
+  EXPECT_EQ(result->tuples_sampled, 1000u);
+  const auto errors = ComputeHistogramErrors(result->histogram, truth);
+  ASSERT_TRUE(errors.ok());
+  EXPECT_LE(errors->delta_max, 1.0);  // exact up to integer rounding
+}
+
+TEST(CvbTest, IterationLogIsCoherent) {
+  Table table = MakeZipfTable(100000, 2.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->log.empty());
+  std::uint64_t prev_accumulated = 0;
+  for (const auto& entry : result->log) {
+    EXPECT_GT(entry.fresh_blocks, 0u);
+    EXPECT_GT(entry.fresh_tuples, 0u);
+    EXPECT_GT(entry.accumulated_tuples, prev_accumulated);
+    prev_accumulated = entry.accumulated_tuples;
+    EXPECT_EQ(entry.threshold, options.f);
+  }
+  if (result->converged) {
+    EXPECT_TRUE(result->log.back().passed);
+    EXPECT_LT(result->log.back().validation_error, options.f);
+  }
+}
+
+TEST(CvbTest, DeterministicInSeed) {
+  Table table = MakeZipfTable(50000, 1.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.3;
+  options.seed = 99;
+  const auto a = RunCvb(table, options);
+  const auto b = RunCvb(table, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tuples_sampled, b->tuples_sampled);
+  EXPECT_EQ(a->histogram.separators(), b->histogram.separators());
+}
+
+TEST(CvbTest, AllValidationMetricsConvergeOrExhaust) {
+  Table table = MakeZipfTable(100000, 0.0, LayoutKind::kRandom);
+  for (auto metric : {CvbValidationMetric::kClaimedDeviation,
+                      CvbValidationMetric::kFractionalMaxError,
+                      CvbValidationMetric::kRelativeDeviation}) {
+    CvbOptions options;
+    options.k = 50;
+    options.f = 0.25;
+    options.metric = metric;
+    const auto result = RunCvb(table, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->converged || result->exhausted_table);
+  }
+}
+
+TEST(CvbTest, ClaimedDeviationMeetsTargetOnDistinctData) {
+  // On duplicate-free data the claimed-deviation metric equals the paper's
+  // Definition 3 statistic, and the resulting histogram's claimed-count
+  // error against the truth should respect the target (2x Theorem 7 gap).
+  const auto freq = MakeAllDistinct(200000);
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  ValueSet truth = ValueSet::FromFrequencies(*freq);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  options.metric = CvbValidationMetric::kClaimedDeviation;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->converged || result->exhausted_table);
+  const auto claimed = ComputeClaimedErrors(result->histogram, truth);
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_LT(claimed->f_max, 2.0 * options.f);
+}
+
+TEST(CvbTest, OneTuplePerBlockValidationStillWorks) {
+  Table table = MakeZipfTable(100000, 1.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  options.style = CvbValidationStyle::kOneTuplePerBlock;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged || result->exhausted_table);
+}
+
+TEST(CvbTest, InitialBlocksOverrideIsHonored) {
+  Table table = MakeZipfTable(100000, 1.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  options.initial_blocks_override = 3;
+  options.schedule.kind = ScheduleKind::kLinear;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->log.empty());
+  // Linear schedule: every fresh batch is 3 blocks.
+  EXPECT_EQ(result->log.front().fresh_blocks, 3u);
+}
+
+TEST(CvbTest, ReportsSampleStatistics) {
+  Table table = MakeZipfTable(100000, 2.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.3;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->sample_distinct, 0u);
+  EXPECT_GT(result->density_estimate, 0.0);  // Zipf(2) is heavily duplicated
+  EXPECT_GT(result->sampling_fraction, 0.0);
+  EXPECT_LE(result->sampling_fraction, 1.0);
+}
+
+TEST(CvbTest, ValidatesOptions) {
+  Table table = MakeZipfTable(10000, 0.0, LayoutKind::kRandom);
+  CvbOptions bad;
+  bad.k = 0;
+  EXPECT_FALSE(RunCvb(table, bad).ok());
+  bad = CvbOptions{};
+  bad.f = 0.0;
+  EXPECT_FALSE(RunCvb(table, bad).ok());
+  bad = CvbOptions{};
+  bad.f = 2.0;
+  EXPECT_FALSE(RunCvb(table, bad).ok());
+  bad = CvbOptions{};
+  bad.gamma = 0.0;
+  EXPECT_FALSE(RunCvb(table, bad).ok());
+  bad = CvbOptions{};
+  bad.max_iterations = 0;
+  EXPECT_FALSE(RunCvb(table, bad).ok());
+}
+
+TEST(CvbTest, ErrorAdaptiveSteppingConverges) {
+  Table table = MakeZipfTable(200000, 1.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.2;
+  options.error_adaptive_stepping = true;
+  const auto adaptive = RunCvb(table, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_TRUE(adaptive->converged || adaptive->exhausted_table);
+  // Batch sizes after the first validation must follow the error feedback,
+  // not the doubling schedule: at least one batch differs from doubling.
+  options.error_adaptive_stepping = false;
+  const auto fixed = RunCvb(table, options);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(fixed->converged || fixed->exhausted_table);
+}
+
+TEST(CvbTest, SampleProfileAndHeavyHittersAreReported) {
+  Table table = MakeZipfTable(100000, 2.0, LayoutKind::kRandom);
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sample_profile.sample_size(), result->tuples_sampled);
+  EXPECT_EQ(result->sample_profile.distinct_in_sample(),
+            result->sample_distinct);
+  // Zipf(2): the dominant value (~60% of tuples) must be flagged heavy with
+  // a count in the right ballpark.
+  ASSERT_FALSE(result->heavy_hitters.empty());
+  std::uint64_t max_count = 0;
+  for (const auto& h : result->heavy_hitters) {
+    max_count = std::max(max_count, h.count);
+  }
+  EXPECT_GT(max_count, 100000u / 3);
+  EXPECT_LT(max_count, 100000u);
+}
+
+TEST(CvbTest, ConstantColumnConvergesImmediately) {
+  // Every tuple identical: any histogram is "right"; the fractional metric
+  // sees matching fractions and stops at the first validation.
+  const auto freq = MakeConstant(50000, 7);
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  CvbOptions options;
+  options.k = 10;
+  options.f = 0.2;
+  const auto result = RunCvb(table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged || result->exhausted_table);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,74 @@
+#include "core/density.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "data/generator.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+namespace {
+
+TEST(DensityTest, AllDistinctIsZero) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  EXPECT_DOUBLE_EQ(ComputeDensity(data.sorted_values()), 0.0);
+}
+
+TEST(DensityTest, AllIdenticalIsOne) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeConstant(1000, 5));
+  EXPECT_DOUBLE_EQ(ComputeDensity(data.sorted_values()), 1.0);
+}
+
+TEST(DensityTest, DegenerateSizes) {
+  EXPECT_EQ(ComputeDensity({}), 0.0);
+  EXPECT_EQ(ComputeDensity(std::vector<Value>{42}), 0.0);
+}
+
+TEST(DensityTest, TwoValueExample) {
+  // {1, 1, 2, 2}: P(equal pair) = (2*1 + 2*1) / (4*3) = 1/3.
+  EXPECT_NEAR(ComputeDensity(std::vector<Value>{1, 1, 2, 2}), 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(DensityTest, UniformDupMatchesClosedForm) {
+  // d values, multiplicity m: density = d*m*(m-1) / (n*(n-1)).
+  const std::uint64_t d = 50;
+  const std::uint64_t m = 20;
+  const std::uint64_t n = d * m;
+  const ValueSet data = ValueSet::FromFrequencies(*MakeUniformDup(n, d));
+  const double expected = static_cast<double>(d * m * (m - 1)) /
+                          static_cast<double>(n * (n - 1));
+  EXPECT_NEAR(ComputeDensity(data.sorted_values()), expected, 1e-12);
+}
+
+TEST(DensityTest, MoreSkewMeansMoreDensity) {
+  auto density_of = [](double skew) {
+    const auto freq =
+        MakeZipf({.n = 100000, .domain_size = 1000, .skew = skew});
+    const ValueSet data = ValueSet::FromFrequencies(*freq);
+    return ComputeDensity(data.sorted_values());
+  };
+  EXPECT_LT(density_of(0.0), density_of(1.0));
+  EXPECT_LT(density_of(1.0), density_of(2.0));
+  EXPECT_LT(density_of(2.0), density_of(4.0));
+}
+
+TEST(DensityTest, SampleEstimateTracksTruth) {
+  const auto freq = MakeZipf({.n = 200000, .domain_size = 2000, .skew = 2.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const double truth = ComputeDensity(data.sorted_values());
+  Rng rng(5);
+  auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 10000, rng);
+  ASSERT_TRUE(sample.ok());
+  std::sort(sample->begin(), sample->end());
+  const double estimate = EstimateDensityFromSample(*sample);
+  EXPECT_NEAR(estimate, truth, truth * 0.1);  // within 10% relative
+}
+
+}  // namespace
+}  // namespace equihist

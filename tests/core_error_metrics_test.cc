@@ -1,0 +1,214 @@
+#include "core/error_metrics.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/histogram_builder.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+namespace {
+
+TEST(BucketErrorTest, PaperExample2Numbers) {
+  // Section 2.3, Example 2: k=10 buckets of sizes below, n=1000.
+  const std::vector<std::uint64_t> sizes = {88, 101, 87, 88, 89,
+                                            180, 90, 88, 103, 86};
+  const auto report = ComputeBucketErrors(sizes);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->delta_avg, 16.8, 1e-9);
+  EXPECT_NEAR(report->delta_var, 27.5, 0.3);  // paper rounds to 27.5
+  EXPECT_NEAR(report->delta_max, 80.0, 1e-9);
+  // In f units (ideal bucket 100).
+  EXPECT_NEAR(report->f_avg, 0.168, 1e-9);
+  EXPECT_NEAR(report->f_max, 0.80, 1e-9);
+}
+
+TEST(BucketErrorTest, PerfectBucketsHaveZeroError) {
+  const std::vector<std::uint64_t> sizes(10, 100);
+  const auto report = ComputeBucketErrors(sizes);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->delta_avg, 0.0);
+  EXPECT_EQ(report->delta_var, 0.0);
+  EXPECT_EQ(report->delta_max, 0.0);
+}
+
+TEST(BucketErrorTest, RejectsEmpty) {
+  EXPECT_FALSE(ComputeBucketErrors(std::vector<std::uint64_t>{}).ok());
+}
+
+TEST(BucketErrorTest, SingleBucketAlwaysPerfect) {
+  const auto report = ComputeBucketErrors(std::vector<std::uint64_t>{1234});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->delta_max, 0.0);
+}
+
+// Theorem 2 property: delta_avg <= delta_var <= delta_max on random
+// bucket-size vectors.
+class Theorem2PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2PropertyTest, MetricOrdering) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t k = 2 + rng.NextBounded(50);
+    std::vector<std::uint64_t> sizes(k);
+    for (auto& s : sizes) s = rng.NextBounded(1000);
+    const auto report = ComputeBucketErrors(sizes);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LE(report->delta_avg, report->delta_var + 1e-9);
+    EXPECT_LE(report->delta_var, report->delta_max + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(HistogramErrorTest, PerfectHistogramHasTinyError) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  const auto h = BuildPerfectHistogram(data, 10);
+  ASSERT_TRUE(h.ok());
+  const auto report = ComputeHistogramErrors(*h, data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->delta_max, 1.0);
+}
+
+TEST(HistogramErrorTest, SampledHistogramErrorShrinksWithSampleSize) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(100000));
+  Rng rng(42);
+  double previous_error = 1e18;
+  for (std::uint64_t r : {200u, 2000u, 20000u}) {
+    const auto sample = SampleRowsWithoutReplacement(
+        data.sorted_values(), r, rng);
+    ASSERT_TRUE(sample.ok());
+    std::vector<Value> sorted = *sample;
+    std::sort(sorted.begin(), sorted.end());
+    const auto h = BuildHistogramFromSample(sorted, 20, data.size());
+    ASSERT_TRUE(h.ok());
+    const auto report = ComputeHistogramErrors(*h, data);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LT(report->delta_max, previous_error);
+    previous_error = report->delta_max;
+  }
+}
+
+TEST(SeparationErrorTest, IdenticalHistogramsHaveZeroSeparation) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  const auto h = BuildPerfectHistogram(data, 10);
+  ASSERT_TRUE(h.ok());
+  const auto sep = SeparationError(*h, *h, data);
+  ASSERT_TRUE(sep.ok());
+  EXPECT_EQ(*sep, 0u);
+}
+
+TEST(SeparationErrorTest, ShiftedSeparatorsGiveSymmetricDifference) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(100));
+  // Buckets (0,50], (50,100] vs (0,60], (60,100]: symmetric difference of
+  // the first buckets is (50,60] = 10 values; same for the second buckets.
+  const auto a = Histogram::Create({50}, {50, 50}, 0, 100);
+  const auto b = Histogram::Create({60}, {60, 40}, 0, 100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto sep = SeparationError(*a, *b, data);
+  ASSERT_TRUE(sep.ok());
+  EXPECT_EQ(*sep, 10u);
+}
+
+TEST(SeparationErrorTest, RequiresMatchingK) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(10));
+  const auto a = Histogram::Create({5}, {5, 5}, 0, 10);
+  const auto b = Histogram::Create({3, 7}, {3, 4, 3}, 0, 10);
+  EXPECT_FALSE(SeparationError(*a, *b, data).ok());
+}
+
+TEST(SeparationErrorTest, DominatesMaxErrorDifference) {
+  // delta-separation >= max bucket size difference, because the symmetric
+  // difference is at least the size difference.
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  Rng rng(5);
+  const auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 100, rng);
+  std::vector<Value> sorted = *sample;
+  std::sort(sorted.begin(), sorted.end());
+  const auto perfect = BuildPerfectHistogram(data, 10);
+  const auto approx = BuildHistogramFromSample(sorted, 10, data.size());
+  ASSERT_TRUE(perfect.ok());
+  ASSERT_TRUE(approx.ok());
+  const auto sep = SeparationError(*perfect, *approx, data);
+  const auto errors = ComputeHistogramErrors(*approx, data);
+  ASSERT_TRUE(sep.ok());
+  ASSERT_TRUE(errors.ok());
+  EXPECT_GE(static_cast<double>(*sep) + 1.0, errors->delta_max);
+}
+
+TEST(RelativeDeviationTest, ZeroWhenSampleMatchesHistogram) {
+  // Histogram with separators 25,50,75 over sample 1..100: each bucket gets
+  // exactly 25 values.
+  std::vector<Value> sample(100);
+  std::iota(sample.begin(), sample.end(), 1);
+  const auto h = Histogram::Create({25, 50, 75}, {25, 25, 25, 25}, 0, 100);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(RelativeDeviation(*h, sample), 0.0);
+}
+
+TEST(RelativeDeviationTest, DetectsSkewedSample) {
+  // All sample mass below the first separator.
+  std::vector<Value> sample(100, 1);
+  const auto h = Histogram::Create({25, 50, 75}, {25, 25, 25, 25}, 0, 100);
+  ASSERT_TRUE(h.ok());
+  // First bucket holds 100, ideal is 25: deviation 75.
+  EXPECT_DOUBLE_EQ(RelativeDeviation(*h, sample), 75.0);
+}
+
+TEST(FractionalMaxErrorTest, ZeroForIdenticalSamples) {
+  std::vector<Value> sample(100);
+  std::iota(sample.begin(), sample.end(), 1);
+  const auto h = BuildHistogramFromSample(sample, 4, 1000);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(FractionalMaxError(*h, sample, sample), 0.0, 1e-12);
+}
+
+TEST(FractionalMaxErrorTest, ReducesToNormalizedDeviationWhenDistinct) {
+  // Reference: uniform 1..100; validation skewed low.
+  std::vector<Value> reference(100);
+  std::iota(reference.begin(), reference.end(), 1);
+  std::vector<Value> validation;
+  for (Value v = 1; v <= 50; ++v) {
+    validation.push_back(v);
+    validation.push_back(v);
+  }
+  const auto h = BuildHistogramFromSample(reference, 4, 1000);
+  ASSERT_TRUE(h.ok());
+  const double f_prime = FractionalMaxError(*h, reference, validation);
+  const double ideal = static_cast<double>(validation.size()) / 4.0;
+  const double normalized = RelativeDeviation(*h, validation) / ideal;
+  EXPECT_NEAR(f_prime, normalized, 1e-9);
+}
+
+TEST(FractionalMaxErrorTest, HandlesDuplicatedSeparators) {
+  // 90% of the reference is one value: separators collapse.
+  std::vector<Value> reference(90, 5);
+  for (Value v = 0; v < 10; ++v) reference.push_back(100 + v);
+  std::sort(reference.begin(), reference.end());
+  const auto h = BuildHistogramFromSample(reference, 10, 1000);
+  ASSERT_TRUE(h.ok());
+  // A validation sample with the same shape scores ~0.
+  EXPECT_NEAR(FractionalMaxError(*h, reference, reference), 0.0, 1e-12);
+  // A validation sample missing the heavy value scores high.
+  std::vector<Value> validation;
+  for (Value v = 0; v < 100; ++v) validation.push_back(100 + (v % 10));
+  std::sort(validation.begin(), validation.end());
+  EXPECT_GT(FractionalMaxError(*h, reference, validation), 0.5);
+}
+
+TEST(FractionalMaxErrorTest, EmptyInputsAreZero) {
+  const auto h = Histogram::Create({5}, {1, 1}, 0, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(FractionalMaxError(*h, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace equihist

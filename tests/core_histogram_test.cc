@@ -1,0 +1,120 @@
+#include "core/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/value_set.h"
+
+namespace equihist {
+namespace {
+
+Histogram MakeSimpleHistogram() {
+  // 4 buckets over (0, 40]: (0,10], (10,20], (20,30], (30,40].
+  return Histogram::Create({10, 20, 30}, {5, 5, 5, 5}, 0, 40).value();
+}
+
+TEST(HistogramTest, CreateValidatesShape) {
+  EXPECT_FALSE(Histogram::Create({}, {}, 0, 1).ok());
+  EXPECT_FALSE(Histogram::Create({1, 2}, {3, 4}, 0, 5).ok());  // k-1 mismatch
+  EXPECT_FALSE(Histogram::Create({5, 2}, {1, 1, 1}, 0, 9).ok());  // unsorted
+  EXPECT_FALSE(Histogram::Create({}, {1}, 5, 2).ok());  // fences reversed
+  EXPECT_FALSE(Histogram::Create({9}, {1, 1}, 0, 5).ok());  // sep > fence
+  EXPECT_TRUE(Histogram::Create({2, 2}, {1, 1, 1}, 0, 5).ok());  // dup sep ok
+}
+
+TEST(HistogramTest, SingleBucketHistogram) {
+  const auto h = Histogram::Create({}, {42}, 0, 100);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->bucket_count(), 1u);
+  EXPECT_EQ(h->total(), 42u);
+  EXPECT_EQ(h->BucketIndexForValue(50), 0u);
+  EXPECT_EQ(h->BucketLowerBound(0), 0);
+  EXPECT_EQ(h->BucketUpperBound(0), 100);
+}
+
+TEST(HistogramTest, TotalSumsCounts) {
+  EXPECT_EQ(MakeSimpleHistogram().total(), 20u);
+}
+
+TEST(HistogramTest, BucketIndexForValue) {
+  const Histogram h = MakeSimpleHistogram();
+  EXPECT_EQ(h.BucketIndexForValue(1), 0u);
+  EXPECT_EQ(h.BucketIndexForValue(10), 0u);   // boundary belongs below
+  EXPECT_EQ(h.BucketIndexForValue(11), 1u);
+  EXPECT_EQ(h.BucketIndexForValue(20), 1u);
+  EXPECT_EQ(h.BucketIndexForValue(35), 3u);
+  EXPECT_EQ(h.BucketIndexForValue(1000), 3u);  // beyond last separator
+  EXPECT_EQ(h.BucketIndexForValue(-5), 0u);
+}
+
+TEST(HistogramTest, BucketBoundsUseFences) {
+  const Histogram h = MakeSimpleHistogram();
+  EXPECT_EQ(h.BucketLowerBound(0), 0);
+  EXPECT_EQ(h.BucketUpperBound(0), 10);
+  EXPECT_EQ(h.BucketLowerBound(3), 30);
+  EXPECT_EQ(h.BucketUpperBound(3), 40);
+}
+
+TEST(HistogramTest, PartitionCountsMatchesBruteForce) {
+  const Histogram h = MakeSimpleHistogram();
+  std::vector<Value> values = {1, 5, 10, 11, 20, 21, 25, 30, 31, 40, 40};
+  ValueSet population(values);
+  const auto counts = h.PartitionCounts(population);
+  ASSERT_EQ(counts.size(), 4u);
+  // Brute force with the same (lo, hi] rule.
+  std::vector<std::uint64_t> expected(4, 0);
+  for (Value v : values) ++expected[h.BucketIndexForValue(v)];
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(HistogramTest, PartitionCountsSumToPopulation) {
+  const Histogram h = MakeSimpleHistogram();
+  ValueSet population({-100, 0, 10, 20, 30, 40, 100, 200});
+  const auto counts = h.PartitionCounts(population);
+  std::uint64_t sum = 0;
+  for (auto c : counts) sum += c;
+  EXPECT_EQ(sum, population.size());
+}
+
+TEST(HistogramTest, PartitionSortedMatchesPartitionCounts) {
+  const Histogram h = MakeSimpleHistogram();
+  std::vector<Value> values = {3, 9, 14, 22, 22, 37};
+  ValueSet population(values);
+  EXPECT_EQ(h.PartitionSorted(population.sorted_values()),
+            h.PartitionCounts(population));
+}
+
+TEST(HistogramTest, DuplicatedSeparatorsPinTheValueInTheRunsLastBucket) {
+  // Separators 5,5: bucket 0 is (0,5) effectively (the value 5 itself
+  // belongs to the run's last bucket, the zero-width spike (5,5]).
+  const auto h = Histogram::Create({5, 5}, {2, 2, 2}, 0, 10);
+  ASSERT_TRUE(h.ok());
+  ValueSet population({1, 2, 5, 5, 6, 9});
+  const auto counts = h->PartitionCounts(population);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{2, 2, 2}));
+  EXPECT_EQ(h->BucketIndexForValue(5), 1u);  // the spike bucket
+  EXPECT_EQ(h->BucketIndexForValue(4), 0u);
+  EXPECT_EQ(h->BucketIndexForValue(6), 2u);
+}
+
+TEST(HistogramTest, MeasuredAgainstReplacesCounts) {
+  const Histogram h = MakeSimpleHistogram();
+  ValueSet population({1, 2, 3, 15, 35, 35});
+  const Histogram measured = h.MeasuredAgainst(population);
+  EXPECT_EQ(measured.counts(), (std::vector<std::uint64_t>{3, 1, 0, 2}));
+  EXPECT_EQ(measured.total(), 6u);
+  EXPECT_EQ(measured.separators(), h.separators());
+}
+
+TEST(HistogramTest, ToStringShowsBucketsAndTruncates) {
+  const Histogram h = MakeSimpleHistogram();
+  const std::string full = h.ToString();
+  EXPECT_NE(full.find("k=4"), std::string::npos);
+  EXPECT_NE(full.find("B1"), std::string::npos);
+  const std::string truncated = h.ToString(2);
+  EXPECT_NE(truncated.find("2 more buckets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,210 @@
+#include "data/distribution.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(FrequencyVectorTest, TotalsAndDistinct) {
+  FrequencyVector fv({{1, 3}, {5, 2}, {9, 1}});
+  EXPECT_EQ(fv.total_count(), 6u);
+  EXPECT_EQ(fv.distinct_count(), 3u);
+  EXPECT_FALSE(fv.empty());
+}
+
+TEST(FrequencyVectorTest, DefaultIsEmpty) {
+  FrequencyVector fv;
+  EXPECT_TRUE(fv.empty());
+  EXPECT_EQ(fv.total_count(), 0u);
+}
+
+TEST(MakeZipfTest, CountsSumExactlyToN) {
+  for (double skew : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const auto fv =
+        MakeZipf({.n = 10000, .domain_size = 500, .skew = skew, .seed = 1});
+    ASSERT_TRUE(fv.ok()) << skew;
+    EXPECT_EQ(fv->total_count(), 10000u) << skew;
+  }
+}
+
+TEST(MakeZipfTest, ZeroSkewIsUniform) {
+  const auto fv = MakeZipf({.n = 1000, .domain_size = 100, .skew = 0.0});
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->distinct_count(), 100u);
+  for (const auto& entry : fv->entries()) {
+    EXPECT_EQ(entry.count, 10u);
+  }
+}
+
+TEST(MakeZipfTest, HighSkewConcentratesMass) {
+  ZipfSpec spec{.n = 100000, .domain_size = 1000, .skew = 2.0,
+                .placement = FrequencyPlacement::kDecreasing};
+  const auto fv = MakeZipf(spec);
+  ASSERT_TRUE(fv.ok());
+  // With decreasing placement the first entry carries the largest count:
+  // about n / zeta(2) = 60.8% of the data.
+  EXPECT_GT(fv->entries().front().count, 55000u);
+  // High skew drops most of the tail below one tuple.
+  EXPECT_LT(fv->distinct_count(), 1000u);
+}
+
+TEST(MakeZipfTest, DecreasingPlacementIsSortedByCount) {
+  ZipfSpec spec{.n = 5000, .domain_size = 50, .skew = 1.0,
+                .placement = FrequencyPlacement::kDecreasing};
+  const auto fv = MakeZipf(spec);
+  ASSERT_TRUE(fv.ok());
+  for (std::size_t i = 1; i < fv->entries().size(); ++i) {
+    EXPECT_GE(fv->entries()[i - 1].count, fv->entries()[i].count);
+  }
+}
+
+TEST(MakeZipfTest, ShuffledPlacementPreservesMultiset) {
+  ZipfSpec dec{.n = 5000, .domain_size = 50, .skew = 1.5,
+               .placement = FrequencyPlacement::kDecreasing};
+  ZipfSpec shuf = dec;
+  shuf.placement = FrequencyPlacement::kShuffled;
+  shuf.seed = 99;
+  const auto a = MakeZipf(dec);
+  const auto b = MakeZipf(shuf);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto counts_of = [](const FrequencyVector& fv) {
+    std::vector<std::uint64_t> counts;
+    for (const auto& e : fv.entries()) counts.push_back(e.count);
+    std::sort(counts.begin(), counts.end());
+    return counts;
+  };
+  EXPECT_EQ(counts_of(*a), counts_of(*b));
+}
+
+TEST(MakeZipfTest, ShuffleIsDeterministicInSeed) {
+  ZipfSpec spec{.n = 2000, .domain_size = 64, .skew = 1.0, .seed = 5};
+  const auto a = MakeZipf(spec);
+  const auto b = MakeZipf(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->entries(), b->entries());
+
+  spec.seed = 6;
+  const auto c = MakeZipf(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->entries(), c->entries());
+}
+
+TEST(MakeZipfTest, ValueStrideSpacesValues) {
+  ZipfSpec spec{.n = 100, .domain_size = 10, .skew = 0.0, .value_stride = 7};
+  const auto fv = MakeZipf(spec);
+  ASSERT_TRUE(fv.ok());
+  for (const auto& entry : fv->entries()) {
+    EXPECT_EQ(entry.value % 7, 0);
+  }
+}
+
+TEST(MakeZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(MakeZipf({.n = 0, .domain_size = 10}).ok());
+  EXPECT_FALSE(MakeZipf({.n = 10, .domain_size = 0}).ok());
+  EXPECT_FALSE(MakeZipf({.n = 10, .domain_size = 5, .skew = -1.0}).ok());
+  EXPECT_FALSE(
+      MakeZipf({.n = 10, .domain_size = 5, .skew = 1.0, .value_stride = 0})
+          .ok());
+}
+
+TEST(MakeAllDistinctTest, EveryValueOnce) {
+  const auto fv = MakeAllDistinct(100);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->total_count(), 100u);
+  EXPECT_EQ(fv->distinct_count(), 100u);
+  for (const auto& entry : fv->entries()) EXPECT_EQ(entry.count, 1u);
+}
+
+TEST(MakeUniformDupTest, ExactMultiplicities) {
+  const auto fv = MakeUniformDup(1000, 50);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->distinct_count(), 50u);
+  for (const auto& entry : fv->entries()) EXPECT_EQ(entry.count, 20u);
+}
+
+TEST(MakeUniformDupTest, RequiresDivisibility) {
+  EXPECT_FALSE(MakeUniformDup(1000, 3).ok());
+  EXPECT_TRUE(MakeUniformDup(999, 3).ok());
+}
+
+TEST(MakeConstantTest, SingleEntry) {
+  const auto fv = MakeConstant(500, 7);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->distinct_count(), 1u);
+  EXPECT_EQ(fv->entries().front().value, 7);
+  EXPECT_EQ(fv->entries().front().count, 500u);
+}
+
+TEST(MakeSelfSimilarTest, FirstHalfGetsHFraction) {
+  SelfSimilarSpec spec{.n = 100000, .domain_size = 64, .h = 0.8};
+  const auto fv = MakeSelfSimilar(spec);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->total_count(), 100000u);
+  std::uint64_t first_half = 0;
+  for (const auto& entry : fv->entries()) {
+    if (entry.value <= 32) first_half += entry.count;
+  }
+  EXPECT_NEAR(static_cast<double>(first_half) / 100000.0, 0.8, 0.01);
+}
+
+TEST(MakeSelfSimilarTest, RejectsBadH) {
+  EXPECT_FALSE(MakeSelfSimilar({.n = 10, .domain_size = 4, .h = 0.5}).ok());
+  EXPECT_FALSE(MakeSelfSimilar({.n = 10, .domain_size = 4, .h = 1.0}).ok());
+}
+
+TEST(MakeNormalTest, MassPeaksAtCenter) {
+  NormalSpec spec{.n = 100000, .domain_size = 101, .sigma_fraction = 0.1};
+  const auto fv = MakeNormal(spec);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->total_count(), 100000u);
+  std::uint64_t center_count = 0;
+  std::uint64_t edge_count = 0;
+  for (const auto& entry : fv->entries()) {
+    if (entry.value == 51) center_count = entry.count;
+    if (entry.value == 1) edge_count = entry.count;
+  }
+  EXPECT_GT(center_count, edge_count * 10);
+}
+
+TEST(MakeNormalTest, RejectsBadSigma) {
+  EXPECT_FALSE(
+      MakeNormal({.n = 10, .domain_size = 4, .sigma_fraction = 0.0}).ok());
+}
+
+// Property sweep: every distribution produces sorted, unique values and
+// positive counts that sum to n.
+class DistributionInvariantTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DistributionInvariantTest, SortedUniquePositiveSumsToN) {
+  const auto [skew, n] = GetParam();
+  const auto fv = MakeZipf({.n = n, .domain_size = 200, .skew = skew});
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->total_count(), n);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < fv->entries().size(); ++i) {
+    const auto& entry = fv->entries()[i];
+    EXPECT_GT(entry.count, 0u);
+    sum += entry.count;
+    if (i > 0) {
+      EXPECT_LT(fv->entries()[i - 1].value, entry.value);
+    }
+  }
+  EXPECT_EQ(sum, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewAndSize, DistributionInvariantTest,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0, 4.0),
+                       ::testing::Values(std::uint64_t{100},
+                                         std::uint64_t{1777},
+                                         std::uint64_t{100000})));
+
+}  // namespace
+}  // namespace equihist

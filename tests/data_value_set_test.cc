@@ -1,0 +1,100 @@
+#include "data/value_set.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/generator.h"
+
+namespace equihist {
+namespace {
+
+TEST(ValueSetTest, SortsUnsortedInput) {
+  ValueSet set({5, 1, 3, 2, 4});
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.ValueAtRank(0), 1);
+  EXPECT_EQ(set.ValueAtRank(4), 5);
+  EXPECT_EQ(set.min(), 1);
+  EXPECT_EQ(set.max(), 5);
+}
+
+TEST(ValueSetTest, FromFrequenciesAvoidsSortAndMatches) {
+  FrequencyVector fv({{2, 3}, {7, 2}});
+  const ValueSet set = ValueSet::FromFrequencies(fv);
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.sorted_values(), (std::vector<Value>{2, 2, 2, 7, 7}));
+}
+
+TEST(ValueSetTest, CountLessEqualAndLess) {
+  ValueSet set({1, 2, 2, 2, 5, 9});
+  EXPECT_EQ(set.CountLessEqual(0), 0u);
+  EXPECT_EQ(set.CountLessEqual(1), 1u);
+  EXPECT_EQ(set.CountLessEqual(2), 4u);
+  EXPECT_EQ(set.CountLessEqual(8), 5u);
+  EXPECT_EQ(set.CountLessEqual(9), 6u);
+  EXPECT_EQ(set.CountLess(2), 1u);
+  EXPECT_EQ(set.CountLess(10), 6u);
+}
+
+TEST(ValueSetTest, CountInRangeHalfOpenSemantics) {
+  ValueSet set({1, 2, 2, 2, 5, 9});
+  // (1, 5] -> {2,2,2,5}
+  EXPECT_EQ(set.CountInRange(1, 5), 4u);
+  // (2, 2] empty
+  EXPECT_EQ(set.CountInRange(2, 2), 0u);
+  // reversed range empty
+  EXPECT_EQ(set.CountInRange(5, 1), 0u);
+  // full cover
+  EXPECT_EQ(set.CountInRange(0, 9), 6u);
+  // excludes lower endpoint
+  EXPECT_EQ(set.CountInRange(2, 9), 2u);
+}
+
+TEST(ValueSetTest, DistinctCountWithDuplicates) {
+  ValueSet set({4, 4, 4, 4});
+  EXPECT_EQ(set.DistinctCount(), 1u);
+  ValueSet set2({1, 2, 3});
+  EXPECT_EQ(set2.DistinctCount(), 3u);
+  ValueSet set3({1, 1, 2, 3, 3, 3});
+  EXPECT_EQ(set3.DistinctCount(), 3u);
+}
+
+TEST(ValueSetTest, DistinctCountIsCachedButConsistent) {
+  ValueSet set({1, 1, 2});
+  EXPECT_EQ(set.DistinctCount(), 2u);
+  EXPECT_EQ(set.DistinctCount(), 2u);
+}
+
+TEST(ValueSetTest, MatchesFrequencyVectorDistinct) {
+  const auto fv = MakeZipf({.n = 20000, .domain_size = 300, .skew = 1.0});
+  ASSERT_TRUE(fv.ok());
+  const ValueSet set = ValueSet::FromFrequencies(*fv);
+  EXPECT_EQ(set.DistinctCount(), fv->distinct_count());
+  EXPECT_EQ(set.size(), fv->total_count());
+}
+
+TEST(ExpandTest, SortedExpansionMatchesFrequencies) {
+  FrequencyVector fv({{1, 2}, {3, 1}});
+  EXPECT_EQ(ExpandSorted(fv), (std::vector<Value>{1, 1, 3}));
+}
+
+TEST(ExpandTest, ShuffledExpansionIsPermutation) {
+  const auto fv = MakeZipf({.n = 5000, .domain_size = 100, .skew = 1.0});
+  ASSERT_TRUE(fv.ok());
+  std::vector<Value> sorted = ExpandSorted(*fv);
+  std::vector<Value> shuffled = ExpandShuffled(*fv, 77);
+  EXPECT_NE(sorted, shuffled);  // astronomically unlikely to be equal
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(sorted, shuffled);
+}
+
+TEST(ExpandTest, ShuffleDeterministicInSeed) {
+  const auto fv = MakeZipf({.n = 1000, .domain_size = 50, .skew = 0.5});
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(ExpandShuffled(*fv, 1), ExpandShuffled(*fv, 1));
+  EXPECT_NE(ExpandShuffled(*fv, 1), ExpandShuffled(*fv, 2));
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,88 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/value_set.h"
+
+namespace equihist {
+namespace {
+
+ValueSet MakeTestData() {
+  const auto fv = MakeAllDistinct(1000);
+  return ValueSet::FromFrequencies(*fv);
+}
+
+TEST(RangeWorkloadTest, UniformRangesAreWellFormed) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator gen(&data, 42);
+  const auto queries = gen.UniformRanges(500);
+  EXPECT_EQ(queries.size(), 500u);
+  for (const RangeQuery& q : queries) {
+    EXPECT_LT(q.lo, q.hi);
+    EXPECT_GE(q.lo, data.min() - 1);
+    EXPECT_LE(q.hi, data.max() + 1);
+  }
+}
+
+TEST(RangeWorkloadTest, UniformRangesDeterministicInSeed) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator a(&data, 7);
+  RangeWorkloadGenerator b(&data, 7);
+  EXPECT_EQ(a.UniformRanges(50), b.UniformRanges(50));
+}
+
+TEST(RangeWorkloadTest, FixedSelectivityIsExactOnDistinctData) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator gen(&data, 11);
+  const auto queries = gen.FixedSelectivityRanges(200, 37);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : *queries) {
+    EXPECT_EQ(data.CountInRange(q.lo, q.hi), 37u);
+  }
+}
+
+TEST(RangeWorkloadTest, FixedSelectivityFullTable) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator gen(&data, 11);
+  const auto queries = gen.FixedSelectivityRanges(5, 1000);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : *queries) {
+    EXPECT_EQ(data.CountInRange(q.lo, q.hi), 1000u);
+  }
+}
+
+TEST(RangeWorkloadTest, FixedSelectivityValidatesTarget) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator gen(&data, 3);
+  EXPECT_FALSE(gen.FixedSelectivityRanges(1, 0).ok());
+  EXPECT_FALSE(gen.FixedSelectivityRanges(1, 1001).ok());
+}
+
+TEST(RangeWorkloadTest, PrefixRangesStartBelowDomain) {
+  ValueSet data = MakeTestData();
+  RangeWorkloadGenerator gen(&data, 13);
+  const auto queries = gen.PrefixRanges(100);
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(q.lo, data.min() - 1);
+    EXPECT_GE(q.hi, data.min());
+    EXPECT_LE(q.hi, data.max());
+  }
+}
+
+TEST(RangeWorkloadTest, WorksWithDuplicatedData) {
+  const auto fv = MakeUniformDup(1000, 10);  // 10 values x 100
+  ValueSet data = ValueSet::FromFrequencies(*fv);
+  RangeWorkloadGenerator gen(&data, 5);
+  const auto queries = gen.FixedSelectivityRanges(50, 100);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : *queries) {
+    // On duplicated data rank windows can only be approximated by value
+    // boundaries; the count is a multiple of the multiplicity and >= target.
+    EXPECT_GE(data.CountInRange(q.lo, q.hi), 100u);
+    EXPECT_EQ(data.CountInRange(q.lo, q.hi) % 100, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,46 @@
+#include "distinct/error.h"
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(RatioErrorTest, SymmetricAndAtLeastOne) {
+  EXPECT_DOUBLE_EQ(*RatioError(100.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(*RatioError(200.0, 100), 2.0);
+  EXPECT_DOUBLE_EQ(*RatioError(50.0, 100), 2.0);
+  EXPECT_DOUBLE_EQ(*RatioError(10.0, 1000), 100.0);
+}
+
+TEST(RatioErrorTest, PaperSection62Example) {
+  // n = 100,000, d = 500, e = 5000: off by a factor of 10...
+  EXPECT_DOUBLE_EQ(*RatioError(5000.0, 500), 10.0);
+}
+
+TEST(RatioErrorTest, Validation) {
+  EXPECT_FALSE(RatioError(10.0, 0).ok());
+  EXPECT_FALSE(RatioError(0.0, 10).ok());
+  EXPECT_FALSE(RatioError(-5.0, 10).ok());
+}
+
+TEST(RelErrorTest, PaperSection62Example) {
+  // ...but rel-error = (500 - 5000)/100000 = -0.045: the paper reports the
+  // magnitude 0.045 as "indicating d << n correctly".
+  EXPECT_DOUBLE_EQ(*RelError(5000.0, 500, 100000), -0.045);
+  EXPECT_DOUBLE_EQ(*AbsRelError(5000.0, 500, 100000), 0.045);
+}
+
+TEST(RelErrorTest, SignConvention) {
+  // Positive = under-estimate.
+  EXPECT_GT(*RelError(100.0, 500, 1000), 0.0);
+  EXPECT_LT(*RelError(900.0, 500, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(*RelError(500.0, 500, 1000), 0.0);
+}
+
+TEST(RelErrorTest, Validation) {
+  EXPECT_FALSE(RelError(10.0, 5, 0).ok());
+  EXPECT_FALSE(AbsRelError(10.0, 5, 0).ok());
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,298 @@
+#include "distinct/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "data/distribution.h"
+#include "data/generator.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+
+namespace equihist {
+namespace {
+
+FrequencyProfile ProfileOf(std::vector<Value> sample) {
+  return FrequencyProfile::FromUnsorted(std::move(sample));
+}
+
+TEST(PaperEstimatorTest, FormulaOnKnownProfile) {
+  // Sample: 4 singletons + 2 values seen twice -> r = 8, f1 = 4, D = 6.
+  const auto profile = ProfileOf({1, 2, 3, 4, 5, 5, 6, 6});
+  const std::uint64_t n = 800;  // n/r = 100
+  const auto e = PaperEstimator(profile, n);
+  ASSERT_TRUE(e.ok());
+  // sqrt(100) * 4 + 2 = 42.
+  EXPECT_DOUBLE_EQ(*e, 42.0);
+}
+
+TEST(PaperEstimatorTest, F1PlusIsAtLeastOne) {
+  // No singletons at all: f1+ = max(f1, 1) = 1 still contributes sqrt(n/r).
+  const auto profile = ProfileOf({7, 7, 8, 8});
+  const auto e = PaperEstimator(profile, 400);  // sqrt(100)*1 + 2 = 12
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 12.0);
+}
+
+TEST(PaperEstimatorTest, NearExactWhenSampleIsWholeTable) {
+  // r = n: sqrt(n/r) = 1, so e = f1+ + (D - f1). With no singletons the
+  // f1+ = max(f1, 1) floor still contributes 1, giving d + 1.
+  const auto freq = MakeUniformDup(1000, 100);
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const auto profile = FrequencyProfile::FromSorted(data.sorted_values());
+  const auto e = PaperEstimator(profile, data.size());
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 101.0);
+  // With singletons present (all-distinct data) it is exact.
+  const ValueSet distinct = ValueSet::FromFrequencies(*MakeAllDistinct(500));
+  const auto dp = FrequencyProfile::FromSorted(distinct.sorted_values());
+  const auto de = PaperEstimator(dp, distinct.size());
+  ASSERT_TRUE(de.ok());
+  EXPECT_DOUBLE_EQ(*de, 500.0);
+}
+
+TEST(PaperEstimatorTest, ClampsToN) {
+  // Absurdly large n/r would push the estimate over n without clamping...
+  const auto profile = ProfileOf({1, 2, 3});
+  const auto e = PaperEstimator(profile, 4);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(*e, 4.0);
+  EXPECT_GE(*e, 3.0);  // at least D
+}
+
+TEST(SampleDistinctTest, ReturnsD) {
+  const auto profile = ProfileOf({1, 1, 2, 3});
+  const auto e = SampleDistinctCount(profile, 100);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 3.0);
+}
+
+TEST(NaiveScaleUpTest, ScalesLinearly) {
+  const auto profile = ProfileOf({1, 2, 3, 4});  // D = 4, r = 4
+  const auto e = NaiveScaleUp(profile, 100);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 100.0);  // 4 * 25, clamped to n anyway
+}
+
+TEST(GoodmanTest, ExactWhenSampleIsWholeTable) {
+  const auto profile = ProfileOf({1, 1, 2, 3, 3});
+  const auto e = GoodmanEstimator(profile, 5);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 3.0);
+}
+
+TEST(GoodmanTest, ExactOnAllDistinctPopulations) {
+  // All-distinct population: every sample has only singletons, and the
+  // series reduces to D + [(n-r)/r] * f1 = D * n/r = exactly d, every
+  // time. (n=30, r=12: coefficient (n-r)/r = 1.5, D = f1 = 12.)
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(30));
+  Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    auto sample = SampleRowsWithoutReplacement(data.sorted_values(), 12, rng);
+    const auto profile = FrequencyProfile::FromUnsorted(std::move(*sample));
+    const auto e = GoodmanEstimator(profile, 30);
+    ASSERT_TRUE(e.ok());
+    EXPECT_NEAR(*e, 30.0, 1e-9);
+  }
+}
+
+TEST(GoodmanTest, HugeVarianceIsThePapersPoint) {
+  // On a duplicated population the alternating coefficients reach ~33x a
+  // single f_j, so individual estimates swing across the whole feasible
+  // range [D, n] -- the "exceedingly large errors" the paper cites. The
+  // clamped mean lands above d (clamping is asymmetric) and the spread is
+  // far wider than the paper estimator's on the same samples.
+  const std::uint64_t d = 6;
+  const auto freq = MakeUniformDup(30, d);  // 6 values x 5 copies
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  Rng rng(3);
+  std::vector<double> goodman;
+  std::vector<double> paper;
+  for (int t = 0; t < 1000; ++t) {
+    auto sample = SampleRowsWithoutReplacement(data.sorted_values(), 12, rng);
+    const auto profile = FrequencyProfile::FromUnsorted(std::move(*sample));
+    goodman.push_back(*GoodmanEstimator(profile, 30));
+    paper.push_back(*PaperEstimator(profile, 30));
+  }
+  EXPECT_GT(Variance(goodman), 4.0 * Variance(paper));
+  // Despite the variance, the estimate stays feasible by construction.
+  for (double g : goodman) {
+    EXPECT_GE(g, 1.0);
+    EXPECT_LE(g, 30.0);
+  }
+}
+
+TEST(GoodmanTest, DegradesToSampleCountWhenSeriesExplodes) {
+  // Large n, small r, high multiplicities: the alternating series
+  // overflows and the implementation must fall back to D, not UB/inf.
+  std::vector<Value> sample;
+  for (Value v = 0; v < 10; ++v) sample.insert(sample.end(), 40, v);
+  const auto profile = ProfileOf(std::move(sample));
+  const auto e = GoodmanEstimator(profile, 100000000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_GE(*e, 10.0);
+  EXPECT_LE(*e, 100000000.0);
+  EXPECT_TRUE(std::isfinite(*e));
+}
+
+TEST(ChaoTest, UsesF1SquaredOverTwoF2) {
+  // f1 = 2 (values 1,2), f2 = 1 (value 3): D + f1^2/(2 f2) = 3 + 2 = 5.
+  const auto profile = ProfileOf({1, 2, 3, 3});
+  const auto e = ChaoEstimator(profile, 1000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 5.0);
+}
+
+TEST(ChaoTest, BiasCorrectedFormWhenNoF2) {
+  // f1 = 3, f2 = 0: D + f1(f1-1)/2 = 3 + 3 = 6.
+  const auto profile = ProfileOf({1, 2, 3});
+  const auto e = ChaoEstimator(profile, 1000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 6.0);
+}
+
+TEST(JackknifeTest, FirstOrderFormula) {
+  // D = 3, f1 = 2, r = 4: 3 + 2*(3/4) = 4.5.
+  const auto profile = ProfileOf({1, 2, 3, 3});
+  const auto e = JackknifeEstimator(profile, 1000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 4.5);
+}
+
+TEST(SecondOrderJackknifeTest, Formula) {
+  // D = 3, f1 = 2, f2 = 1, r = 4:
+  // 3 + (5/4)*2 - (4/12)*1 = 3 + 2.5 - 1/3.
+  const auto profile = ProfileOf({1, 2, 3, 3});
+  const auto e = SecondOrderJackknifeEstimator(profile, 1000);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(*e, 3.0 + 2.5 - 1.0 / 3.0, 1e-12);
+}
+
+TEST(ShlosserTest, DegeneratesGracefullyAtFullSample) {
+  const auto profile = ProfileOf({1, 2, 3, 3});
+  const auto e = ShlosserEstimator(profile, 4);  // q = 1
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 3.0);
+}
+
+TEST(ShlosserTest, ReasonableOnUniformDup) {
+  // Shlosser is known-good for low-skew data: 1000 values x 100 dup, 5%
+  // Bernoulli-ish sample.
+  const auto freq = MakeUniformDup(100000, 1000);
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  Rng rng(3);
+  const auto sample = SampleRowsBernoulli(data.sorted_values(), 0.05, rng);
+  ASSERT_TRUE(sample.ok());
+  const auto profile = FrequencyProfile::FromUnsorted(*sample);
+  const auto e = ShlosserEstimator(profile, data.size());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(*e, 1000.0, 200.0);
+}
+
+TEST(HybridTest, SwitchesOnCoverage) {
+  // High-coverage profile (few singletons): hybrid = Chao-Lee.
+  std::vector<Value> covered;
+  for (Value v = 0; v < 20; ++v) {
+    covered.insert(covered.end(), 10, v);  // every value seen 10x
+  }
+  const auto covered_profile = ProfileOf(covered);
+  const auto hybrid_covered = HybridEstimator(covered_profile, 10000);
+  const auto chao_lee = ChaoLeeEstimator(covered_profile, 10000);
+  ASSERT_TRUE(hybrid_covered.ok());
+  EXPECT_DOUBLE_EQ(*hybrid_covered, *chao_lee);
+
+  // Low-coverage profile (all singletons): hybrid = paper estimator.
+  const auto sparse_profile = ProfileOf({1, 2, 3, 4, 5});
+  const auto hybrid_sparse = HybridEstimator(sparse_profile, 10000);
+  const auto paper = PaperEstimator(sparse_profile, 10000);
+  ASSERT_TRUE(hybrid_sparse.ok());
+  EXPECT_DOUBLE_EQ(*hybrid_sparse, *paper);
+}
+
+TEST(EstimatorsTest, AllValidateEmptySampleAndZeroN) {
+  const FrequencyProfile empty;
+  const auto profile = ProfileOf({1, 2});
+  for (auto kind : {DistinctEstimatorKind::kPaper,
+                    DistinctEstimatorKind::kSampleDistinct,
+                    DistinctEstimatorKind::kNaiveScaleUp,
+                    DistinctEstimatorKind::kGoodman,
+                    DistinctEstimatorKind::kChao,
+                    DistinctEstimatorKind::kChaoLee,
+                    DistinctEstimatorKind::kJackknife,
+                    DistinctEstimatorKind::kSecondOrderJackknife,
+                    DistinctEstimatorKind::kShlosser,
+                    DistinctEstimatorKind::kHybrid}) {
+    EXPECT_FALSE(EstimateDistinct(kind, empty, 100).ok())
+        << DistinctEstimatorKindToString(kind);
+    EXPECT_FALSE(EstimateDistinct(kind, profile, 0).ok())
+        << DistinctEstimatorKindToString(kind);
+  }
+}
+
+TEST(EstimatorsTest, NamesAreUniqueAndStable) {
+  EXPECT_EQ(DistinctEstimatorKindToString(DistinctEstimatorKind::kPaper),
+            "paper-gee");
+  EXPECT_EQ(DistinctEstimatorKindToString(DistinctEstimatorKind::kShlosser),
+            "shlosser");
+}
+
+// Property sweep: on real distributions every estimator stays within
+// [D, n] and the dispatch function agrees with the direct call.
+class EstimatorFeasibilityTest
+    : public ::testing::TestWithParam<
+          std::tuple<DistinctEstimatorKind, double>> {};
+
+TEST_P(EstimatorFeasibilityTest, EstimatesAreFeasible) {
+  const auto [kind, skew] = GetParam();
+  const auto freq =
+      MakeZipf({.n = 50000, .domain_size = 2000, .skew = skew});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  Rng rng(11);
+  auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 2500, rng);
+  ASSERT_TRUE(sample.ok());
+  const auto profile = FrequencyProfile::FromUnsorted(*sample);
+  const auto e = EstimateDistinct(kind, profile, data.size());
+  ASSERT_TRUE(e.ok());
+  EXPECT_GE(*e, static_cast<double>(profile.distinct_in_sample()));
+  EXPECT_LE(*e, static_cast<double>(data.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSkews, EstimatorFeasibilityTest,
+    ::testing::Combine(
+        ::testing::Values(DistinctEstimatorKind::kPaper,
+                          DistinctEstimatorKind::kSampleDistinct,
+                          DistinctEstimatorKind::kNaiveScaleUp,
+                          DistinctEstimatorKind::kGoodman,
+                          DistinctEstimatorKind::kChao,
+                          DistinctEstimatorKind::kChaoLee,
+                          DistinctEstimatorKind::kJackknife,
+                          DistinctEstimatorKind::kSecondOrderJackknife,
+                          DistinctEstimatorKind::kShlosser,
+                          DistinctEstimatorKind::kHybrid),
+        ::testing::Values(0.0, 1.0, 2.0, 4.0)));
+
+TEST(PaperEstimatorQualityTest, TracksTruthOnZipf) {
+  // The Figure 9 scenario in miniature: Zipf(2) has few distinct values,
+  // detectable from a small sample.
+  const auto freq = MakeZipf({.n = 200000, .domain_size = 5000, .skew = 2.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const double d = static_cast<double>(data.DistinctCount());
+  Rng rng(13);
+  auto sample =
+      SampleRowsWithoutReplacement(data.sorted_values(), 20000, rng);
+  ASSERT_TRUE(sample.ok());
+  const auto profile = FrequencyProfile::FromUnsorted(*sample);
+  const auto e = PaperEstimator(profile, data.size());
+  ASSERT_TRUE(e.ok());
+  // rel-error must be small even if ratio error is not.
+  EXPECT_LT(std::abs(d - *e) / static_cast<double>(data.size()), 0.02);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,81 @@
+#include "distinct/frequency_profile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(FrequencyProfileTest, EmptySample) {
+  const auto profile = FrequencyProfile::FromSorted({});
+  EXPECT_EQ(profile.sample_size(), 0u);
+  EXPECT_EQ(profile.distinct_in_sample(), 0u);
+  EXPECT_EQ(profile.max_multiplicity(), 0u);
+  EXPECT_EQ(profile.f(1), 0u);
+}
+
+TEST(FrequencyProfileTest, AllSingletons) {
+  const std::vector<Value> sample = {1, 2, 3, 4};
+  const auto profile = FrequencyProfile::FromSorted(sample);
+  EXPECT_EQ(profile.sample_size(), 4u);
+  EXPECT_EQ(profile.distinct_in_sample(), 4u);
+  EXPECT_EQ(profile.f(1), 4u);
+  EXPECT_EQ(profile.f(2), 0u);
+  EXPECT_EQ(profile.max_multiplicity(), 1u);
+}
+
+TEST(FrequencyProfileTest, MixedMultiplicities) {
+  // 1 appears 3x, 2 appears 1x, 5 appears 2x, 9 appears 2x.
+  const std::vector<Value> sample = {1, 1, 1, 2, 5, 5, 9, 9};
+  const auto profile = FrequencyProfile::FromSorted(sample);
+  EXPECT_EQ(profile.sample_size(), 8u);
+  EXPECT_EQ(profile.distinct_in_sample(), 4u);
+  EXPECT_EQ(profile.f(1), 1u);
+  EXPECT_EQ(profile.f(2), 2u);
+  EXPECT_EQ(profile.f(3), 1u);
+  EXPECT_EQ(profile.f(4), 0u);
+  EXPECT_EQ(profile.max_multiplicity(), 3u);
+}
+
+TEST(FrequencyProfileTest, IdentitySums) {
+  const std::vector<Value> sample = {1, 1, 2, 3, 3, 3, 3, 8, 8, 8};
+  const auto profile = FrequencyProfile::FromSorted(sample);
+  std::uint64_t weighted = 0;
+  std::uint64_t distinct = 0;
+  for (std::uint64_t j = 1; j <= profile.max_multiplicity(); ++j) {
+    weighted += j * profile.f(j);
+    distinct += profile.f(j);
+  }
+  EXPECT_EQ(weighted, profile.sample_size());
+  EXPECT_EQ(distinct, profile.distinct_in_sample());
+}
+
+TEST(FrequencyProfileTest, FromUnsortedSortsFirst) {
+  const auto a = FrequencyProfile::FromUnsorted({5, 1, 5, 2, 1, 5});
+  const std::vector<Value> sorted = {1, 1, 2, 5, 5, 5};
+  const auto b = FrequencyProfile::FromSorted(sorted);
+  EXPECT_EQ(a.sample_size(), b.sample_size());
+  EXPECT_EQ(a.distinct_in_sample(), b.distinct_in_sample());
+  for (std::uint64_t j = 1; j <= 3; ++j) EXPECT_EQ(a.f(j), b.f(j));
+}
+
+TEST(FrequencyProfileTest, OutOfRangeQueriesReturnZero) {
+  const std::vector<Value> sample = {1, 1};
+  const auto profile = FrequencyProfile::FromSorted(sample);
+  EXPECT_EQ(profile.f(0), 0u);
+  EXPECT_EQ(profile.f(99), 0u);
+}
+
+TEST(FrequencyProfileTest, DenseSpanMatchesAccessors) {
+  const std::vector<Value> sample = {1, 2, 2, 3, 3, 3};
+  const auto profile = FrequencyProfile::FromSorted(sample);
+  const auto dense = profile.dense();
+  ASSERT_EQ(dense.size(), 4u);  // indices 0..3
+  EXPECT_EQ(dense[1], profile.f(1));
+  EXPECT_EQ(dense[2], profile.f(2));
+  EXPECT_EQ(dense[3], profile.f(3));
+}
+
+}  // namespace
+}  // namespace equihist

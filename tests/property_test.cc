@@ -1,0 +1,239 @@
+// Randomized cross-module property tests: invariants that must hold for
+// *any* inputs, checked over seeded random instances. These complement the
+// per-module unit tests with the "for all" style guarantees the library's
+// algebra relies on.
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/equi_width.h"
+#include "baseline/serial_histograms.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "core/bounds.h"
+#include "core/compressed_histogram.h"
+#include "core/cvb.h"
+#include "core/error_metrics.h"
+#include "core/histogram_builder.h"
+#include "core/range_estimator.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "sampling/row_sampler.h"
+#include "stats/serialization.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+// A random histogram with duplicated separators and arbitrary counts.
+Histogram RandomHistogram(Rng& rng) {
+  const std::uint64_t k = 1 + rng.NextBounded(30);
+  std::vector<Value> separators;
+  Value v = -static_cast<Value>(rng.NextBounded(50));
+  for (std::uint64_t j = 0; j + 1 < k; ++j) {
+    v += static_cast<Value>(rng.NextBounded(4));  // 0 => duplicated separator
+    separators.push_back(v);
+  }
+  std::vector<std::uint64_t> counts(k);
+  for (auto& c : counts) c = rng.NextBounded(1000);
+  const Value lower = separators.empty()
+                          ? -100
+                          : std::min<Value>(separators.front(), -100);
+  const Value upper =
+      (separators.empty() ? Value{100} : separators.back()) +
+      static_cast<Value>(1 + rng.NextBounded(50));
+  return Histogram::Create(std::move(separators), std::move(counts), lower,
+                           upper)
+      .value();
+}
+
+// A random multiset over a small domain.
+ValueSet RandomPopulation(Rng& rng) {
+  const std::uint64_t n = 1 + rng.NextBounded(2000);
+  std::vector<Value> values(n);
+  for (auto& v : values) {
+    v = static_cast<Value>(rng.NextBounded(200)) - 50;
+  }
+  return ValueSet(std::move(values));
+}
+
+class RandomizedPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(RandomizedPropertyTest, PartitionAgreesWithBucketIndex) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const Histogram h = RandomHistogram(rng_);
+    const ValueSet population = RandomPopulation(rng_);
+    const auto counts = h.PartitionCounts(population);
+    std::vector<std::uint64_t> by_index(h.bucket_count(), 0);
+    for (Value v : population.sorted_values()) {
+      ++by_index[h.BucketIndexForValue(v)];
+    }
+    EXPECT_EQ(counts, by_index);
+    std::uint64_t sum = 0;
+    for (auto c : counts) sum += c;
+    EXPECT_EQ(sum, population.size());
+    EXPECT_EQ(counts, h.PartitionSorted(population.sorted_values()));
+  }
+}
+
+TEST_P(RandomizedPropertyTest, RangeEstimateIsAdditiveAndComplete) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const Histogram h = RandomHistogram(rng_);
+    // Splitting a range at any midpoint must preserve the estimate.
+    const Value lo = h.lower_fence() - 5;
+    const Value hi = h.upper_fence() + 5;
+    const Value mid =
+        lo + static_cast<Value>(rng_.NextBounded(
+                 static_cast<std::uint64_t>(hi - lo) + 1));
+    const double whole = EstimateRangeCount(h, {lo, hi});
+    const double parts =
+        EstimateRangeCount(h, {lo, mid}) + EstimateRangeCount(h, {mid, hi});
+    EXPECT_NEAR(whole, parts, 1e-6 * std::max(1.0, whole));
+    // The full-domain estimate equals the claimed total.
+    EXPECT_NEAR(whole, static_cast<double>(h.total()),
+                1e-6 * std::max<double>(1.0, static_cast<double>(h.total())));
+    // Estimates are monotone in the upper bound.
+    double prev = 0.0;
+    for (Value x = lo; x <= hi; x += std::max<Value>(1, (hi - lo) / 17)) {
+      const double est = EstimateRangeCount(h, {lo, x});
+      EXPECT_GE(est, prev - 1e-9);
+      prev = est;
+    }
+  }
+}
+
+TEST_P(RandomizedPropertyTest, SerializationRoundTripsRandomHistograms) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const Histogram h = RandomHistogram(rng_);
+    std::vector<std::uint8_t> bytes;
+    SerializeHistogram(h, &bytes);
+    const auto restored = DeserializeHistogram(bytes);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->separators(), h.separators());
+    EXPECT_EQ(restored->counts(), h.counts());
+    EXPECT_EQ(restored->lower_fence(), h.lower_fence());
+    EXPECT_EQ(restored->upper_fence(), h.upper_fence());
+  }
+}
+
+TEST_P(RandomizedPropertyTest, SampleBuiltHistogramClaimsSumToPopulation) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const ValueSet population = RandomPopulation(rng_);
+    const std::uint64_t r =
+        1 + rng_.NextBounded(population.size());
+    auto sample =
+        SampleRowsWithoutReplacement(population.sorted_values(), r, rng_);
+    ASSERT_TRUE(sample.ok());
+    std::sort(sample->begin(), sample->end());
+    const std::uint64_t k = 1 + rng_.NextBounded(20);
+    const auto h = BuildHistogramFromSample(*sample, k, population.size());
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->total(), population.size());
+    EXPECT_TRUE(std::is_sorted(h->separators().begin(),
+                               h->separators().end()));
+  }
+}
+
+TEST_P(RandomizedPropertyTest, MetricsOrderingHoldsOnRealPartitions) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const Histogram h = RandomHistogram(rng_);
+    const ValueSet population = RandomPopulation(rng_);
+    const auto report = ComputeHistogramErrors(h, population);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LE(report->delta_avg, report->delta_var + 1e-9);
+    EXPECT_LE(report->delta_var, report->delta_max + 1e-9);
+    EXPECT_GE(report->delta_avg, 0.0);
+  }
+}
+
+TEST_P(RandomizedPropertyTest, AllHistogramFamiliesCoverAllMass) {
+  const std::uint64_t n = 2000 + rng_.NextBounded(8000);
+  const auto freq = MakeZipf({.n = n,
+                              .domain_size = 50 + rng_.NextBounded(200),
+                              .skew = static_cast<double>(rng_.NextBounded(30)) / 10.0,
+                              .seed = rng_.Next()});
+  ASSERT_TRUE(freq.ok());
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const std::uint64_t k = 2 + rng_.NextBounded(30);
+  const Value lo = data.min() - 10;
+  const Value hi = data.max() + 10;
+  const double expected = static_cast<double>(n);
+
+  const auto equi_height = BuildPerfectHistogram(data, k);
+  ASSERT_TRUE(equi_height.ok());
+  EXPECT_NEAR(EstimateRangeCount(*equi_height, {lo, hi}), expected, 1.0);
+
+  const auto equi_width = EquiWidthHistogram::Build(data, k);
+  ASSERT_TRUE(equi_width.ok());
+  EXPECT_NEAR(equi_width->EstimateRangeCount({lo, hi}), expected, 1.0);
+
+  const auto compressed = CompressedHistogram::BuildPerfect(data, k);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_NEAR(compressed->EstimateRangeCount({lo, hi}), expected,
+              expected * 0.01 + 1.0);
+
+  const auto maxdiff = BuildMaxDiffHistogram(*freq, k);
+  ASSERT_TRUE(maxdiff.ok());
+  EXPECT_NEAR(EstimateRangeCount(*maxdiff, {lo, hi}), expected, 1.0);
+}
+
+TEST_P(RandomizedPropertyTest, BoundsRoundTripAcrossRandomParameters) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t n = 1000 + rng_.NextBounded(100000000);
+    const std::uint64_t k = 1 + rng_.NextBounded(1000);
+    const double f = 0.01 + 0.99 * rng_.NextDouble();
+    const double gamma = 0.001 + 0.5 * rng_.NextDouble();
+    const auto r = DeviationSampleSize(n, k, f, gamma);
+    ASSERT_TRUE(r.ok());
+    // Solving back for the error at that sample size returns ~f.
+    const auto f_back = DeviationErrorForSampleSize(n, k, *r, gamma);
+    ASSERT_TRUE(f_back.ok());
+    EXPECT_LE(*f_back, f + 1e-6);
+    EXPECT_GT(*f_back, f * 0.9);
+    // And the failure probability at (r, f) is <= gamma.
+    const auto gamma_back = DeviationFailureProbability(n, k, f, *r);
+    ASSERT_TRUE(gamma_back.ok());
+    EXPECT_LE(*gamma_back, gamma * 1.001);
+  }
+}
+
+TEST_P(RandomizedPropertyTest, CvbConvergesAcrossDistributionsAndLayouts) {
+  // One random configuration per seed (kept light: this runs under the
+  // full parameter sweep).
+  const double skew = static_cast<double>(rng_.NextBounded(25)) / 10.0;
+  const LayoutKind layout =
+      std::array<LayoutKind, 3>{LayoutKind::kRandom, LayoutKind::kSorted,
+                                LayoutKind::kPartiallyClustered}
+          [rng_.NextBounded(3)];
+  const std::uint64_t n = 30000 + rng_.NextBounded(70000);
+  const auto freq = MakeZipf({.n = n,
+                              .domain_size = std::max<std::uint64_t>(n / 20, 2),
+                              .skew = skew,
+                              .seed = rng_.Next()});
+  ASSERT_TRUE(freq.ok());
+  auto table = Table::Create(*freq, PageConfig{8192, 64},
+                             {.kind = layout, .seed = rng_.Next()});
+  ASSERT_TRUE(table.ok());
+  CvbOptions options;
+  options.k = 20 + rng_.NextBounded(80);
+  options.f = 0.15 + 0.2 * rng_.NextDouble();
+  options.seed = rng_.Next();
+  const auto result = RunCvb(*table, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged || result->exhausted_table);
+  EXPECT_LE(result->tuples_sampled, n);
+  EXPECT_EQ(result->histogram.total(), n);
+  EXPECT_GE(result->sample_distinct, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace equihist

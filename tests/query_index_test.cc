@@ -1,0 +1,92 @@
+#include "query/index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{512, 64};  // 8 tuples per page
+
+struct Fixture {
+  Fixture()
+      : freq(MakeZipf({.n = 5000, .domain_size = 500, .skew = 1.0, .seed = 3})
+                 .value()),
+        truth(ValueSet::FromFrequencies(freq)),
+        table(Table::Create(freq, kPage, {.kind = LayoutKind::kRandom,
+                                          .seed = 3})
+                  .value()),
+        index(OrderedIndex::Build(table, nullptr, 64).value()) {}
+
+  FrequencyVector freq;
+  ValueSet truth;
+  Table table;
+  OrderedIndex index;
+};
+
+TEST(OrderedIndexTest, BuildIndexesEveryTuple) {
+  Fixture fx;
+  EXPECT_EQ(fx.index.entry_count(), fx.table.tuple_count());
+  EXPECT_EQ(fx.index.leaf_count(), (5000 + 63) / 64);
+}
+
+TEST(OrderedIndexTest, BuildChargesOneScan) {
+  const auto freq = MakeAllDistinct(100);
+  Table table = Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom})
+                    .value();
+  IoStats stats;
+  const auto index = OrderedIndex::Build(table, &stats);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(stats.pages_read, table.page_count());
+}
+
+TEST(OrderedIndexTest, RangeCountMatchesGroundTruth) {
+  Fixture fx;
+  for (const RangeQuery& q :
+       {RangeQuery{0, 100}, RangeQuery{50, 51}, RangeQuery{-5, 10000},
+        RangeQuery{499, 500}, RangeQuery{200, 200}}) {
+    EXPECT_EQ(fx.index.RangeCount(q, nullptr),
+              fx.truth.CountInRange(q.lo, q.hi))
+        << q.lo << " " << q.hi;
+  }
+}
+
+TEST(OrderedIndexTest, RangeScanMatchesCountAndChargesPages) {
+  Fixture fx;
+  const RangeQuery q{100, 200};
+  IoStats stats;
+  const std::uint64_t rows = fx.index.RangeScan(fx.table, q, &stats);
+  EXPECT_EQ(rows, fx.truth.CountInRange(q.lo, q.hi));
+  EXPECT_EQ(stats.tuples_read, rows);
+  // Pages touched: at most one table page per match plus the leaves, and
+  // at least ceil(rows / tuples_per_page).
+  EXPECT_GE(stats.pages_read, rows / 8);
+  EXPECT_LE(stats.pages_read, rows + fx.index.leaf_count());
+}
+
+TEST(OrderedIndexTest, EmptyRangeTouchesNothing) {
+  Fixture fx;
+  IoStats stats;
+  EXPECT_EQ(fx.index.RangeScan(fx.table, {10000, 20000}, &stats), 0u);
+  EXPECT_EQ(stats.pages_read, 0u);
+  EXPECT_EQ(stats.tuples_read, 0u);
+}
+
+TEST(OrderedIndexTest, NarrowRangeIsFarCheaperThanScan) {
+  Fixture fx;
+  IoStats index_io;
+  fx.index.RangeScan(fx.table, {100, 102}, &index_io);
+  EXPECT_LT(index_io.pages_read, fx.table.page_count() / 4);
+}
+
+TEST(OrderedIndexTest, Validation) {
+  EXPECT_FALSE(OrderedIndex::Build(
+                   Table::CreateFromValues({1}, kPage).value(), nullptr, 0)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,141 @@
+#include "sampling/block_sampler.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/generator.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+// A table whose page contents are identifiable: page p holds values
+// p*B .. p*B + B-1.
+Table MakePageTaggedTable(std::uint64_t pages, std::uint32_t per_page) {
+  std::vector<Value> values;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    for (std::uint32_t i = 0; i < per_page; ++i) {
+      values.push_back(static_cast<Value>(p * per_page + i));
+    }
+  }
+  return Table::CreateFromValues(values,
+                                 PageConfig{per_page * 8, 8})
+      .value();
+}
+
+std::set<std::uint64_t> PagesOf(const std::vector<Value>& sample,
+                                std::uint32_t per_page) {
+  std::set<std::uint64_t> pages;
+  for (Value v : sample) pages.insert(static_cast<std::uint64_t>(v) / per_page);
+  return pages;
+}
+
+TEST(BlockSamplerTest, WithoutReplacementDrawsWholeDistinctPages) {
+  Table table = MakePageTaggedTable(20, 16);
+  Rng rng(1);
+  IoStats stats;
+  const auto sample = SampleBlocksWithoutReplacement(table, 5, rng, &stats);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 5u * 16u);
+  EXPECT_EQ(stats.pages_read, 5u);
+  EXPECT_EQ(stats.tuples_read, 80u);
+  EXPECT_EQ(PagesOf(*sample, 16).size(), 5u);  // distinct pages
+}
+
+TEST(BlockSamplerTest, WithoutReplacementAllPagesIsFullScan) {
+  Table table = MakePageTaggedTable(10, 4);
+  Rng rng(2);
+  auto sample = SampleBlocksWithoutReplacement(table, 10, rng, nullptr);
+  ASSERT_TRUE(sample.ok());
+  std::sort(sample->begin(), sample->end());
+  EXPECT_EQ(sample->size(), 40u);
+  EXPECT_EQ(sample->front(), 0);
+  EXPECT_EQ(sample->back(), 39);
+}
+
+TEST(BlockSamplerTest, WithoutReplacementRejectsOversample) {
+  Table table = MakePageTaggedTable(10, 4);
+  Rng rng(3);
+  EXPECT_FALSE(SampleBlocksWithoutReplacement(table, 11, rng, nullptr).ok());
+}
+
+TEST(BlockSamplerTest, WithReplacementMayRepeatPages) {
+  Table table = MakePageTaggedTable(4, 8);
+  Rng rng(4);
+  IoStats stats;
+  const auto sample = SampleBlocksWithReplacement(table, 64, rng, &stats);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 64u * 8u);
+  EXPECT_EQ(stats.pages_read, 64u);
+  // Only 4 physical pages exist, so repetitions are certain.
+  EXPECT_LE(PagesOf(*sample, 8).size(), 4u);
+}
+
+TEST(IncrementalBlockSamplerTest, BatchesNeverRepeatPages) {
+  Table table = MakePageTaggedTable(32, 4);
+  IncrementalBlockSampler sampler(&table, 5);
+  std::set<std::uint64_t> seen;
+  for (int batch = 0; batch < 4; ++batch) {
+    const auto values = sampler.NextBatch(8, nullptr);
+    const auto pages = PagesOf(values, 4);
+    EXPECT_EQ(pages.size(), 8u);
+    for (std::uint64_t p : pages) {
+      EXPECT_TRUE(seen.insert(p).second) << "page repeated across batches";
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+  EXPECT_EQ(sampler.pages_remaining(), 0u);
+}
+
+TEST(IncrementalBlockSamplerTest, ExhaustionReturnsEmpty) {
+  Table table = MakePageTaggedTable(3, 4);
+  IncrementalBlockSampler sampler(&table, 6);
+  EXPECT_EQ(sampler.NextBatch(2, nullptr).size(), 8u);
+  // Asks for 5 but only 1 page remains.
+  EXPECT_EQ(sampler.NextBatch(5, nullptr).size(), 4u);
+  EXPECT_TRUE(sampler.NextBatch(1, nullptr).empty());
+  EXPECT_EQ(sampler.pages_consumed(), 3u);
+}
+
+TEST(IncrementalBlockSamplerTest, PageOffsetsMarkBlockBoundaries) {
+  Table table = MakePageTaggedTable(6, 4);
+  IncrementalBlockSampler sampler(&table, 7);
+  std::vector<std::size_t> offsets;
+  const auto values = sampler.NextBatch(3, nullptr, &offsets);
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 4u);
+  EXPECT_EQ(offsets[2], 8u);
+  // Each chunk is one physical page.
+  for (std::size_t p = 0; p < offsets.size(); ++p) {
+    const std::size_t begin = offsets[p];
+    const std::size_t end = p + 1 < offsets.size() ? offsets[p + 1] : values.size();
+    const auto pages = PagesOf({values.begin() + begin, values.begin() + end}, 4);
+    EXPECT_EQ(pages.size(), 1u);
+  }
+}
+
+TEST(IncrementalBlockSamplerTest, DeterministicInSeed) {
+  Table table = MakePageTaggedTable(16, 4);
+  IncrementalBlockSampler a(&table, 9);
+  IncrementalBlockSampler b(&table, 9);
+  EXPECT_EQ(a.NextBatch(5, nullptr), b.NextBatch(5, nullptr));
+  IncrementalBlockSampler c(&table, 10);
+  EXPECT_NE(a.NextBatch(5, nullptr), c.NextBatch(5, nullptr));
+}
+
+TEST(IncrementalBlockSamplerTest, ChargesIoPerPage) {
+  Table table = MakePageTaggedTable(8, 4);
+  IncrementalBlockSampler sampler(&table, 11);
+  IoStats stats;
+  sampler.NextBatch(3, &stats);
+  EXPECT_EQ(stats.pages_read, 3u);
+  EXPECT_EQ(stats.tuples_read, 12u);
+}
+
+}  // namespace
+}  // namespace equihist

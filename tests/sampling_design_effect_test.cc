@@ -1,0 +1,120 @@
+#include "sampling/design_effect.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cvb.h"
+#include "data/distribution.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{8192, 64};  // 128 tuples/page
+
+Table MakeTable(double skew, LayoutKind layout, double clustered = 0.2,
+                std::uint64_t n = 200000) {
+  const auto freq =
+      MakeZipf({.n = n, .domain_size = n / 10, .skew = skew, .seed = 5});
+  return Table::Create(*freq, kPage,
+                       {.kind = layout, .clustered_fraction = clustered,
+                        .seed = 5})
+      .value();
+}
+
+TEST(DesignEffectTest, RandomLayoutHasNoClusterPenalty) {
+  Table table = MakeTable(1.0, LayoutKind::kRandom);
+  const auto deff = EstimateDesignEffect(table, 64, 7);
+  ASSERT_TRUE(deff.ok());
+  EXPECT_LT(deff->rho, 0.05);
+  EXPECT_LT(deff->design_effect, 1.0 + 0.05 * 127);
+}
+
+TEST(DesignEffectTest, SortedLayoutApproachesBlockSize) {
+  Table table = MakeTable(0.0, LayoutKind::kSorted);
+  const auto deff = EstimateDesignEffect(table, 64, 7);
+  ASSERT_TRUE(deff.ok());
+  // Scenario (b): rho ~ 1, deff ~ b = 128.
+  EXPECT_GT(deff->rho, 0.9);
+  EXPECT_GT(deff->design_effect, 100.0);
+  EXPECT_LE(deff->design_effect, 128.0 + 1e-9);
+}
+
+TEST(DesignEffectTest, PartialClusteringSitsBetween) {
+  Table random_table = MakeTable(1.0, LayoutKind::kRandom);
+  Table partial_table =
+      MakeTable(1.0, LayoutKind::kPartiallyClustered, 0.5);
+  Table sorted_table = MakeTable(1.0, LayoutKind::kSorted);
+  const auto r = EstimateDesignEffect(random_table, 64, 7);
+  const auto p = EstimateDesignEffect(partial_table, 64, 7);
+  const auto s = EstimateDesignEffect(sorted_table, 64, 7);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(p->design_effect, r->design_effect);
+  EXPECT_LT(p->design_effect, s->design_effect);
+}
+
+TEST(DesignEffectTest, ConstantColumnIsDegenerateButSafe) {
+  const auto freq = MakeConstant(50000, 9);
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  const auto deff = EstimateDesignEffect(table, 32, 3);
+  ASSERT_TRUE(deff.ok());
+  EXPECT_DOUBLE_EQ(deff->rho, 0.0);
+  EXPECT_DOUBLE_EQ(deff->design_effect, 1.0);
+}
+
+TEST(DesignEffectTest, ChargesProbeIo) {
+  Table table = MakeTable(1.0, LayoutKind::kRandom);
+  IoStats stats;
+  const auto deff = EstimateDesignEffect(table, 32, 3, &stats);
+  ASSERT_TRUE(deff.ok());
+  EXPECT_EQ(stats.pages_read, 32u);
+  EXPECT_EQ(deff->blocks_probed, 32u);
+  EXPECT_EQ(deff->tuples_probed, stats.tuples_read);
+}
+
+TEST(DesignEffectTest, ClampsProbeCountToPageCount) {
+  const auto freq = MakeAllDistinct(1000);
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  const auto deff = EstimateDesignEffect(table, 10000, 3);
+  ASSERT_TRUE(deff.ok());
+  EXPECT_EQ(deff->blocks_probed, table.page_count());
+}
+
+TEST(DesignEffectTest, PredictsCvbSpendMultiplier) {
+  // The measured design effect should explain (to first order) why CVB
+  // spends more blocks on the clustered layout than on the random one.
+  Table random_table = MakeTable(2.0, LayoutKind::kRandom);
+  Table partial_table =
+      MakeTable(2.0, LayoutKind::kPartiallyClustered, 0.5);
+  const auto r_deff = EstimateDesignEffect(random_table, 64, 11);
+  const auto p_deff = EstimateDesignEffect(partial_table, 64, 11);
+  ASSERT_TRUE(r_deff.ok());
+  ASSERT_TRUE(p_deff.ok());
+
+  CvbOptions options;
+  options.k = 50;
+  options.f = 0.25;
+  options.seed = 13;
+  const auto r_run = RunCvb(random_table, options);
+  const auto p_run = RunCvb(partial_table, options);
+  ASSERT_TRUE(r_run.ok());
+  ASSERT_TRUE(p_run.ok());
+
+  const double measured_ratio =
+      static_cast<double>(p_run->blocks_sampled) /
+      static_cast<double>(r_run->blocks_sampled);
+  const double predicted_ratio =
+      p_deff->design_effect / r_deff->design_effect;
+  // Same direction, same order of magnitude (doubling-schedule
+  // quantization and exhaustion capping prevent a tight match).
+  EXPECT_GT(measured_ratio, 1.0);
+  EXPECT_GT(predicted_ratio, 1.0);
+  EXPECT_LT(measured_ratio / predicted_ratio, 8.0);
+  EXPECT_GT(measured_ratio / predicted_ratio, 1.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,0 +1,92 @@
+#include "sampling/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace equihist {
+namespace {
+
+TEST(StepScheduleTest, DoublingMatchesPaperSequence) {
+  // Paper 4.2: g_0 = g, g_1 = g, g_2 = 2g, g_3 = 4g, ..., g_i = 2^{i-1} g,
+  // i.e. each batch equals the total sampled so far.
+  const auto schedule =
+      StepSchedule::Create({.kind = ScheduleKind::kDoubling}, 10);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->BatchSize(0), 10u);
+  EXPECT_EQ(schedule->BatchSize(1), 10u);
+  EXPECT_EQ(schedule->BatchSize(2), 20u);
+  EXPECT_EQ(schedule->BatchSize(3), 40u);
+  EXPECT_EQ(schedule->BatchSize(10), 10u * 512u);
+}
+
+TEST(StepScheduleTest, DoublingBatchEqualsAccumulatedPrefix) {
+  const auto schedule =
+      StepSchedule::Create({.kind = ScheduleKind::kDoubling}, 7);
+  ASSERT_TRUE(schedule.ok());
+  std::uint64_t accumulated = schedule->BatchSize(0);
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    EXPECT_EQ(schedule->BatchSize(i), accumulated);
+    accumulated += schedule->BatchSize(i);
+  }
+}
+
+TEST(StepScheduleTest, DoublingSaturatesInsteadOfOverflowing) {
+  const auto schedule =
+      StepSchedule::Create({.kind = ScheduleKind::kDoubling}, 1ULL << 60);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->BatchSize(80), ~0ULL);
+}
+
+TEST(StepScheduleTest, LinearIsConstant) {
+  const auto schedule =
+      StepSchedule::Create({.kind = ScheduleKind::kLinear}, 25);
+  ASSERT_TRUE(schedule.ok());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(schedule->BatchSize(i), 25u);
+  }
+}
+
+TEST(StepScheduleTest, GeometricGrows) {
+  const auto schedule = StepSchedule::Create(
+      {.kind = ScheduleKind::kGeometric, .geometric_ratio = 2.0}, 3);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->BatchSize(0), 3u);
+  EXPECT_EQ(schedule->BatchSize(1), 6u);
+  EXPECT_EQ(schedule->BatchSize(2), 12u);
+}
+
+TEST(StepScheduleTest, GeometricNeverReturnsZero) {
+  const auto schedule = StepSchedule::Create(
+      {.kind = ScheduleKind::kGeometric, .geometric_ratio = 1.1}, 1);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_GE(schedule->BatchSize(0), 1u);
+  EXPECT_GE(schedule->BatchSize(1), 1u);
+}
+
+TEST(StepScheduleTest, Validation) {
+  EXPECT_FALSE(StepSchedule::Create({.kind = ScheduleKind::kDoubling}, 0).ok());
+  EXPECT_FALSE(
+      StepSchedule::Create(
+          {.kind = ScheduleKind::kGeometric, .geometric_ratio = 1.0}, 5)
+          .ok());
+  EXPECT_FALSE(
+      StepSchedule::Create(
+          {.kind = ScheduleKind::kGeometric, .geometric_ratio = 0.5}, 5)
+          .ok());
+}
+
+TEST(StepScheduleTest, KindNames) {
+  EXPECT_EQ(ScheduleKindToString(ScheduleKind::kDoubling), "doubling");
+  EXPECT_EQ(ScheduleKindToString(ScheduleKind::kLinear), "linear");
+  EXPECT_EQ(ScheduleKindToString(ScheduleKind::kGeometric), "geometric");
+}
+
+TEST(PaperSqrtNTest, MatchesFormula) {
+  // 5*sqrt(1,000,000) = 5000 tuples; at 100 tuples/page that is 50 blocks.
+  EXPECT_EQ(PaperSqrtNInitialBatchBlocks(1000000, 100), 50u);
+  // Rounds up and never returns zero.
+  EXPECT_EQ(PaperSqrtNInitialBatchBlocks(100, 1000), 1u);
+  EXPECT_EQ(PaperSqrtNInitialBatchBlocks(1000000, 0), 1u);
+}
+
+}  // namespace
+}  // namespace equihist

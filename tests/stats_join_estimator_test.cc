@@ -1,0 +1,129 @@
+#include "stats/join_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{8192, 64};
+
+ColumnStatistics StatsOf(const FrequencyVector& freq, std::uint64_t k = 40) {
+  Table table =
+      Table::Create(freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  return BuildStatisticsFullScan(table, k).value();
+}
+
+// True equi-join size of two frequency vectors.
+double TrueJoinSize(const FrequencyVector& a, const FrequencyVector& b) {
+  double total = 0.0;
+  auto it = b.entries().begin();
+  for (const auto& ea : a.entries()) {
+    while (it != b.entries().end() && it->value < ea.value) ++it;
+    if (it != b.entries().end() && it->value == ea.value) {
+      total += static_cast<double>(ea.count) * static_cast<double>(it->count);
+    }
+  }
+  return total;
+}
+
+TEST(SystemRJoinTest, ExactOnMatchingUniformColumns) {
+  // Both sides: 100 values x 50 each over the same domain. True join:
+  // 100 * 50 * 50 = 250000; System R: 5000*5000/100 = 250000.
+  const auto freq = MakeUniformDup(5000, 100);
+  const auto left = StatsOf(*freq);
+  const auto right = StatsOf(*freq);
+  const auto estimate = SystemRJoinEstimate(left, right);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 250000.0);
+  EXPECT_DOUBLE_EQ(TrueJoinSize(*freq, *freq), 250000.0);
+}
+
+TEST(SystemRJoinTest, UsesMaxOfDistincts) {
+  const auto narrow = MakeUniformDup(1000, 10);   // d = 10
+  const auto wide = MakeUniformDup(1000, 100);    // d = 100
+  const auto estimate = SystemRJoinEstimate(StatsOf(*narrow), StatsOf(*wide));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 1000.0 * 1000.0 / 100.0);
+}
+
+TEST(SystemRJoinTest, Validation) {
+  const auto freq = MakeUniformDup(1000, 10);
+  ColumnStatistics good = StatsOf(*freq);
+  ColumnStatistics bad = good;
+  bad.row_count = 0;
+  EXPECT_FALSE(SystemRJoinEstimate(bad, good).ok());
+  bad = good;
+  bad.distinct_estimate = 0.0;
+  EXPECT_FALSE(SystemRJoinEstimate(good, bad).ok());
+}
+
+TEST(HistogramJoinTest, MatchesSystemROnUniformColumns) {
+  const auto freq = MakeUniformDup(5000, 100);
+  const auto left = StatsOf(*freq);
+  const auto right = StatsOf(*freq);
+  const auto refined = HistogramJoinEstimate(left, right);
+  const auto classic = SystemRJoinEstimate(left, right);
+  ASSERT_TRUE(refined.ok());
+  ASSERT_TRUE(classic.ok());
+  EXPECT_NEAR(*refined, *classic, *classic * 0.01);
+}
+
+TEST(HistogramJoinTest, HeavyHittersJoinExactly) {
+  // Left: one dominant value 7 (60%), uniform tail. Right: same dominant
+  // value with a different weight. The heavy x heavy term dominates the
+  // true join size; System R (which averages everything) misses it badly.
+  FrequencyVector left_freq({{7, 6000}, {10, 40}, {11, 40}, {12, 40},
+                             {13, 40}, {14, 40}, {15, 40}, {16, 40},
+                             {17, 40}, {18, 40}, {19, 40}, {20, 3600}});
+  FrequencyVector right_freq({{7, 3000}, {10, 50}, {11, 50}, {12, 50},
+                              {13, 50}, {14, 50}, {15, 50}, {16, 50},
+                              {17, 50}, {18, 50}, {19, 50}, {20, 6500}});
+  const auto left = StatsOf(left_freq, 5);
+  const auto right = StatsOf(right_freq, 5);
+  const double truth = TrueJoinSize(left_freq, right_freq);
+
+  const auto refined = HistogramJoinEstimate(left, right);
+  const auto classic = SystemRJoinEstimate(left, right);
+  ASSERT_TRUE(refined.ok());
+  ASSERT_TRUE(classic.ok());
+  const double refined_err = std::abs(*refined - truth) / truth;
+  const double classic_err = std::abs(*classic - truth) / truth;
+  EXPECT_LT(refined_err, 0.15);
+  EXPECT_LT(refined_err, classic_err);
+}
+
+TEST(HistogramJoinTest, DisjointDomainsEstimateNearZero) {
+  FrequencyVector left_freq({{1, 100}, {2, 100}, {3, 100}});
+  FrequencyVector right_freq({{1000, 100}, {2000, 100}, {3000, 100}});
+  const auto estimate =
+      HistogramJoinEstimate(StatsOf(left_freq, 3), StatsOf(right_freq, 3));
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LT(*estimate, 1.0);
+  EXPECT_DOUBLE_EQ(TrueJoinSize(left_freq, right_freq), 0.0);
+}
+
+TEST(HistogramJoinTest, SampledStatisticsStillUsable) {
+  const auto freq = MakeZipf({.n = 200000, .domain_size = 2000, .skew = 1.5,
+                              .seed = 7});
+  Table table =
+      Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom}).value();
+  CvbOptions options;
+  options.k = 40;
+  options.f = 0.2;
+  const auto sampled = BuildStatisticsSampled(table, options);
+  ASSERT_TRUE(sampled.ok());
+  const double truth = TrueJoinSize(*freq, *freq);
+  const auto refined = HistogramJoinEstimate(*sampled, *sampled);
+  ASSERT_TRUE(refined.ok());
+  // Self-join of skewed data: the heavy-hitter terms carry most of the
+  // mass; sampled statistics should land within a small factor.
+  EXPECT_GT(*refined, truth / 3.0);
+  EXPECT_LT(*refined, truth * 3.0);
+}
+
+}  // namespace
+}  // namespace equihist

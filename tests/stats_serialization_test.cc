@@ -1,0 +1,160 @@
+#include "stats/serialization.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/histogram_builder.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+Histogram SampleHistogram(std::uint64_t n = 100000, std::uint64_t k = 100) {
+  const auto freq = MakeZipf({.n = n, .domain_size = n / 10, .skew = 1.0});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  return BuildPerfectHistogram(data, k).value();
+}
+
+TEST(HistogramSerializationTest, RoundTripPreservesEverything) {
+  const Histogram original = SampleHistogram();
+  std::vector<std::uint8_t> bytes;
+  SerializeHistogram(original, &bytes);
+  std::size_t consumed = 0;
+  const auto restored = DeserializeHistogram(bytes, &consumed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(restored->separators(), original.separators());
+  EXPECT_EQ(restored->counts(), original.counts());
+  EXPECT_EQ(restored->lower_fence(), original.lower_fence());
+  EXPECT_EQ(restored->upper_fence(), original.upper_fence());
+  EXPECT_EQ(restored->total(), original.total());
+}
+
+TEST(HistogramSerializationTest, RoundTripWithNegativeValuesAndDuplicates) {
+  const auto h =
+      Histogram::Create({-50, -50, 0, 7}, {3, 0, 10, 2, 5}, -100, 100);
+  ASSERT_TRUE(h.ok());
+  std::vector<std::uint8_t> bytes;
+  SerializeHistogram(*h, &bytes);
+  const auto restored = DeserializeHistogram(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->separators(), h->separators());
+  EXPECT_EQ(restored->counts(), h->counts());
+}
+
+TEST(HistogramSerializationTest, SixHundredBinsFitOnePage) {
+  // Section 7.1 note 5: SQL Server stores a histogram in one page — 600
+  // bins for an integer column. Our encoding honours the same budget.
+  const Histogram h = SampleHistogram(1000000, 600);
+  EXPECT_TRUE(HistogramFitsInPage(h, 8192));
+  std::vector<std::uint8_t> bytes;
+  SerializeHistogram(h, &bytes);
+  EXPECT_LE(bytes.size(), 8192u);
+  EXPECT_GT(MaxBucketsForPage(h, 8192), 600u);
+}
+
+TEST(HistogramSerializationTest, RejectsCorruptedBytes) {
+  const Histogram h = SampleHistogram(10000, 20);
+  std::vector<std::uint8_t> bytes;
+  SerializeHistogram(h, &bytes);
+
+  // Truncations at every prefix must fail cleanly, never crash.
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    const auto result = DeserializeHistogram(
+        std::span<const std::uint8_t>(bytes.data(), len));
+    EXPECT_FALSE(result.ok()) << "prefix " << len;
+  }
+
+  // Bad magic.
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeHistogram(bad).ok());
+
+  // Random single-byte corruption either fails or yields a structurally
+  // valid histogram (sum check and Create() validation guard the rest).
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[rng.NextBounded(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+    const auto result = DeserializeHistogram(mutated);
+    if (result.ok()) {
+      std::uint64_t sum = 0;
+      for (std::uint64_t c : result->counts()) sum += c;
+      EXPECT_EQ(sum, result->total());
+      EXPECT_TRUE(std::is_sorted(result->separators().begin(),
+                                 result->separators().end()));
+    }
+  }
+}
+
+TEST(HistogramSerializationTest, EmptyInputFails) {
+  EXPECT_FALSE(DeserializeHistogram({}).ok());
+}
+
+TEST(ColumnStatisticsSerializationTest, RoundTrip) {
+  const auto freq = MakeZipf({.n = 100000, .domain_size = 1000, .skew = 2.0});
+  Table table =
+      Table::Create(*freq, PageConfig{8192, 64}, {.kind = LayoutKind::kRandom})
+          .value();
+  const auto stats = BuildStatisticsFullScan(table, 50);
+  ASSERT_TRUE(stats.ok());
+
+  std::vector<std::uint8_t> bytes;
+  SerializeColumnStatistics(*stats, &bytes);
+  const auto restored = DeserializeColumnStatistics(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->histogram.separators(), stats->histogram.separators());
+  EXPECT_EQ(restored->histogram.counts(), stats->histogram.counts());
+  EXPECT_DOUBLE_EQ(restored->density, stats->density);
+  EXPECT_DOUBLE_EQ(restored->distinct_estimate, stats->distinct_estimate);
+  EXPECT_EQ(restored->heavy_hitters, stats->heavy_hitters);
+  EXPECT_EQ(restored->from_full_scan, stats->from_full_scan);
+  EXPECT_EQ(restored->sample_size, stats->sample_size);
+  EXPECT_EQ(restored->row_count, stats->row_count);
+}
+
+TEST(ColumnStatisticsSerializationTest, RestoredStatsEstimateIdentically) {
+  const auto freq = MakeZipf({.n = 50000, .domain_size = 500, .skew = 1.5});
+  Table table =
+      Table::Create(*freq, PageConfig{8192, 64}, {.kind = LayoutKind::kRandom})
+          .value();
+  const auto stats = BuildStatisticsFullScan(table, 40);
+  ASSERT_TRUE(stats.ok());
+  std::vector<std::uint8_t> bytes;
+  SerializeColumnStatistics(*stats, &bytes);
+  const auto restored = DeserializeColumnStatistics(bytes);
+  ASSERT_TRUE(restored.ok());
+  for (const RangeQuery& q :
+       {RangeQuery{0, 100}, RangeQuery{50, 450}, RangeQuery{-10, 10000}}) {
+    EXPECT_DOUBLE_EQ(restored->EstimateRangeCount(q),
+                     stats->EstimateRangeCount(q));
+  }
+  for (Value v : {Value{1}, Value{17}, Value{499}}) {
+    EXPECT_DOUBLE_EQ(restored->EstimateEqualityCount(v),
+                     stats->EstimateEqualityCount(v));
+  }
+}
+
+TEST(ColumnStatisticsSerializationTest, TruncationFailsCleanly) {
+  const auto freq = MakeUniformDup(1000, 10);
+  Table table =
+      Table::Create(*freq, PageConfig{8192, 64}, {.kind = LayoutKind::kRandom})
+          .value();
+  const auto stats = BuildStatisticsFullScan(table, 5);
+  ASSERT_TRUE(stats.ok());
+  std::vector<std::uint8_t> bytes;
+  SerializeColumnStatistics(*stats, &bytes);
+  for (std::size_t len = 0; len + 1 < bytes.size(); len += 3) {
+    EXPECT_FALSE(DeserializeColumnStatistics(
+                     std::span<const std::uint8_t>(bytes.data(), len))
+                     .ok());
+  }
+}
+
+}  // namespace
+}  // namespace equihist

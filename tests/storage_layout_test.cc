@@ -1,0 +1,121 @@
+#include "storage/layout.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "data/generator.h"
+
+namespace equihist {
+namespace {
+
+FrequencyVector TestFrequencies() {
+  // 40 distinct values, 50 duplicates each.
+  return MakeUniformDup(2000, 40).value();
+}
+
+// Counts adjacent pairs with equal values: a crude clustering measure.
+std::size_t AdjacentEqualPairs(const std::vector<Value>& values) {
+  std::size_t pairs = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] == values[i - 1]) ++pairs;
+  }
+  return pairs;
+}
+
+TEST(LayoutTest, SortedLayoutIsSorted) {
+  const auto values =
+      ApplyLayout(TestFrequencies(), {.kind = LayoutKind::kSorted});
+  ASSERT_TRUE(values.ok());
+  EXPECT_TRUE(std::is_sorted(values->begin(), values->end()));
+}
+
+TEST(LayoutTest, AllLayoutsPreserveTheMultiset) {
+  const FrequencyVector freq = TestFrequencies();
+  const std::vector<Value> reference = ExpandSorted(freq);
+  for (LayoutKind kind : {LayoutKind::kRandom, LayoutKind::kSorted,
+                          LayoutKind::kPartiallyClustered}) {
+    auto values = ApplyLayout(freq, {.kind = kind, .seed = 3});
+    ASSERT_TRUE(values.ok());
+    std::sort(values->begin(), values->end());
+    EXPECT_EQ(*values, reference) << LayoutKindToString(kind);
+  }
+}
+
+TEST(LayoutTest, RandomLayoutHasLittleClustering) {
+  const auto values =
+      ApplyLayout(TestFrequencies(), {.kind = LayoutKind::kRandom, .seed = 3});
+  ASSERT_TRUE(values.ok());
+  // Expected adjacent-equal pairs for random order: (n-1) * (c-1)/(n-1) ~ 49
+  // for multiplicity 50 over 2000 tuples. Allow generous slack.
+  EXPECT_LT(AdjacentEqualPairs(*values), 200u);
+}
+
+TEST(LayoutTest, PartiallyClusteredSitsBetweenRandomAndSorted) {
+  const FrequencyVector freq = TestFrequencies();
+  const auto random =
+      ApplyLayout(freq, {.kind = LayoutKind::kRandom, .seed = 3});
+  const auto partial = ApplyLayout(
+      freq, {.kind = LayoutKind::kPartiallyClustered,
+             .clustered_fraction = 0.2, .seed = 3});
+  const auto sorted = ApplyLayout(freq, {.kind = LayoutKind::kSorted});
+  ASSERT_TRUE(random.ok());
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(sorted.ok());
+  const std::size_t random_pairs = AdjacentEqualPairs(*random);
+  const std::size_t partial_pairs = AdjacentEqualPairs(*partial);
+  const std::size_t sorted_pairs = AdjacentEqualPairs(*sorted);
+  EXPECT_GT(partial_pairs, random_pairs);
+  EXPECT_LT(partial_pairs, sorted_pairs);
+  // 20% of each value's 50 duplicates (10 tuples) co-located contributes
+  // ~9 adjacent pairs per value: ~360 for 40 values, plus random noise.
+  EXPECT_GT(partial_pairs, 300u);
+}
+
+TEST(LayoutTest, ClusteredFractionOneIsFullyClusteredPerValue) {
+  const auto values = ApplyLayout(
+      TestFrequencies(), {.kind = LayoutKind::kPartiallyClustered,
+                          .clustered_fraction = 1.0, .seed = 5});
+  ASSERT_TRUE(values.ok());
+  // Every value's duplicates are contiguous: 49 adjacent pairs per value.
+  EXPECT_EQ(AdjacentEqualPairs(*values), 40u * 49u);
+}
+
+TEST(LayoutTest, ClusteredFractionZeroEqualsRandomBehaviour) {
+  const auto values = ApplyLayout(
+      TestFrequencies(), {.kind = LayoutKind::kPartiallyClustered,
+                          .clustered_fraction = 0.0, .seed = 5});
+  ASSERT_TRUE(values.ok());
+  EXPECT_LT(AdjacentEqualPairs(*values), 200u);
+}
+
+TEST(LayoutTest, DeterministicInSeed) {
+  const FrequencyVector freq = TestFrequencies();
+  const LayoutSpec spec{.kind = LayoutKind::kPartiallyClustered,
+                        .clustered_fraction = 0.2, .seed = 9};
+  EXPECT_EQ(*ApplyLayout(freq, spec), *ApplyLayout(freq, spec));
+}
+
+TEST(LayoutTest, RejectsBadArguments) {
+  EXPECT_FALSE(ApplyLayout(FrequencyVector(), {}).ok());
+  EXPECT_FALSE(ApplyLayout(TestFrequencies(),
+                           {.kind = LayoutKind::kPartiallyClustered,
+                            .clustered_fraction = 1.5})
+                   .ok());
+  EXPECT_FALSE(ApplyLayout(TestFrequencies(),
+                           {.kind = LayoutKind::kPartiallyClustered,
+                            .clustered_fraction = -0.1})
+                   .ok());
+}
+
+TEST(LayoutTest, KindNames) {
+  EXPECT_EQ(LayoutKindToString(LayoutKind::kRandom), "random");
+  EXPECT_EQ(LayoutKindToString(LayoutKind::kSorted), "sorted");
+  EXPECT_EQ(LayoutKindToString(LayoutKind::kPartiallyClustered),
+            "partially-clustered");
+}
+
+}  // namespace
+}  // namespace equihist
