@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds_tradeoff.dir/bench_bounds_tradeoff.cc.o"
+  "CMakeFiles/bench_bounds_tradeoff.dir/bench_bounds_tradeoff.cc.o.d"
+  "bench_bounds_tradeoff"
+  "bench_bounds_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example_metrics.dir/bench_example_metrics.cc.o"
+  "CMakeFiles/bench_example_metrics.dir/bench_example_metrics.cc.o.d"
+  "bench_example_metrics"
+  "bench_example_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_to_12_distinct.dir/bench_fig9_to_12_distinct.cc.o"
+  "CMakeFiles/bench_fig9_to_12_distinct.dir/bench_fig9_to_12_distinct.cc.o.d"
+  "bench_fig9_to_12_distinct"
+  "bench_fig9_to_12_distinct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_to_12_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_to_12_distinct.
+# This may be replaced when dependencies are built.

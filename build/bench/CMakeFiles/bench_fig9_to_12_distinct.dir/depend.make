@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_to_12_distinct.
+# This may be replaced when dependencies are built.

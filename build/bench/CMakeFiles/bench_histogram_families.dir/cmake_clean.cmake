@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histogram_families.dir/bench_histogram_families.cc.o"
+  "CMakeFiles/bench_histogram_families.dir/bench_histogram_families.cc.o.d"
+  "bench_histogram_families"
+  "bench_histogram_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histogram_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_error.dir/bench_range_error.cc.o"
+  "CMakeFiles/bench_range_error.dir/bench_range_error.cc.o.d"
+  "bench_range_error"
+  "bench_range_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

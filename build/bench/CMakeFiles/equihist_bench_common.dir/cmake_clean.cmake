@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equihist_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/equihist_bench_common.dir/bench_common.cc.o.d"
+  "libequihist_bench_common.a"
+  "libequihist_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equihist_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

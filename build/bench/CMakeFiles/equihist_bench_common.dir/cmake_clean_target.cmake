@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libequihist_bench_common.a"
+)

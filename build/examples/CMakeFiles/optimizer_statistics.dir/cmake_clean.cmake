@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_statistics.dir/optimizer_statistics.cpp.o"
+  "CMakeFiles/optimizer_statistics.dir/optimizer_statistics.cpp.o.d"
+  "optimizer_statistics"
+  "optimizer_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_size_advisor.dir/sample_size_advisor.cpp.o"
+  "CMakeFiles/sample_size_advisor.dir/sample_size_advisor.cpp.o.d"
+  "sample_size_advisor"
+  "sample_size_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_size_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

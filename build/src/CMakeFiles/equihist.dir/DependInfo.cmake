@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/equi_width.cc" "src/CMakeFiles/equihist.dir/baseline/equi_width.cc.o" "gcc" "src/CMakeFiles/equihist.dir/baseline/equi_width.cc.o.d"
+  "/root/repo/src/baseline/gmp_incremental.cc" "src/CMakeFiles/equihist.dir/baseline/gmp_incremental.cc.o" "gcc" "src/CMakeFiles/equihist.dir/baseline/gmp_incremental.cc.o.d"
+  "/root/repo/src/baseline/serial_histograms.cc" "src/CMakeFiles/equihist.dir/baseline/serial_histograms.cc.o" "gcc" "src/CMakeFiles/equihist.dir/baseline/serial_histograms.cc.o.d"
+  "/root/repo/src/common/math.cc" "src/CMakeFiles/equihist.dir/common/math.cc.o" "gcc" "src/CMakeFiles/equihist.dir/common/math.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/equihist.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/equihist.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/equihist.dir/common/status.cc.o" "gcc" "src/CMakeFiles/equihist.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/equihist.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/equihist.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/equihist.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/compressed_histogram.cc" "src/CMakeFiles/equihist.dir/core/compressed_histogram.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/compressed_histogram.cc.o.d"
+  "/root/repo/src/core/cvb.cc" "src/CMakeFiles/equihist.dir/core/cvb.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/cvb.cc.o.d"
+  "/root/repo/src/core/density.cc" "src/CMakeFiles/equihist.dir/core/density.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/density.cc.o.d"
+  "/root/repo/src/core/error_metrics.cc" "src/CMakeFiles/equihist.dir/core/error_metrics.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/error_metrics.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/CMakeFiles/equihist.dir/core/histogram.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/histogram.cc.o.d"
+  "/root/repo/src/core/histogram_builder.cc" "src/CMakeFiles/equihist.dir/core/histogram_builder.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/histogram_builder.cc.o.d"
+  "/root/repo/src/core/range_estimator.cc" "src/CMakeFiles/equihist.dir/core/range_estimator.cc.o" "gcc" "src/CMakeFiles/equihist.dir/core/range_estimator.cc.o.d"
+  "/root/repo/src/data/distribution.cc" "src/CMakeFiles/equihist.dir/data/distribution.cc.o" "gcc" "src/CMakeFiles/equihist.dir/data/distribution.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/equihist.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/equihist.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/value_set.cc" "src/CMakeFiles/equihist.dir/data/value_set.cc.o" "gcc" "src/CMakeFiles/equihist.dir/data/value_set.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/equihist.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/equihist.dir/data/workload.cc.o.d"
+  "/root/repo/src/distinct/error.cc" "src/CMakeFiles/equihist.dir/distinct/error.cc.o" "gcc" "src/CMakeFiles/equihist.dir/distinct/error.cc.o.d"
+  "/root/repo/src/distinct/estimators.cc" "src/CMakeFiles/equihist.dir/distinct/estimators.cc.o" "gcc" "src/CMakeFiles/equihist.dir/distinct/estimators.cc.o.d"
+  "/root/repo/src/distinct/frequency_profile.cc" "src/CMakeFiles/equihist.dir/distinct/frequency_profile.cc.o" "gcc" "src/CMakeFiles/equihist.dir/distinct/frequency_profile.cc.o.d"
+  "/root/repo/src/query/index.cc" "src/CMakeFiles/equihist.dir/query/index.cc.o" "gcc" "src/CMakeFiles/equihist.dir/query/index.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/equihist.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/equihist.dir/query/planner.cc.o.d"
+  "/root/repo/src/sampling/block_sampler.cc" "src/CMakeFiles/equihist.dir/sampling/block_sampler.cc.o" "gcc" "src/CMakeFiles/equihist.dir/sampling/block_sampler.cc.o.d"
+  "/root/repo/src/sampling/design_effect.cc" "src/CMakeFiles/equihist.dir/sampling/design_effect.cc.o" "gcc" "src/CMakeFiles/equihist.dir/sampling/design_effect.cc.o.d"
+  "/root/repo/src/sampling/row_sampler.cc" "src/CMakeFiles/equihist.dir/sampling/row_sampler.cc.o" "gcc" "src/CMakeFiles/equihist.dir/sampling/row_sampler.cc.o.d"
+  "/root/repo/src/sampling/sample.cc" "src/CMakeFiles/equihist.dir/sampling/sample.cc.o" "gcc" "src/CMakeFiles/equihist.dir/sampling/sample.cc.o.d"
+  "/root/repo/src/sampling/schedule.cc" "src/CMakeFiles/equihist.dir/sampling/schedule.cc.o" "gcc" "src/CMakeFiles/equihist.dir/sampling/schedule.cc.o.d"
+  "/root/repo/src/stats/column_statistics.cc" "src/CMakeFiles/equihist.dir/stats/column_statistics.cc.o" "gcc" "src/CMakeFiles/equihist.dir/stats/column_statistics.cc.o.d"
+  "/root/repo/src/stats/join_estimator.cc" "src/CMakeFiles/equihist.dir/stats/join_estimator.cc.o" "gcc" "src/CMakeFiles/equihist.dir/stats/join_estimator.cc.o.d"
+  "/root/repo/src/stats/serialization.cc" "src/CMakeFiles/equihist.dir/stats/serialization.cc.o" "gcc" "src/CMakeFiles/equihist.dir/stats/serialization.cc.o.d"
+  "/root/repo/src/stats/statistics_manager.cc" "src/CMakeFiles/equihist.dir/stats/statistics_manager.cc.o" "gcc" "src/CMakeFiles/equihist.dir/stats/statistics_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/equihist.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/equihist.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/layout.cc" "src/CMakeFiles/equihist.dir/storage/layout.cc.o" "gcc" "src/CMakeFiles/equihist.dir/storage/layout.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/equihist.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/equihist.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/scan.cc" "src/CMakeFiles/equihist.dir/storage/scan.cc.o" "gcc" "src/CMakeFiles/equihist.dir/storage/scan.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/equihist.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/equihist.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

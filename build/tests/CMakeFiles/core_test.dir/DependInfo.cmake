@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_bounds_test.cc" "tests/CMakeFiles/core_test.dir/core_bounds_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_bounds_test.cc.o.d"
+  "/root/repo/tests/core_compressed_histogram_test.cc" "tests/CMakeFiles/core_test.dir/core_compressed_histogram_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_compressed_histogram_test.cc.o.d"
+  "/root/repo/tests/core_cvb_test.cc" "tests/CMakeFiles/core_test.dir/core_cvb_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_cvb_test.cc.o.d"
+  "/root/repo/tests/core_density_test.cc" "tests/CMakeFiles/core_test.dir/core_density_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_density_test.cc.o.d"
+  "/root/repo/tests/core_error_metrics_test.cc" "tests/CMakeFiles/core_test.dir/core_error_metrics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_error_metrics_test.cc.o.d"
+  "/root/repo/tests/core_histogram_builder_test.cc" "tests/CMakeFiles/core_test.dir/core_histogram_builder_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_histogram_builder_test.cc.o.d"
+  "/root/repo/tests/core_histogram_test.cc" "tests/CMakeFiles/core_test.dir/core_histogram_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_histogram_test.cc.o.d"
+  "/root/repo/tests/core_range_estimator_test.cc" "tests/CMakeFiles/core_test.dir/core_range_estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_range_estimator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/equihist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

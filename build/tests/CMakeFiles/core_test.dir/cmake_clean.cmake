@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_bounds_test.cc.o"
+  "CMakeFiles/core_test.dir/core_bounds_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_compressed_histogram_test.cc.o"
+  "CMakeFiles/core_test.dir/core_compressed_histogram_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_cvb_test.cc.o"
+  "CMakeFiles/core_test.dir/core_cvb_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_density_test.cc.o"
+  "CMakeFiles/core_test.dir/core_density_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_error_metrics_test.cc.o"
+  "CMakeFiles/core_test.dir/core_error_metrics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_histogram_builder_test.cc.o"
+  "CMakeFiles/core_test.dir/core_histogram_builder_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_histogram_test.cc.o"
+  "CMakeFiles/core_test.dir/core_histogram_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_range_estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core_range_estimator_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_test.dir/distinct_error_test.cc.o"
+  "CMakeFiles/distinct_test.dir/distinct_error_test.cc.o.d"
+  "CMakeFiles/distinct_test.dir/distinct_estimators_test.cc.o"
+  "CMakeFiles/distinct_test.dir/distinct_estimators_test.cc.o.d"
+  "CMakeFiles/distinct_test.dir/distinct_frequency_profile_test.cc.o"
+  "CMakeFiles/distinct_test.dir/distinct_frequency_profile_test.cc.o.d"
+  "distinct_test"
+  "distinct_test.pdb"
+  "distinct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

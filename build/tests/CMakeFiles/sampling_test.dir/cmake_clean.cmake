@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_test.dir/sampling_block_sampler_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_block_sampler_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling_design_effect_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_design_effect_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling_row_sampler_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_row_sampler_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling_sample_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_sample_test.cc.o.d"
+  "CMakeFiles/sampling_test.dir/sampling_schedule_test.cc.o"
+  "CMakeFiles/sampling_test.dir/sampling_schedule_test.cc.o.d"
+  "sampling_test"
+  "sampling_test.pdb"
+  "sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
