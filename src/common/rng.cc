@@ -73,6 +73,14 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Decorrelate the stream index with the golden-ratio increment, then run
+  // two SplitMix64 steps so adjacent (seed, stream) pairs land far apart.
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  (void)SplitMix64(state);
+  return SplitMix64(state);
+}
+
 Rng Rng::Split() {
   // Derive the child from fresh output, then advance this stream once more
   // so parent and child do not overlap in practice.

@@ -55,6 +55,13 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Derives the seed of sub-stream `stream` of `seed` by SplitMix64 mixing,
+// without consuming any state from an Rng. Seeding Rng(DeriveStreamSeed(s,
+// i)) gives each worker/shard i its own statistically independent stream
+// that depends only on (s, i) — the addressing scheme the parallel
+// samplers use to stay bit-reproducible across thread counts.
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace equihist
 
 #endif  // EQUIHIST_COMMON_RNG_H_

@@ -1,0 +1,123 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace equihist {
+
+std::size_t ResolveThreadCount(std::uint64_t threads) {
+  if (threads != 0) return static_cast<std::size_t>(threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// Shared bookkeeping of one ParallelFor call: shards are claimed with a
+// fetch_add so each runs exactly once, whichever thread gets there first.
+struct ThreadPool::ForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t num_shards = 0;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+      nullptr;
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<std::size_t> finished{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunShards(const std::shared_ptr<ForState>& state) {
+  const std::size_t range = state->end - state->begin;
+  const std::size_t shards = state->num_shards;
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t s = state->next_shard.fetch_add(1);
+    if (s >= shards) break;
+    const std::size_t lo = state->begin + range * s / shards;
+    const std::size_t hi = state->begin + range * (s + 1) / shards;
+    if (lo < hi) (*state->fn)(lo, hi, s);
+    ++executed;
+  }
+  if (executed == 0) return;
+  const std::size_t done = state->finished.fetch_add(executed) + executed;
+  if (done == shards) {
+    // Lock/unlock pairs with the waiter's predicate check so the notify
+    // cannot race past a waiter that has not yet slept.
+    std::lock_guard<std::mutex> lock(state->done_mu);
+    state->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t num_shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (num_shards == 0) num_shards = 1;
+  if (workers_.empty() || num_shards == 1) {
+    // Inline execution with the same shard layout: bit-identical work
+    // decomposition at every thread count.
+    const std::size_t range = end - begin;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t lo = begin + range * s / num_shards;
+      const std::size_t hi = begin + range * (s + 1) / num_shards;
+      if (lo < hi) fn(lo, hi, s);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->num_shards = num_shards;
+  state->fn = &fn;
+
+  const std::size_t helpers = std::min(workers_.size(), num_shards - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    Enqueue([state]() { RunShards(state); });
+  }
+  RunShards(state);  // the caller is always a worker
+
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&state]() {
+    return state->finished.load() == state->num_shards;
+  });
+}
+
+}  // namespace equihist

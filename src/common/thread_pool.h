@@ -1,0 +1,94 @@
+#ifndef EQUIHIST_COMMON_THREAD_POOL_H_
+#define EQUIHIST_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace equihist {
+
+// Resolves a user-facing thread-count knob: 0 means "all hardware threads"
+// (at least 1), any other value is taken literally. This is the convention
+// of CvbOptions::threads and StatisticsManager::Options::threads.
+std::size_t ResolveThreadCount(std::uint64_t threads);
+
+// A fixed-size work-queue thread pool, the execution substrate of the
+// parallel histogram-construction engine.
+//
+// Design notes:
+//  - ThreadPool(n) spawns n-1 workers: the thread calling ParallelFor()
+//    always participates in executing its own shards, so a pool of size 1
+//    runs everything inline on the caller (today's single-threaded
+//    behavior, no thread is ever created) and nested ParallelFor() calls
+//    from worker threads cannot deadlock — every waiter is also a worker.
+//  - Work decomposition is expressed in *shards*, not threads: callers fix
+//    the shard layout from the problem size alone, so the set of
+//    (shard_begin, shard_end) ranges — and therefore any result assembled
+//    per shard — is identical no matter how many threads execute them.
+//    This is what makes the sampling pipeline bit-reproducible across
+//    thread counts.
+class ThreadPool {
+ public:
+  // `num_threads` is the total parallelism including the calling thread;
+  // values < 1 are treated as 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + the participating caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Enqueues an arbitrary task and returns a future for its result. Tasks
+  // submitted from within pool tasks are fine, but waiting on a future from
+  // inside a worker can idle that worker; prefer ParallelFor for fork-join
+  // work and reserve Submit for top-level fan-out (StatisticsManager::
+  // BuildAll).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // size-1 pool: run inline
+      return future;
+    }
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  // Splits [begin, end) into `num_shards` contiguous shards of near-equal
+  // size and calls fn(shard_begin, shard_end, shard_index) once per
+  // non-empty shard, blocking until all have run. Shard boundaries depend
+  // only on (begin, end, num_shards). The calling thread executes shards
+  // too, so this is safe to call from inside pool tasks.
+  void ParallelFor(
+      std::size_t begin, std::size_t end, std::size_t num_shards,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+  static void RunShards(const std::shared_ptr<ForState>& state);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_THREAD_POOL_H_

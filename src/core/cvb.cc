@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "common/parallel_sort.h"
 #include "common/rng.h"
 #include "core/bounds.h"
 #include "core/density.h"
@@ -36,11 +38,14 @@ Status ValidateOptions(const Table& table, const CvbOptions& options) {
 // result is sorted.
 std::vector<Value> ValidationSubset(const std::vector<Value>& batch,
                                     const std::vector<std::size_t>& offsets,
-                                    CvbValidationStyle style, Rng& rng) {
+                                    CvbValidationStyle style, Rng& rng,
+                                    ThreadPool* pool) {
   std::vector<Value> subset;
   if (style == CvbValidationStyle::kAllTuples) {
     subset = batch;
   } else {
+    // The per-block picks consume the sequential rng stream regardless of
+    // the pool, keeping the subset thread-count independent.
     subset.reserve(offsets.size());
     for (std::size_t p = 0; p < offsets.size(); ++p) {
       const std::size_t begin = offsets[p];
@@ -50,14 +55,26 @@ std::vector<Value> ValidationSubset(const std::vector<Value>& batch,
       subset.push_back(batch[begin + rng.NextBounded(end - begin)]);
     }
   }
-  std::sort(subset.begin(), subset.end());
+  ParallelSort(subset, pool);
   return subset;
 }
 
 }  // namespace
 
-Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
+Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
+                         ThreadPool* pool) {
   EQUIHIST_RETURN_IF_ERROR(ValidateOptions(table, options));
+
+  // Use the caller's pool when given; otherwise spin one up per
+  // options.threads. threads == 1 keeps everything on this thread.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    const std::size_t threads = ResolveThreadCount(options.threads);
+    if (threads > 1) {
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+  }
 
   const std::uint64_t n = table.tuple_count();
   const std::uint64_t b = table.tuples_per_page();
@@ -80,7 +97,7 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
                             StepSchedule::Create(options.schedule, g0));
 
   Rng rng(options.seed);
-  IncrementalBlockSampler sampler(&table, rng.Next());
+  IncrementalBlockSampler sampler(&table, rng.Next(), pool);
 
   CvbResult result{
       .histogram = Histogram::Create({}, {1}, 0, 1).value()  // placeholder
@@ -88,9 +105,10 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
 
   // Step 2/3: initial sample and histogram H0.
   std::vector<Value> batch = sampler.NextBatch(g0, &result.io);
-  Sample accumulated(std::move(batch));
+  Sample accumulated(std::move(batch), pool);
   EQUIHIST_ASSIGN_OR_RETURN(
-      Histogram current, BuildHistogramFromSample(accumulated, options.k, n));
+      Histogram current,
+      BuildHistogramFromSample(accumulated, options.k, n, pool));
 
   // Step 4: iterate cross-validation rounds.
   std::vector<std::size_t> offsets;
@@ -122,7 +140,7 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
     entry.fresh_tuples = batch.size();
 
     const std::vector<Value> validation =
-        ValidationSubset(batch, offsets, options.style, rng);
+        ValidationSubset(batch, offsets, options.style, rng, pool);
 
     // Stopping statistic, normalized so the pass threshold is f itself.
     switch (options.metric) {
@@ -163,9 +181,9 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
     // Step 4(c): merge and rebuild regardless of the outcome — the fresh
     // sample improves the histogram either way, and the paper's output is
     // H_i (post-merge).
-    accumulated.Merge(std::move(batch));
+    accumulated.Merge(std::move(batch), pool);
     EQUIHIST_ASSIGN_OR_RETURN(
-        current, BuildHistogramFromSample(accumulated, options.k, n));
+        current, BuildHistogramFromSample(accumulated, options.k, n, pool));
 
     entry.accumulated_tuples = accumulated.size();
     result.log.push_back(entry);
@@ -187,7 +205,7 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options) {
     // Fold in whatever was read; with the whole file sampled the
     // accumulated sample equals the column and the histogram is perfect.
     EQUIHIST_ASSIGN_OR_RETURN(
-        current, BuildHistogramFromSample(accumulated, options.k, n));
+        current, BuildHistogramFromSample(accumulated, options.k, n, pool));
   }
 
   result.histogram = std::move(current);

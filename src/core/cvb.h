@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/compressed_histogram.h"
 #include "core/histogram.h"
 #include "distinct/frequency_profile.h"
@@ -103,6 +104,12 @@ struct CvbOptions {
   // Override for the initial block batch g0 (0 = derive from Theorem 4).
   // Used by the schedule-ablation bench to start from 5*sqrt(n) tuples.
   std::uint64_t initial_blocks_override = 0;
+  // Worker threads for the build pipeline (block reads, sample sort/merge,
+  // separator partitioning): 0 = one per hardware thread, 1 = fully
+  // sequential (no pool is created). Histograms are bit-identical for
+  // every setting — the parallel stages shard work by problem size, not
+  // thread count, and all RNG streams stay sequential.
+  std::uint64_t threads = 0;
 };
 
 struct CvbIterationLog {
@@ -139,7 +146,11 @@ struct CvbResult {
 // Runs CVB over `table`. Returns InvalidArgument for bad options. If the
 // table is exhausted before the validation passes, the result carries the
 // exact histogram with exhausted_table = true and converged = false.
-Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options);
+// When `pool` is non-null it is used for the parallel stages (and
+// options.threads is ignored); otherwise a pool is created per
+// options.threads when that resolves to more than one thread.
+Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
+                         ThreadPool* pool = nullptr);
 
 }  // namespace equihist
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -44,28 +45,12 @@ std::vector<std::uint64_t> ScaledCounts(
   return ApportionProportionally(weights, total);
 }
 
-// Partitions the sorted values by the separators (same rule as
-// Histogram::PartitionSorted: a run of duplicated separators puts the
-// repeated value's mass in the run's *last*, zero-width bucket, so the
-// spike is never smeared by in-bucket interpolation).
-std::vector<std::uint64_t> SamplePartitionCounts(
-    std::span<const Value> sorted, const std::vector<Value>& separators) {
-  const std::size_t k = separators.size() + 1;
-  std::vector<std::uint64_t> counts(k, 0);
-  std::uint64_t prev = 0;
-  for (std::size_t j = 0; j + 1 < k; ++j) {
-    const bool run_continues =
-        (j + 1 < separators.size()) && separators[j + 1] == separators[j];
-    const auto bound =
-        run_continues
-            ? std::lower_bound(sorted.begin(), sorted.end(), separators[j])
-            : std::upper_bound(sorted.begin(), sorted.end(), separators[j]);
-    const auto cum = static_cast<std::uint64_t>(bound - sorted.begin());
-    counts[j] = cum - prev;
-    prev = cum;
-  }
-  counts[k - 1] = sorted.size() - prev;
-  return counts;
+// The exclusive lower fence sits one below the smallest value seen,
+// saturating at the domain minimum: INT64_MIN - 1 would be signed overflow
+// (UB), so a column whose minimum is INT64_MIN keeps the fence at
+// INT64_MIN and its smallest value coincides with the fence.
+Value LowerFenceFor(Value minimum) {
+  return minimum == std::numeric_limits<Value>::min() ? minimum : minimum - 1;
 }
 
 Status ValidateInputs(std::uint64_t m, std::uint64_t k) {
@@ -79,39 +64,77 @@ Status ValidateInputs(std::uint64_t m, std::uint64_t k) {
 
 }  // namespace
 
+std::vector<std::uint64_t> SamplePartitionCounts(
+    std::span<const Value> sorted, const std::vector<Value>& separators,
+    ThreadPool* pool) {
+  const std::size_t k = separators.size() + 1;
+  // Cumulative rank at each separator; each entry is an independent binary
+  // search, so the separator range shards cleanly.
+  std::vector<std::uint64_t> cum(k - 1, 0);
+  auto fill_range = [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const bool run_continues =
+          (j + 1 < separators.size()) && separators[j + 1] == separators[j];
+      const auto bound =
+          run_continues
+              ? std::lower_bound(sorted.begin(), sorted.end(), separators[j])
+              : std::upper_bound(sorted.begin(), sorted.end(), separators[j]);
+      cum[j] = static_cast<std::uint64_t>(bound - sorted.begin());
+    }
+  };
+  if (pool == nullptr || pool->size() <= 1 || k - 1 < 2) {
+    fill_range(0, k - 1, 0);
+  } else {
+    pool->ParallelFor(0, k - 1, pool->size(), fill_range);
+  }
+  std::vector<std::uint64_t> counts(k, 0);
+  std::uint64_t prev = 0;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    counts[j] = cum[j] - prev;
+    prev = cum[j];
+  }
+  counts[k - 1] = sorted.size() - prev;
+  return counts;
+}
+
 Result<Histogram> BuildPerfectHistogram(const ValueSet& population,
-                                        std::uint64_t k) {
+                                        std::uint64_t k, ThreadPool* pool) {
   EQUIHIST_RETURN_IF_ERROR(ValidateInputs(population.size(), k));
   std::span<const Value> sorted = population.sorted_values();
   std::vector<Value> separators = QuantileSeparators(sorted, k);
 
   // True counts per bucket, under the run-aware partition rule.
-  std::vector<std::uint64_t> counts = SamplePartitionCounts(sorted, separators);
+  std::vector<std::uint64_t> counts =
+      SamplePartitionCounts(sorted, separators, pool);
 
   return Histogram::Create(std::move(separators), std::move(counts),
-                           population.min() - 1, population.max());
+                           LowerFenceFor(population.min()), population.max());
 }
 
 Result<Histogram> BuildHistogramFromSample(std::span<const Value> sorted_sample,
                                            std::uint64_t k,
-                                           std::uint64_t population_size) {
+                                           std::uint64_t population_size,
+                                           ThreadPool* pool) {
   EQUIHIST_RETURN_IF_ERROR(ValidateInputs(sorted_sample.size(), k));
   if (population_size == 0) {
     return Status::InvalidArgument("population_size must be positive");
   }
   std::vector<Value> separators = QuantileSeparators(sorted_sample, k);
   std::vector<std::uint64_t> claimed = ScaledCounts(
-      SamplePartitionCounts(sorted_sample, separators), sorted_sample.size(),
-      population_size);
+      SamplePartitionCounts(sorted_sample, separators, pool),
+      sorted_sample.size(), population_size);
   return Histogram::Create(std::move(separators), std::move(claimed),
-                           sorted_sample.front() - 1, sorted_sample.back());
+                           LowerFenceFor(sorted_sample.front()),
+                           sorted_sample.back());
 }
 
 Result<Histogram> BuildHistogramFromSample(const Sample& sample,
                                            std::uint64_t k,
-                                           std::uint64_t population_size) {
+                                           std::uint64_t population_size,
+                                           ThreadPool* pool) {
   return BuildHistogramFromSample(
-      std::span<const Value>(sample.sorted_values()), k, population_size);
+      std::span<const Value>(sample.sorted_values()), k, population_size,
+      pool);
 }
 
 }  // namespace equihist

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/histogram.h"
 #include "data/value_set.h"
 #include "sampling/sample.h"
@@ -18,12 +20,28 @@ namespace equihist {
 // each bucket's size as close to m/k as duplicate values permit. When a
 // value's multiplicity exceeds m/k, adjacent separators coincide — the
 // duplicated-separator representation of Section 5.
+//
+// All builders accept an optional ThreadPool; the separator partition is
+// then computed over separator shards concurrently, with output identical
+// to the sequential path.
+
+// Partitions the sorted values by the separators (same rule as
+// Histogram::PartitionSorted: a run of duplicated separators puts the
+// repeated value's mass in the run's *last*, zero-width bucket, so the
+// spike is never smeared by in-bucket interpolation). Returns
+// separators.size() + 1 counts summing to sorted.size(). Each separator's
+// cumulative rank is an independent binary search, so shards of the
+// separator range run concurrently.
+std::vector<std::uint64_t> SamplePartitionCounts(
+    std::span<const Value> sorted, const std::vector<Value>& separators,
+    ThreadPool* pool = nullptr);
 
 // The perfect histogram: separators from the full sorted value set, claimed
 // counts equal to the true partition counts. Requires k >= 1 and a
 // non-empty population; k may exceed n (trailing buckets are then empty).
 Result<Histogram> BuildPerfectHistogram(const ValueSet& population,
-                                        std::uint64_t k);
+                                        std::uint64_t k,
+                                        ThreadPool* pool = nullptr);
 
 // The approximate histogram of Section 3.1: separators from a sorted random
 // sample; claimed counts are the sample's per-bucket counts scaled to
@@ -36,12 +54,14 @@ Result<Histogram> BuildPerfectHistogram(const ValueSet& population,
 // Histogram::PartitionCounts / MeasuredAgainst.
 Result<Histogram> BuildHistogramFromSample(std::span<const Value> sorted_sample,
                                            std::uint64_t k,
-                                           std::uint64_t population_size);
+                                           std::uint64_t population_size,
+                                           ThreadPool* pool = nullptr);
 
 // Convenience overload for an accumulated Sample.
 Result<Histogram> BuildHistogramFromSample(const Sample& sample,
                                            std::uint64_t k,
-                                           std::uint64_t population_size);
+                                           std::uint64_t population_size,
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace equihist
 

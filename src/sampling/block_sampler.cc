@@ -13,6 +13,45 @@ void AppendPage(const Table& table, std::uint64_t page_id, IoStats* stats,
   for (Value v : (*page)->values()) out.push_back(v);
 }
 
+// Reads `page_ids` into a freshly sized vector, fanning the page reads out
+// across the pool. Each page's destination offset is precomputed from the
+// (uncharged) page sizes, so the output is byte-identical to a sequential
+// read loop; per-shard IoStats are summed in shard order afterwards so the
+// charged totals match too.
+std::vector<Value> ReadPagesParallel(const Table& table,
+                                     const std::vector<std::uint64_t>& page_ids,
+                                     IoStats* stats, ThreadPool* pool,
+                                     std::vector<std::size_t>* page_offsets) {
+  std::vector<std::size_t> offsets(page_ids.size() + 1, 0);
+  for (std::size_t p = 0; p < page_ids.size(); ++p) {
+    offsets[p + 1] = offsets[p] + table.file().page(page_ids[p]).size();
+  }
+  std::vector<Value> out(offsets.back());
+  const std::size_t shards = pool == nullptr ? 1 : pool->size();
+  std::vector<IoStats> shard_stats(shards);
+  auto read_range = [&](std::size_t lo, std::size_t hi, std::size_t s) {
+    IoStats& local = shard_stats[s];
+    for (std::size_t p = lo; p < hi; ++p) {
+      Result<const Page*> page = table.file().ReadPage(page_ids[p], &local);
+      assert(page.ok());
+      const auto values = (*page)->values();
+      std::copy(values.begin(), values.end(), out.begin() + offsets[p]);
+    }
+  };
+  if (pool == nullptr || shards <= 1) {
+    read_range(0, page_ids.size(), 0);
+  } else {
+    pool->ParallelFor(0, page_ids.size(), shards, read_range);
+  }
+  if (stats != nullptr) {
+    for (const IoStats& s : shard_stats) *stats += s;
+  }
+  if (page_offsets != nullptr) {
+    page_offsets->assign(offsets.begin(), offsets.end() - 1);
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<Value>> SampleBlocksWithoutReplacement(
@@ -54,9 +93,42 @@ Result<std::vector<Value>> SampleBlocksWithReplacement(const Table& table,
   return out;
 }
 
+Result<std::vector<Value>> SampleBlocksWithReplacement(
+    const Table& table, std::uint64_t num_blocks, std::uint64_t seed,
+    IoStats* stats, ThreadPool* pool) {
+  const std::uint64_t pages = table.page_count();
+  if (pages == 0) {
+    return Status::InvalidArgument("cannot sample from an empty table");
+  }
+  // Phase 1: choose page ids. Spans of kDrawsPerStream consecutive draws
+  // each come from their own SplitMix-derived stream, so the id vector
+  // depends only on (seed, num_blocks) — never on the pool.
+  std::vector<std::uint64_t> ids(num_blocks);
+  const std::size_t streams = static_cast<std::size_t>(
+      (num_blocks + kDrawsPerStream - 1) / kDrawsPerStream);
+  auto draw_span = [&](std::size_t s) {
+    Rng rng(DeriveStreamSeed(seed, s));
+    const std::size_t lo = s * kDrawsPerStream;
+    const std::size_t hi =
+        std::min<std::size_t>(lo + kDrawsPerStream, num_blocks);
+    for (std::size_t i = lo; i < hi; ++i) ids[i] = rng.NextBounded(pages);
+  };
+  if (pool == nullptr || pool->size() <= 1 || streams <= 1) {
+    for (std::size_t s = 0; s < streams; ++s) draw_span(s);
+  } else {
+    pool->ParallelFor(0, streams, pool->size(),
+                      [&](std::size_t lo, std::size_t hi, std::size_t) {
+                        for (std::size_t s = lo; s < hi; ++s) draw_span(s);
+                      });
+  }
+  // Phase 2: read the chosen pages concurrently.
+  return ReadPagesParallel(table, ids, stats, pool, nullptr);
+}
+
 IncrementalBlockSampler::IncrementalBlockSampler(const Table* table,
-                                                 std::uint64_t seed)
-    : table_(table), permutation_(table->page_count()) {
+                                                 std::uint64_t seed,
+                                                 ThreadPool* pool)
+    : table_(table), pool_(pool), permutation_(table->page_count()) {
   assert(table_ != nullptr);
   std::iota(permutation_.begin(), permutation_.end(), 0);
   Rng rng(seed);
@@ -69,16 +141,13 @@ IncrementalBlockSampler::IncrementalBlockSampler(const Table* table,
 std::vector<Value> IncrementalBlockSampler::NextBatch(
     std::uint64_t num_blocks, IoStats* stats,
     std::vector<std::size_t>* page_offsets) {
-  std::vector<Value> out;
-  if (page_offsets != nullptr) page_offsets->clear();
   const std::uint64_t take =
       std::min<std::uint64_t>(num_blocks, pages_remaining());
-  out.reserve(take * table_->tuples_per_page());
-  for (std::uint64_t i = 0; i < take; ++i) {
-    if (page_offsets != nullptr) page_offsets->push_back(out.size());
-    AppendPage(*table_, permutation_[next_++], stats, out);
-  }
-  return out;
+  const std::vector<std::uint64_t> ids(
+      permutation_.begin() + static_cast<std::ptrdiff_t>(next_),
+      permutation_.begin() + static_cast<std::ptrdiff_t>(next_ + take));
+  next_ += take;
+  return ReadPagesParallel(*table_, ids, stats, pool_, page_offsets);
 }
 
 }  // namespace equihist

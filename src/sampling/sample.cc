@@ -2,32 +2,29 @@
 
 #include <algorithm>
 
+#include "common/parallel_sort.h"
+
 namespace equihist {
 
-Sample::Sample(std::vector<Value> values) : values_(std::move(values)) {
-  std::sort(values_.begin(), values_.end());
+Sample::Sample(std::vector<Value> values, ThreadPool* pool)
+    : values_(std::move(values)) {
+  ParallelSort(values_, pool);
+  distinct_ = CountDistinctSorted(values_.data(), values_.size(), pool);
 }
 
-void Sample::Merge(std::vector<Value> batch) {
-  std::sort(batch.begin(), batch.end());
-  std::vector<Value> merged;
-  merged.reserve(values_.size() + batch.size());
-  std::merge(values_.begin(), values_.end(), batch.begin(), batch.end(),
-             std::back_inserter(merged));
+void Sample::Merge(std::vector<Value> batch, ThreadPool* pool) {
+  if (batch.empty()) return;
+  ParallelSort(batch, pool);
+  std::vector<Value> merged(values_.size() + batch.size());
+  ParallelMergeSorted(values_.data(), values_.size(), batch.data(),
+                      batch.size(), merged.data(), pool);
   values_ = std::move(merged);
+  distinct_ = CountDistinctSorted(values_.data(), values_.size(), pool);
 }
 
 std::uint64_t Sample::CountLessEqual(Value x) const {
   return static_cast<std::uint64_t>(
       std::upper_bound(values_.begin(), values_.end(), x) - values_.begin());
-}
-
-std::uint64_t Sample::DistinctCount() const {
-  std::uint64_t distinct = 0;
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    if (i == 0 || values_[i] != values_[i - 1]) ++distinct;
-  }
-  return distinct;
 }
 
 }  // namespace equihist

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/distribution.h"
 
 namespace equihist {
@@ -14,19 +15,25 @@ namespace equihist {
 // rank, and (b) a fresh batch R_i can be folded in with a linear merge —
 // the "merge algorithm" extension the paper made to SQL Server's block
 // sampling (Section 7.1, implementation note 2).
+//
+// All operations accept an optional ThreadPool: sorting and merging then
+// run as parallel runs + merge-path merges. The resulting vector is
+// identical for every thread count (sorting scalars has a unique result),
+// so sample-derived histograms are bit-reproducible across pools.
 class Sample {
  public:
   Sample() = default;
 
-  // Builds from unsorted values (sorts once).
-  explicit Sample(std::vector<Value> values);
+  // Builds from unsorted values (sorts once, in parallel when a pool is
+  // given).
+  explicit Sample(std::vector<Value> values, ThreadPool* pool = nullptr);
 
   std::uint64_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
   // Merges an unsorted batch into the sample: sorts the batch and merges
-  // the two sorted runs in linear time.
-  void Merge(std::vector<Value> batch);
+  // the two sorted runs in linear time (both steps parallel with a pool).
+  void Merge(std::vector<Value> batch, ThreadPool* pool = nullptr);
 
   // Sorted ascending.
   const std::vector<Value>& sorted_values() const { return values_; }
@@ -37,11 +44,14 @@ class Sample {
   // The i-th smallest sampled value, 0-based.
   Value ValueAtRank(std::uint64_t rank) const { return values_[rank]; }
 
-  // Number of distinct values currently in the sample.
-  std::uint64_t DistinctCount() const;
+  // Number of distinct values currently in the sample. Maintained during
+  // sort/merge rather than recomputed per call — this sits inside the CVB
+  // iteration loop.
+  std::uint64_t DistinctCount() const { return distinct_; }
 
  private:
   std::vector<Value> values_;
+  std::uint64_t distinct_ = 0;  // distinct values in values_, kept in sync
 };
 
 }  // namespace equihist

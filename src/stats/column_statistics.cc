@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/parallel_sort.h"
 #include "common/string_util.h"
 #include "core/density.h"
 #include "core/histogram_builder.h"
@@ -62,14 +63,19 @@ std::string ColumnStatistics::ToString() const {
 }
 
 Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
-                                                 std::uint64_t buckets) {
+                                                 std::uint64_t buckets,
+                                                 ThreadPool* pool) {
   IoStats io;
-  const ValueSet data(FullScan(table, &io));
+  std::vector<Value> values = FullScan(table, &io, pool);
+  // Pre-sort in parallel; the ValueSet constructor then detects sorted
+  // input and skips its own sequential sort.
+  ParallelSort(values, pool);
+  const ValueSet data(std::move(values));
   if (data.empty()) {
     return Status::FailedPrecondition("table is empty");
   }
   EQUIHIST_ASSIGN_OR_RETURN(Histogram histogram,
-                            BuildPerfectHistogram(data, buckets));
+                            BuildPerfectHistogram(data, buckets, pool));
 
   ColumnStatistics stats{.histogram = std::move(histogram)};
   stats.density = ComputeDensity(data.sorted_values());
@@ -96,8 +102,9 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
 }
 
 Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
-                                                const CvbOptions& options) {
-  EQUIHIST_ASSIGN_OR_RETURN(CvbResult result, RunCvb(table, options));
+                                                const CvbOptions& options,
+                                                ThreadPool* pool) {
+  EQUIHIST_ASSIGN_OR_RETURN(CvbResult result, RunCvb(table, options, pool));
   EQUIHIST_ASSIGN_OR_RETURN(
       const double distinct,
       PaperEstimator(result.sample_profile, table.tuple_count()));

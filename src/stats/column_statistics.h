@@ -53,14 +53,19 @@ struct ColumnStatistics {
 };
 
 // Builds exact statistics with a full scan and sort (the expensive
-// baseline the sampling path avoids). The I/O bill is recorded.
+// baseline the sampling path avoids). The I/O bill is recorded. With a
+// pool, the scan and the sort both run parallel; the result is identical
+// for any thread count.
 Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
-                                                 std::uint64_t buckets);
+                                                 std::uint64_t buckets,
+                                                 ThreadPool* pool = nullptr);
 
 // Builds approximate statistics with the adaptive CVB algorithm plus the
-// paper's distinct-value estimator over the accumulated sample.
+// paper's distinct-value estimator over the accumulated sample. `pool`
+// (or options.threads when pool is null) drives the parallel stages.
 Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
-                                                const CvbOptions& options);
+                                                const CvbOptions& options,
+                                                ThreadPool* pool = nullptr);
 
 }  // namespace equihist
 

@@ -1,63 +1,226 @@
 #include "stats/statistics_manager.h"
 
-namespace equihist {
+#include <utility>
 
-Result<ColumnStatistics> StatisticsManager::Build(const Table& table) {
+#include "common/rng.h"
+
+namespace equihist {
+namespace {
+
+// FNV-1a: a platform-stable column-name hash, so per-column seed streams
+// are reproducible everywhere (std::hash is implementation-defined).
+std::uint64_t HashColumnName(const std::string& column) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : column) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+StatisticsManager::StatisticsManager(const Options& options)
+    : options_(options) {}
+
+ThreadPool* StatisticsManager::pool() {
+  std::call_once(pool_once_, [this]() {
+    const std::size_t threads = ResolveThreadCount(options_.threads);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  });
+  return pool_.get();
+}
+
+Result<ColumnStatistics> StatisticsManager::Build(const Table& table,
+                                                  std::uint64_t seed,
+                                                  ThreadPool* build_pool) {
   if (options_.prefer_sampling) {
     CvbOptions cvb;
     cvb.k = options_.buckets;
     cvb.f = options_.f;
     cvb.gamma = options_.gamma;
-    cvb.seed = options_.seed + rebuilds_;  // fresh randomness per rebuild
-    return BuildStatisticsSampled(table, cvb);
+    cvb.seed = seed;
+    cvb.threads = 1;  // the manager's pool is passed in explicitly
+    return BuildStatisticsSampled(table, cvb, build_pool);
   }
-  return BuildStatisticsFullScan(table, options_.buckets);
+  return BuildStatisticsFullScan(table, options_.buckets, build_pool);
+}
+
+std::shared_ptr<StatisticsManager::Entry> StatisticsManager::GetEntry(
+    const std::string& column) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = entries_.find(column);
+    if (it != entries_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(column);
+  if (inserted) it->second = std::make_shared<Entry>();
+  return it->second;
+}
+
+bool StatisticsManager::IsStaleLocked(const Entry& entry) const {
+  if (entry.stats == nullptr) return false;
+  if (entry.stats->row_count == 0) return true;
+  const double modified_fraction =
+      static_cast<double>(
+          entry.modifications_since_build.load(std::memory_order_relaxed)) /
+      static_cast<double>(entry.stats->row_count);
+  return modified_fraction > options_.staleness_threshold;
+}
+
+Result<std::shared_ptr<const ColumnStatistics>>
+StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
+                                   const Table& table, bool require_fresh) {
+  // One build per column at a time: a second thread arriving here blocks
+  // until the first publishes, then takes the fresh snapshot below.
+  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  std::uint64_t generation = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (entry->stats != nullptr &&
+        (!require_fresh || !IsStaleLocked(*entry))) {
+      return entry->stats;
+    }
+    generation = entry->generation;
+  }
+  // Seed addressed by (manager seed, column, generation): independent of
+  // the order in which threads or BuildAll shards reach this column.
+  const std::uint64_t seed =
+      DeriveStreamSeed(options_.seed ^ HashColumnName(column), generation);
+  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats,
+                            Build(table, seed, pool()));
+  auto snapshot = std::make_shared<const ColumnStatistics>(std::move(stats));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    total_build_cost_ += snapshot->build_cost;
+    entry->stats = snapshot;
+    entry->generation = generation + 1;
+  }
+  entry->modifications_since_build.store(0, std::memory_order_relaxed);
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot;
+}
+
+Result<std::shared_ptr<const ColumnStatistics>>
+StatisticsManager::GetOrBuildShared(const std::string& column,
+                                    const Table& table) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = entries_.find(column);
+    if (it != entries_.end() && it->second->stats != nullptr) {
+      return it->second->stats;
+    }
+  }
+  const std::shared_ptr<Entry> entry = GetEntry(column);
+  return BuildAndPublish(column, entry.get(), table, /*require_fresh=*/false);
 }
 
 Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
     const std::string& column, const Table& table) {
-  auto it = entries_.find(column);
-  if (it != entries_.end()) return &it->second.stats;
-  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats, Build(table));
-  total_build_cost_ += stats.build_cost;
-  ++rebuilds_;
-  auto [inserted, ok] = entries_.emplace(column, Entry{std::move(stats), 0});
-  (void)ok;
-  return &inserted->second.stats;
+  EQUIHIST_ASSIGN_OR_RETURN(const std::shared_ptr<const ColumnStatistics> s,
+                            GetOrBuildShared(column, table));
+  // The entry keeps a reference; the raw pointer stays valid until the
+  // column is rebuilt or dropped, as before.
+  return s.get();
 }
 
 void StatisticsManager::RecordModifications(const std::string& column,
                                             std::uint64_t count) {
-  auto it = entries_.find(column);
-  if (it != entries_.end()) it->second.modifications_since_build += count;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(column);
+  if (it != entries_.end()) {
+    it->second->modifications_since_build.fetch_add(
+        count, std::memory_order_relaxed);
+  }
 }
 
 bool StatisticsManager::IsStale(const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
-  const auto& entry = it->second;
-  if (entry.stats.row_count == 0) return true;
-  const double modified_fraction =
-      static_cast<double>(entry.modifications_since_build) /
-      static_cast<double>(entry.stats.row_count);
-  return modified_fraction > options_.staleness_threshold;
+  return IsStaleLocked(*it->second);
+}
+
+Result<std::shared_ptr<const ColumnStatistics>>
+StatisticsManager::EnsureFreshShared(const std::string& column,
+                                     const Table& table) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = entries_.find(column);
+    if (it != entries_.end() && it->second->stats != nullptr &&
+        !IsStaleLocked(*it->second)) {
+      return it->second->stats;
+    }
+  }
+  const std::shared_ptr<Entry> entry = GetEntry(column);
+  return BuildAndPublish(column, entry.get(), table, /*require_fresh=*/true);
 }
 
 Result<const ColumnStatistics*> StatisticsManager::EnsureFresh(
     const std::string& column, const Table& table) {
-  if (!Has(column)) return GetOrBuild(column, table);
-  if (!IsStale(column)) return &entries_.at(column).stats;
-  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats, Build(table));
-  total_build_cost_ += stats.build_cost;
-  ++rebuilds_;
-  Entry& entry = entries_.at(column);
-  entry.stats = std::move(stats);
-  entry.modifications_since_build = 0;
-  return &entry.stats;
+  EQUIHIST_ASSIGN_OR_RETURN(const std::shared_ptr<const ColumnStatistics> s,
+                            EnsureFreshShared(column, table));
+  return s.get();
+}
+
+Status StatisticsManager::BuildAll(const std::vector<std::string>& columns,
+                                   const Table& table) {
+  ThreadPool* fan_out = pool();
+  if (fan_out == nullptr) {
+    for (const std::string& column : columns) {
+      EQUIHIST_ASSIGN_OR_RETURN(const auto ignored,
+                                EnsureFreshShared(column, table));
+      (void)ignored;
+    }
+    return Status::OK();
+  }
+  // Each column is one pool task; its build then uses the same pool for
+  // its internal stages (ParallelFor callers participate, so the nesting
+  // cannot starve).
+  std::vector<std::future<Status>> pending;
+  pending.reserve(columns.size());
+  for (const std::string& column : columns) {
+    pending.push_back(fan_out->Submit([this, column, &table]() -> Status {
+      return EnsureFreshShared(column, table).status();
+    }));
+  }
+  Status first_error = Status::OK();
+  for (std::future<Status>& f : pending) {
+    const Status status = f.get();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
 }
 
 bool StatisticsManager::Drop(const std::string& column) {
-  return entries_.erase(column) > 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(column);
+  if (it == entries_.end()) return false;
+  // A placeholder whose first build failed never became visible.
+  const bool existed = it->second->stats != nullptr;
+  entries_.erase(it);
+  return existed;
+}
+
+bool StatisticsManager::Has(const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(column);
+  return it != entries_.end() && it->second->stats != nullptr;
+}
+
+std::size_t StatisticsManager::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry->stats != nullptr) ++count;
+  }
+  return count;
+}
+
+IoStats StatisticsManager::total_build_cost() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return total_build_cost_;
 }
 
 }  // namespace equihist

@@ -1,11 +1,17 @@
 #ifndef EQUIHIST_STATS_STATISTICS_MANAGER_H_
 #define EQUIHIST_STATS_STATISTICS_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "stats/column_statistics.h"
 #include "storage/table.h"
 
@@ -19,6 +25,22 @@ namespace equihist {
 // Tables in this library are immutable, so mutation is reported by the
 // caller through RecordModifications() — the same contract a storage
 // engine's DML layer would fulfil.
+//
+// Concurrency: the manager is safe for concurrent use from many threads.
+// The read-mostly paths (GetOrBuild/EnsureFresh on warm entries, IsStale,
+// Has) take a shared lock; builds serialize per column on the entry's own
+// mutex (concurrent first accesses to the same column run one build, not
+// two) and publish under the exclusive lock. Modification counters are
+// atomics, so RecordModifications never blocks a reader. Statistics
+// objects are immutable once published and handed out via shared_ptr —
+// a reader holding *Shared() results keeps its snapshot alive across
+// concurrent rebuilds. The raw-pointer getters keep the historical
+// single-threaded contract (valid until the entry is rebuilt or dropped).
+//
+// Every build's RNG seed is derived from (options.seed, column name,
+// per-column generation) via SplitMix, so results do not depend on the
+// order in which threads reach the manager — BuildAll over a pool yields
+// the same statistics as a serial loop.
 class StatisticsManager {
  public:
   struct Options {
@@ -31,16 +53,27 @@ class StatisticsManager {
     // Build by sampling (CVB) rather than by full scan.
     bool prefer_sampling = true;
     std::uint64_t seed = 99;
+    // Worker threads shared by every build issued through this manager
+    // (block reads, sample sorting, BuildAll fan-out): 0 = one per
+    // hardware thread, 1 = fully sequential (no pool is ever created).
+    std::uint64_t threads = 0;
   };
 
-  explicit StatisticsManager(const Options& options) : options_(options) {}
+  explicit StatisticsManager(const Options& options);
 
   // Returns the statistics for `column`, building them on first access.
-  // The pointer stays valid until the entry is rebuilt or dropped.
+  // The pointer stays valid until the entry is rebuilt or dropped; for
+  // concurrent callers prefer GetOrBuildShared.
   Result<const ColumnStatistics*> GetOrBuild(const std::string& column,
                                              const Table& table);
 
-  // Reports DML activity against the column's table.
+  // Shared-ownership variant: the returned snapshot stays valid for as
+  // long as the caller holds it, across rebuilds and drops.
+  Result<std::shared_ptr<const ColumnStatistics>> GetOrBuildShared(
+      const std::string& column, const Table& table);
+
+  // Reports DML activity against the column's table. Lock-free on the
+  // counter; unknown columns are ignored.
   void RecordModifications(const std::string& column, std::uint64_t count);
 
   // True if statistics exist and the modification counter has crossed the
@@ -51,31 +84,62 @@ class StatisticsManager {
   // cached entry.
   Result<const ColumnStatistics*> EnsureFresh(const std::string& column,
                                               const Table& table);
+  Result<std::shared_ptr<const ColumnStatistics>> EnsureFreshShared(
+      const std::string& column, const Table& table);
+
+  // Builds (or freshens) statistics for every named column of `table`,
+  // fanning the builds out across the manager's thread pool — the
+  // auto-statistics sweep a server runs after bulk load. Columns already
+  // fresh are left untouched. Returns the first build error, if any.
+  Status BuildAll(const std::vector<std::string>& columns,
+                  const Table& table);
 
   // Drops a column's statistics (returns true if they existed).
   bool Drop(const std::string& column);
 
-  bool Has(const std::string& column) const {
-    return entries_.count(column) > 0;
+  bool Has(const std::string& column) const;
+  std::size_t size() const;
+  std::uint64_t rebuild_count() const {
+    return rebuilds_.load(std::memory_order_relaxed);
   }
-  std::size_t size() const { return entries_.size(); }
-  std::uint64_t rebuild_count() const { return rebuilds_; }
 
   // Cumulative I/O spent building statistics through this manager.
-  const IoStats& total_build_cost() const { return total_build_cost_; }
+  IoStats total_build_cost() const;
 
  private:
   struct Entry {
-    ColumnStatistics stats;
-    std::uint64_t modifications_since_build = 0;
+    // Immutable snapshot, swapped atomically under mu_; null while the
+    // first build is in flight.
+    std::shared_ptr<const ColumnStatistics> stats;
+    std::atomic<std::uint64_t> modifications_since_build{0};
+    std::uint64_t generation = 0;  // # builds completed, guarded by mu_
+    std::mutex build_mu;           // serializes builds of this column
   };
 
-  Result<ColumnStatistics> Build(const Table& table);
+  Result<ColumnStatistics> Build(const Table& table, std::uint64_t seed,
+                                 ThreadPool* pool);
+  // Finds or creates the entry node for `column`.
+  std::shared_ptr<Entry> GetEntry(const std::string& column);
+  // Serializes on entry->build_mu, re-checks whether a build is still
+  // needed (`require_fresh` additionally rebuilds stale snapshots), then
+  // builds without locks held and publishes under the exclusive lock.
+  Result<std::shared_ptr<const ColumnStatistics>> BuildAndPublish(
+      const std::string& column, Entry* entry, const Table& table,
+      bool require_fresh);
+  bool IsStaleLocked(const Entry& entry) const;
+  // Lazily created pool per options_.threads (null when sequential).
+  ThreadPool* pool();
 
-  Options options_;
-  std::map<std::string, Entry> entries_;
-  IoStats total_build_cost_{};
-  std::uint64_t rebuilds_ = 0;
+  const Options options_;
+  mutable std::shared_mutex mu_;  // guards entries_ map + snapshot/gen fields
+  // shared_ptr nodes: an in-flight build keeps its Entry alive even if the
+  // column is concurrently dropped, and Entry addresses stay stable so
+  // per-entry mutexes can be held without the map lock.
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  IoStats total_build_cost_{};  // guarded by mu_
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace equihist

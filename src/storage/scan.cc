@@ -15,4 +15,31 @@ std::vector<Value> FullScan(const Table& table, IoStats* stats) {
   return values;
 }
 
+std::vector<Value> FullScan(const Table& table, IoStats* stats,
+                            ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) return FullScan(table, stats);
+  const std::uint64_t pages = table.page_count();
+  const std::uint32_t tpp = table.tuples_per_page();
+  std::vector<Value> values(table.tuple_count());
+  const std::size_t shards = pool->size();
+  std::vector<IoStats> shard_stats(shards);
+  pool->ParallelFor(
+      0, pages, shards, [&](std::size_t lo, std::size_t hi, std::size_t s) {
+        IoStats& local = shard_stats[s];
+        for (std::size_t page_id = lo; page_id < hi; ++page_id) {
+          Result<const Page*> page = table.file().ReadPage(page_id, &local);
+          assert(page.ok());
+          const auto page_values = (*page)->values();
+          // Dense packing: page p starts at tuple p * tuples_per_page.
+          std::copy(page_values.begin(), page_values.end(),
+                    values.begin() + static_cast<std::ptrdiff_t>(
+                                         page_id * tpp));
+        }
+      });
+  if (stats != nullptr) {
+    for (const IoStats& s : shard_stats) *stats += s;
+  }
+  return values;
+}
+
 }  // namespace equihist

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/distribution.h"
 #include "storage/io_stats.h"
 #include "storage/table.h"
@@ -13,6 +14,13 @@ namespace equihist {
 // This is the cost baseline the sampling access paths are measured against
 // (a perfect histogram requires exactly this scan plus a sort).
 std::vector<Value> FullScan(const Table& table, IoStats* stats);
+
+// Pool-backed variant: page ranges are read concurrently into precomputed
+// offsets (pages are densely packed, so every page's destination is known
+// up front). Output and charged IoStats are identical to FullScan for any
+// thread count; with a null pool it is FullScan.
+std::vector<Value> FullScan(const Table& table, IoStats* stats,
+                            ThreadPool* pool);
 
 }  // namespace equihist
 

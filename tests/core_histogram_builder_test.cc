@@ -1,6 +1,7 @@
 #include "core/histogram_builder.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -118,6 +119,30 @@ TEST(SampleHistogramTest, Validation) {
   EXPECT_FALSE(BuildHistogramFromSample(sample, 2, 0).ok());
   EXPECT_FALSE(
       BuildHistogramFromSample(std::span<const Value>{}, 2, 100).ok());
+}
+
+// Regression: a population whose minimum is INT64_MIN used to compute the
+// lower fence as min - 1, which is signed overflow (UB). The fence now
+// saturates at INT64_MIN, which still classifies every real value
+// correctly because no value can be strictly below it.
+TEST(PerfectHistogramTest, MinimumAtInt64MinDoesNotOverflow) {
+  constexpr Value kMin = std::numeric_limits<Value>::min();
+  const ValueSet data({kMin, kMin + 1, 0, 5, 10});
+  const auto h = BuildPerfectHistogram(data, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->lower_fence(), kMin);
+  EXPECT_EQ(h->total(), 5u);
+}
+
+TEST(SampleHistogramTest, SampleFrontAtInt64MinDoesNotOverflow) {
+  constexpr Value kMin = std::numeric_limits<Value>::min();
+  const std::vector<Value> sorted_sample = {kMin, -7, 0, 3, 9, 12};
+  const auto h = BuildHistogramFromSample(sorted_sample, 3, 600);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->lower_fence(), kMin);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h->counts()) total += c;
+  EXPECT_EQ(total, 600u);
 }
 
 // Property: across sizes and bucket counts the perfect histogram on

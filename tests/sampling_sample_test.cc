@@ -59,6 +59,26 @@ TEST(SampleTest, DistinctCount) {
   EXPECT_EQ(empty.DistinctCount(), 0u);
 }
 
+TEST(SampleTest, DistinctCountCacheTracksMerges) {
+  // DistinctCount is maintained incrementally during construction and
+  // Merge (no per-call rescan); verify the cache against a recount of the
+  // sorted values after every batch.
+  Sample sample({4, 4, 1});
+  EXPECT_EQ(sample.DistinctCount(), 2u);
+  sample.Merge({4, 9, 9, 1});
+  EXPECT_EQ(sample.DistinctCount(), 3u);  // {1, 4, 9}
+  sample.Merge({});
+  EXPECT_EQ(sample.DistinctCount(), 3u);
+  sample.Merge({-5, 9, 12});
+  const auto& sorted = sample.sorted_values();
+  std::uint64_t recount = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) ++recount;
+  }
+  EXPECT_EQ(sample.DistinctCount(), recount);
+  EXPECT_EQ(sample.DistinctCount(), 5u);  // {-5, 1, 4, 9, 12}
+}
+
 TEST(SampleTest, ManyMergesStaySorted) {
   Sample sample;
   for (int i = 0; i < 20; ++i) {

@@ -1,0 +1,181 @@
+// Concurrency tests for StatisticsManager: many threads hammering
+// GetOrBuild/RecordModifications/EnsureFresh/IsStale at once, plus the
+// BuildAll fan-out. Run under -fsanitize=thread in CI (the ci.yml tsan
+// job) to prove the locking discipline.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distribution.h"
+#include "stats/statistics_manager.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{8192, 64};
+
+Table SmallTable(std::uint64_t n = 60000, std::uint64_t seed = 3) {
+  const auto freq =
+      MakeZipf({.n = n, .domain_size = n / 50, .skew = 1.2, .seed = seed});
+  return Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom, .seed = seed})
+      .value();
+}
+
+TEST(StatsConcurrencyTest, ConcurrentGetOrBuildBuildsOncePerColumn) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40, .f = 0.25, .threads = 2});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, &table, &failures]() {
+      for (int i = 0; i < 5; ++i) {
+        const auto stats = manager.GetOrBuildShared("t.x", table);
+        if (!stats.ok() || (*stats)->row_count != table.tuple_count()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All 40 concurrent lookups collapsed to a single build.
+  EXPECT_EQ(manager.rebuild_count(), 1u);
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(StatsConcurrencyTest, MixedReadersWritersAndRebuilds) {
+  Table table = SmallTable();
+  StatisticsManager manager(
+      {.buckets = 40, .f = 0.25, .staleness_threshold = 0.2, .threads = 2});
+  const std::vector<std::string> columns = {"a", "b", "c"};
+  for (const auto& c : columns) {
+    ASSERT_TRUE(manager.GetOrBuildShared(c, table).ok());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Readers: hold snapshots and use them while rebuilds happen underneath.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 30; ++i) {
+        const auto stats =
+            manager.GetOrBuildShared(columns[(t + i) % columns.size()], table);
+        if (!stats.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Touch the snapshot: safe even if the entry is rebuilt right now.
+        if ((*stats)->histogram.bucket_count() == 0) failures.fetch_add(1);
+        (void)manager.IsStale(columns[i % columns.size()]);
+      }
+    });
+  }
+  // Writers: report DML, forcing staleness.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 30; ++i) {
+        manager.RecordModifications(columns[i % columns.size()],
+                                    table.tuple_count() / 8);
+      }
+    });
+  }
+  // Refreshers: rebuild whatever went stale.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 15; ++i) {
+        const auto stats =
+            manager.EnsureFreshShared(columns[(t + i) % columns.size()], table);
+        if (!stats.ok() || (*stats)->row_count != table.tuple_count()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(manager.size(), columns.size());
+  EXPECT_GE(manager.rebuild_count(), columns.size());
+  EXPECT_GT(manager.total_build_cost().pages_read, 0u);
+}
+
+TEST(StatsConcurrencyTest, ConcurrentDropAndBuild) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 30, .f = 0.3, .threads = 2});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 10; ++i) {
+        const auto stats = manager.GetOrBuildShared("col", table);
+        if (stats.ok() && (*stats)->row_count != table.tuple_count()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 10; ++i) manager.Drop("col");
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StatsConcurrencyTest, BuildAllBuildsEveryColumn) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40, .f = 0.25, .threads = 4});
+  const std::vector<std::string> columns = {"c0", "c1", "c2", "c3", "c4"};
+  ASSERT_TRUE(manager.BuildAll(columns, table).ok());
+  EXPECT_EQ(manager.size(), columns.size());
+  EXPECT_EQ(manager.rebuild_count(), columns.size());
+  for (const auto& c : columns) EXPECT_TRUE(manager.Has(c));
+  // Already fresh: a second sweep is a no-op.
+  ASSERT_TRUE(manager.BuildAll(columns, table).ok());
+  EXPECT_EQ(manager.rebuild_count(), columns.size());
+}
+
+TEST(StatsConcurrencyTest, BuildAllMatchesSerialBuilds) {
+  // Per-column seed streams make the fan-out order irrelevant: a BuildAll
+  // sweep produces the same statistics as serial first accesses.
+  Table table = SmallTable();
+  const std::vector<std::string> columns = {"x", "y", "z"};
+  StatisticsManager parallel({.buckets = 40, .f = 0.25, .threads = 4});
+  ASSERT_TRUE(parallel.BuildAll(columns, table).ok());
+  StatisticsManager serial({.buckets = 40, .f = 0.25, .threads = 1});
+  for (const auto& c : columns) {
+    const auto from_serial = serial.GetOrBuildShared(c, table);
+    const auto from_parallel = parallel.GetOrBuildShared(c, table);
+    ASSERT_TRUE(from_serial.ok());
+    ASSERT_TRUE(from_parallel.ok());
+    EXPECT_EQ((*from_serial)->histogram.separators(),
+              (*from_parallel)->histogram.separators())
+        << "column " << c;
+    EXPECT_EQ((*from_serial)->histogram.counts(),
+              (*from_parallel)->histogram.counts());
+    EXPECT_EQ((*from_serial)->sample_size, (*from_parallel)->sample_size);
+  }
+}
+
+TEST(StatsConcurrencyTest, SnapshotOutlivesDropAndRebuild) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 30, .f = 0.3, .threads = 1});
+  auto snapshot = manager.GetOrBuildShared("col", table);
+  ASSERT_TRUE(snapshot.ok());
+  const std::uint64_t rows = (*snapshot)->row_count;
+  manager.RecordModifications("col", table.tuple_count() * 2);
+  ASSERT_TRUE(manager.EnsureFreshShared("col", table).ok());  // rebuild
+  EXPECT_TRUE(manager.Drop("col"));
+  // The old snapshot is still safely readable.
+  EXPECT_EQ((*snapshot)->row_count, rows);
+}
+
+}  // namespace
+}  // namespace equihist
