@@ -1,0 +1,300 @@
+// PERF3: serving-path throughput — the compiled O(log k) estimator vs the
+// reference bucket-walking loop, across bucket counts k in {32, 200, 1000,
+// 10000} and three query shapes (point, narrow, wide). Two studies:
+//
+//   single_thread: ns/query for compiled vs reference on one thread. The
+//     reference is O(buckets covered), so wide ranges at large k are where
+//     the compiled path must win big (the acceptance bar is >= 5x at
+//     k >= 1000).
+//   batch: queries/second of the batch API EstimateRangeCounts at 1/2/4/8
+//     worker threads, which must scale near-linearly to 4 threads since
+//     queries are independent and the pool only shards them.
+//
+// Every configuration first cross-checks compiled vs reference estimates
+// on a query subsample (the documented ulp-level tolerance); a mismatch
+// fails the whole bench with a nonzero exit, so the speedups are for the
+// same answers. Emits BENCH_estimator_throughput.json (mirrored to
+// stdout).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/compiled_estimator.h"
+#include "core/range_estimator.h"
+
+namespace {
+
+using namespace equihist;
+
+constexpr std::uint64_t kBucketCounts[] = {32, 200, 1000, 10000};
+constexpr std::uint64_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 3;  // best-of, to shed scheduler noise
+
+struct QueryClass {
+  std::string name;
+  std::vector<RangeQuery> queries;
+};
+
+struct SingleThreadRow {
+  std::string query_class;
+  double compiled_ns_per_query = 0.0;
+  double reference_ns_per_query = 0.0;
+  double speedup = 0.0;
+  std::uint64_t reference_queries = 0;  // the O(k) loop runs a subset
+};
+
+struct BatchRow {
+  std::uint64_t threads = 0;
+  double qps = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+struct KReport {
+  std::uint64_t k = 0;
+  std::uint64_t actual_buckets = 0;
+  std::vector<SingleThreadRow> single_thread;
+  std::vector<BatchRow> batch;
+};
+
+double ElapsedNs(const std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count();
+}
+
+// Generates `count` queries of a given width over the histogram's domain.
+std::vector<RangeQuery> MakeQueries(Rng& rng, Value lo_fence, Value hi_fence,
+                                    std::uint64_t width, std::size_t count) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Value lo = rng.NextInRange(lo_fence, hi_fence - 1);
+    const Value hi =
+        (hi_fence - lo > static_cast<Value>(width)) ? lo + static_cast<Value>(width)
+                                                    : hi_fence;
+    queries.push_back({lo, hi});
+  }
+  return queries;
+}
+
+// Times fn() best-of-kReps and returns nanoseconds; `sink` accumulates the
+// estimates so the optimizer cannot discard the work.
+template <typename Fn>
+double BestNs(const Fn& fn, double* sink) {
+  double best = -1.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    *sink += fn();
+    const double ns = ElapsedNs(start);
+    if (best < 0.0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+// Verifies compiled and reference agree on a subsample, within the
+// documented tolerance (ulps of the largest bucket count).
+bool Verified(const Histogram& histogram, const CompiledEstimator& compiled,
+              const std::vector<RangeQuery>& queries) {
+  std::uint64_t max_count = 0;
+  for (const std::uint64_t c : histogram.counts()) {
+    max_count = std::max(max_count, c);
+  }
+  const double tolerance = 1e-10 * (1.0 + static_cast<double>(max_count));
+  const std::size_t step = std::max<std::size_t>(queries.size() / 2000, 1);
+  for (std::size_t i = 0; i < queries.size(); i += step) {
+    const double fast = compiled.EstimateRangeCount(queries[i]);
+    const double slow = EstimateRangeCount(histogram, queries[i]);
+    if (std::abs(fast - slow) > tolerance) {
+      std::cerr << "MISMATCH at query (" << queries[i].lo << ", "
+                << queries[i].hi << "]: compiled=" << fast
+                << " reference=" << slow << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToJson(const std::vector<KReport>& reports, std::uint64_t n,
+                   std::size_t queries_per_class) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"estimator_throughput\",\n";
+  os << "  \"n\": " << n << ",\n";
+  os << "  \"queries_per_class\": " << queries_per_class << ",\n";
+  os << "  \"host\": {\"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << "},\n";
+  os << "  \"configurations\": [\n";
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    const KReport& report = reports[r];
+    os << "    {\"k\": " << report.k
+       << ", \"buckets\": " << report.actual_buckets
+       << ", \"single_thread\": [\n";
+    for (std::size_t i = 0; i < report.single_thread.size(); ++i) {
+      const SingleThreadRow& row = report.single_thread[i];
+      os << "      {\"class\": \"" << row.query_class
+         << "\", \"compiled_ns_per_query\": " << row.compiled_ns_per_query
+         << ", \"reference_ns_per_query\": " << row.reference_ns_per_query
+         << ", \"reference_queries\": " << row.reference_queries
+         << ", \"speedup\": " << row.speedup << "}"
+         << (i + 1 < report.single_thread.size() ? "," : "") << "\n";
+    }
+    os << "    ], \"batch\": [\n";
+    for (std::size_t i = 0; i < report.batch.size(); ++i) {
+      const BatchRow& row = report.batch[i];
+      os << "      {\"threads\": " << row.threads << ", \"qps\": " << row.qps
+         << ", \"speedup_vs_1\": " << row.speedup_vs_1 << "}"
+         << (i + 1 < report.batch.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (r + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::GetScale();
+  bench::PrintBanner("PERF3", "Compiled estimator serving throughput", scale);
+
+  const std::size_t queries_per_class = scale.full ? 200000 : 50000;
+  double sink = 0.0;
+  bool all_verified = true;
+  std::vector<KReport> reports;
+
+  for (const std::uint64_t k : kBucketCounts) {
+    // A skewed column (heavy values become duplicated-separator spikes)
+    // with enough distinct values to give every bucket real width.
+    const auto freqs = MakeZipf({.n = scale.default_n,
+                                 .domain_size = std::max<std::uint64_t>(
+                                     scale.default_n / 20, 4 * k),
+                                 .skew = 1.0,
+                                 .seed = 42});
+    if (!freqs.ok()) {
+      std::cerr << "dataset failed: " << freqs.status().ToString() << "\n";
+      return 1;
+    }
+    const ValueSet data = ValueSet::FromFrequencies(*freqs);
+    const auto histogram = BuildPerfectHistogram(data, k);
+    if (!histogram.ok()) {
+      std::cerr << "histogram failed: " << histogram.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const CompiledEstimator compiled(*histogram);
+
+    KReport report;
+    report.k = k;
+    report.actual_buckets = histogram->bucket_count();
+    const Value lf = histogram->lower_fence();
+    const Value uf = histogram->upper_fence();
+    const auto domain =
+        static_cast<std::uint64_t>(static_cast<double>(uf - lf));
+
+    Rng rng(7 + k);
+    std::vector<QueryClass> classes;
+    classes.push_back(
+        {"point", MakeQueries(rng, lf, uf, 1, queries_per_class)});
+    classes.push_back({"narrow", MakeQueries(rng, lf, uf,
+                                             std::max<std::uint64_t>(
+                                                 domain / 1000, 2),
+                                             queries_per_class)});
+    classes.push_back(
+        {"wide", MakeQueries(rng, lf, uf, domain / 2, queries_per_class)});
+
+    std::vector<RangeQuery> mixed;
+    mixed.reserve(3 * queries_per_class);
+    for (const QueryClass& qc : classes) {
+      all_verified &= Verified(*histogram, compiled, qc.queries);
+      mixed.insert(mixed.end(), qc.queries.begin(), qc.queries.end());
+    }
+
+    // -- single-thread ns/query, compiled vs reference --------------------
+    for (const QueryClass& qc : classes) {
+      SingleThreadRow row;
+      row.query_class = qc.name;
+      const double compiled_ns = BestNs(
+          [&]() {
+            double acc = 0.0;
+            for (const RangeQuery& q : qc.queries) {
+              acc += compiled.EstimateRangeCount(q);
+            }
+            return acc;
+          },
+          &sink);
+      row.compiled_ns_per_query =
+          compiled_ns / static_cast<double>(qc.queries.size());
+      // The reference loop is O(k) on wide ranges; cap its query count so
+      // the bench stays fast at k=10000, and report per-query time.
+      const std::size_t ref_count = std::min<std::size_t>(
+          qc.queries.size(),
+          std::max<std::size_t>(2000, 4000000 / std::max<std::uint64_t>(k, 1)));
+      const double reference_ns = BestNs(
+          [&]() {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < ref_count; ++i) {
+              acc += EstimateRangeCount(*histogram, qc.queries[i]);
+            }
+            return acc;
+          },
+          &sink);
+      row.reference_queries = ref_count;
+      row.reference_ns_per_query =
+          reference_ns / static_cast<double>(ref_count);
+      row.speedup = row.compiled_ns_per_query > 0.0
+                        ? row.reference_ns_per_query / row.compiled_ns_per_query
+                        : 0.0;
+      report.single_thread.push_back(row);
+      std::cerr << "  k=" << k << " " << row.query_class
+                << ": compiled=" << row.compiled_ns_per_query
+                << " ns/q, reference=" << row.reference_ns_per_query
+                << " ns/q, speedup=" << row.speedup << "x\n";
+    }
+
+    // -- batch QPS scaling ------------------------------------------------
+    std::vector<double> out(mixed.size());
+    double base_qps = 0.0;
+    for (const std::uint64_t threads : kThreadCounts) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      const double ns = BestNs(
+          [&]() {
+            compiled.EstimateRangeCounts(mixed, out, pool.get());
+            return out[0];
+          },
+          &sink);
+      BatchRow row;
+      row.threads = threads;
+      row.qps = static_cast<double>(mixed.size()) / (ns * 1e-9);
+      if (threads == 1) base_qps = row.qps;
+      row.speedup_vs_1 = base_qps > 0.0 ? row.qps / base_qps : 0.0;
+      report.batch.push_back(row);
+      std::cerr << "  k=" << k << " batch threads=" << threads
+                << ": " << row.qps / 1e6 << " Mq/s (x" << row.speedup_vs_1
+                << ")\n";
+    }
+    reports.push_back(std::move(report));
+  }
+
+  const std::string json = ToJson(reports, scale.default_n, queries_per_class);
+  std::cout << json;
+  std::ofstream file("BENCH_estimator_throughput.json");
+  file << json;
+  if (sink == 42.0) std::cerr << " ";  // keep the checksum alive
+  std::cerr << (all_verified
+                    ? "compiled and reference estimates agree on all samples\n"
+                    : "ERROR: compiled/reference estimate mismatch\n");
+  return all_verified ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+#ifndef EQUIHIST_CORE_COMPILED_ESTIMATOR_H_
+#define EQUIHIST_CORE_COMPILED_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/histogram.h"
+#include "data/value_set.h"
+#include "data/workload.h"
+
+namespace equihist {
+
+// A histogram flattened for serving: the read-side companion of the
+// parallel construction engine (DESIGN.md section 9).
+//
+// The reference estimator (core/range_estimator.h) walks every bucket a
+// query touches — O(buckets covered) per call, which for the wide ranges
+// an optimizer actually plans degenerates to O(k). A CompiledEstimator
+// spends O(k) once, flattening the histogram into structure-of-arrays
+// form:
+//
+//   separators[k-1]      the sorted bucket boundaries, contiguous
+//   bucket_lo[k]         exclusive lower bound per bucket, fences
+//                        substituted for the outermost buckets
+//   cum[k+1]             prefix-summed claimed counts (cum[j] = count of
+//                        buckets 0..j-1), exact integers
+//   counts[k]            per-bucket claimed counts as doubles
+//   inv_width[k]         precomputed 1 / (bucket_hi - bucket_lo); 0.0 for
+//                        zero-width (duplicated-separator spike) buckets
+//   run_first/last[k-1]  per separator, the first/last index of its
+//                        maximal equal-value run — the Section 5
+//                        duplicated-separator table
+//
+// A range estimate then becomes two branchless binary searches, two
+// partial-bucket interpolations and one prefix-sum difference:
+//
+//   estimate(lo, hi] = F(hi) - F(lo),
+//   F(x) = cum[ub(x)] + counts[ub(x)] * (x - bucket_lo[ub(x)]) *
+//          inv_width[ub(x)],          ub(x) = first separator > x,
+//
+// O(log k) per query with no data-dependent branches in the search loop.
+// Zero-width spike buckets need no special casing on this path: ub(x)
+// steps past an entire duplicated-separator run, so a spike's mass enters
+// through the prefix sums all-or-nothing exactly as the reference
+// estimator counts it, and the partially covered bucket ub(x) is provably
+// never degenerate (bucket_lo[ub] <= x < bucket_hi[ub]).
+//
+// Numerical contract: estimates agree with the reference estimator
+// bit-for-bit whenever every covered bucket is either fully inside or
+// fully outside the range (separator-aligned queries, spike lookups,
+// whole-domain queries) and totals stay below 2^53. Partially covered end
+// buckets interpolate as count * ((x - lo) * inv_width) where the
+// reference computes count * ((x - lo) / width); with both endpoints
+// inside one bucket the reference uses a single term where the compiled
+// path uses a prefix difference. Each effect is a few ulps of the end
+// bucket's count, so results agree within ~8 ulps of the largest bucket
+// count involved (documented 1-ulp-class tolerance; the differential test
+// enforces it). Results are clamped to be non-negative, like the
+// reference's term-by-term accumulation.
+//
+// Thread safety: immutable after construction; all estimation methods are
+// const and safe to call concurrently from any number of threads. This is
+// what the StatisticsManager lock-free serving path relies on.
+class CompiledEstimator {
+ public:
+  // Flattens `histogram`. O(k) time and memory; the histogram itself is
+  // not retained.
+  explicit CompiledEstimator(const Histogram& histogram);
+
+  // Estimated output size of "lo < X <= hi" — same semantics as the
+  // reference EstimateRangeCount, in O(log k).
+  double EstimateRangeCount(const RangeQuery& query) const;
+
+  // Estimated selectivity in [0, 1]: EstimateRangeCount / total.
+  double EstimateRangeSelectivity(const RangeQuery& query) const;
+
+  // Estimated count of values <= x: the prefix F(x) both ends of a range
+  // estimate are computed from. Clamps x to the fences.
+  double EstimateCountAtMost(Value x) const;
+
+  // Mass pinned at exactly `v` by zero-width spike buckets (a duplicated
+  // separator's run, Section 5); 0.0 when v is not a duplicated separator.
+  // One binary search plus two run-table lookups.
+  double SpikeMassAt(Value v) const;
+
+  // Index of the bucket containing `v`, with the duplicated-separator
+  // convention of Histogram::BucketIndexForValue (a heavy value maps to
+  // the last bucket of its run). One binary search plus one run-table
+  // lookup instead of the reference's two binary searches.
+  std::uint64_t BucketIndexForValue(Value v) const;
+
+  // Batch estimation: out[i] = EstimateRangeCount(queries[i]) for every i.
+  // With a pool, large batches are sharded across it; every shard layout
+  // produces bitwise-identical output because queries are independent, so
+  // `pool` is purely a throughput knob. Requires out.size() >=
+  // queries.size().
+  void EstimateRangeCounts(std::span<const RangeQuery> queries,
+                           std::span<double> out,
+                           ThreadPool* pool = nullptr) const;
+
+  std::uint64_t bucket_count() const { return k_; }
+  double total() const { return total_; }
+  Value lower_fence() const { return lower_fence_; }
+  Value upper_fence() const { return upper_fence_; }
+
+ private:
+  // F(x): estimated count in (lower_fence, x]. Precondition:
+  // lower_fence_ <= x <= upper_fence_.
+  double Cdf(Value x) const;
+
+  std::uint64_t k_ = 1;
+  Value lower_fence_ = 0;
+  Value upper_fence_ = 0;
+  double total_ = 0.0;
+  std::vector<Value> separators_;          // k-1
+  std::vector<Value> bucket_lo_;           // k
+  std::vector<double> counts_;             // k
+  std::vector<double> inv_width_;          // k
+  std::vector<double> cum_;                // k+1
+  std::vector<std::uint32_t> run_first_;   // k-1
+  std::vector<std::uint32_t> run_last_;    // k-1
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_CORE_COMPILED_ESTIMATOR_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/math.h"
 #include "common/string_util.h"
 #include "core/error_metrics.h"
 #include "core/histogram_builder.h"
@@ -156,16 +157,19 @@ Result<CompressedHistogram> CompressedHistogram::BuildFromSample(
 }
 
 double CompressedHistogram::EstimateRangeCount(const RangeQuery& query) const {
-  double estimate = 0.0;
+  // Compensated accumulation: a wide range over a histogram with many
+  // singletons sums thousands of terms of very different magnitudes, and
+  // naive summation drifts with the singleton order.
+  KahanSum estimate;
   for (const Singleton& s : singletons_) {
     if (query.lo < s.value && s.value <= query.hi) {
-      estimate += static_cast<double>(s.count);
+      estimate.Add(static_cast<double>(s.count));
     }
   }
   if (has_equi_part_) {
-    estimate += ::equihist::EstimateRangeCount(equi_part_, query);
+    estimate.Add(::equihist::EstimateRangeCount(equi_part_, query));
   }
-  return estimate;
+  return estimate.Value();
 }
 
 std::string CompressedHistogram::ToString(std::size_t max_entries) const {

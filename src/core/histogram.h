@@ -12,6 +12,15 @@
 
 namespace equihist {
 
+// The mathematical distance hi - lo between two domain values, as a
+// double. Computed in unsigned arithmetic because the signed subtraction
+// overflows (UB) when an interval spans more than half the int64 domain —
+// e.g. a bucket fenced at INT64_MIN/INT64_MAX. Precondition: lo <= hi.
+inline double ValueDistance(Value lo, Value hi) {
+  return static_cast<double>(static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo));
+}
+
 // An equi-height k-histogram (Section 2.1). The domain is partitioned by
 // separators s_1 <= s_2 <= ... <= s_{k-1} into buckets
 //   B_j = { v : s_{j-1} < v <= s_j },   s_0 = -inf, s_k = +inf.

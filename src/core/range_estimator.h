@@ -65,7 +65,9 @@ struct RangeWorkloadReport {
 };
 
 // Runs every query through the estimator and scores it against the true
-// counts from `truth`.
+// counts from `truth`. Estimation goes through a CompiledEstimator built
+// once from `histogram` (O(log k) per query; see core/compiled_estimator.h
+// for the documented ulp-level tolerance vs the reference loop above).
 Result<RangeWorkloadReport> EvaluateRangeWorkload(
     const Histogram& histogram, std::span<const RangeQuery> queries,
     const ValueSet& truth);

@@ -25,6 +25,7 @@
 #include "common/string_util.h" // IWYU pragma: export
 #include "common/timer.h"       // IWYU pragma: export
 #include "core/bounds.h"        // IWYU pragma: export
+#include "core/compiled_estimator.h"    // IWYU pragma: export
 #include "core/compressed_histogram.h"  // IWYU pragma: export
 #include "core/cvb.h"           // IWYU pragma: export
 #include "core/density.h"       // IWYU pragma: export

@@ -1,7 +1,7 @@
 #include "query/planner.h"
 
-#include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "core/range_estimator.h"
 #include "storage/scan.h"
@@ -56,20 +56,19 @@ PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
 }
 
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
-                            const RangeQuery& query, AccessPath path) {
+                            const RangeQuery& query, AccessPath path,
+                            ThreadPool* pool) {
   ExecutionResult result;
   result.path = path;
   if (path == AccessPath::kIndexRangeScan) {
     result.rows = index.RangeScan(table, query, &result.io);
     return result;
   }
-  // Full scan: every page, count matches.
-  for (std::uint64_t page_id = 0; page_id < table.page_count(); ++page_id) {
-    Result<const Page*> page = table.file().ReadPage(page_id, &result.io);
-    assert(page.ok());
-    for (Value v : (*page)->values()) {
-      if (query.lo < v && v <= query.hi) ++result.rows;
-    }
+  // Full scan through the shared storage primitive (parallel page reads
+  // with a pool, identical I/O bill either way), then count matches.
+  const std::vector<Value> values = FullScan(table, &result.io, pool);
+  for (Value v : values) {
+    if (query.lo < v && v <= query.hi) ++result.rows;
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "data/workload.h"
 #include "query/index.h"
 #include "stats/column_statistics.h"
@@ -67,9 +68,12 @@ struct ExecutionResult {
 };
 
 // Executes `query` with the chosen access path and returns the true row
-// count and I/O bill.
+// count and I/O bill. The full-scan arm goes through storage/scan's
+// FullScan; with a pool its page reads run concurrently (row count and
+// charged I/O are identical for any thread count).
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
-                            const RangeQuery& query, AccessPath path);
+                            const RangeQuery& query, AccessPath path,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace equihist
 

@@ -13,8 +13,25 @@
 
 namespace equihist {
 
+void ColumnStatistics::CompileEstimator() {
+  compiled = std::make_shared<const CompiledEstimator>(histogram);
+}
+
 double ColumnStatistics::EstimateRangeCount(const RangeQuery& query) const {
+  if (compiled != nullptr) return compiled->EstimateRangeCount(query);
   return ::equihist::EstimateRangeCount(histogram, query);
+}
+
+void ColumnStatistics::EstimateRangeCounts(std::span<const RangeQuery> queries,
+                                           std::span<double> out,
+                                           ThreadPool* pool) const {
+  if (compiled != nullptr) {
+    compiled->EstimateRangeCounts(queries, out, pool);
+    return;
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = ::equihist::EstimateRangeCount(histogram, queries[i]);
+  }
 }
 
 double ColumnStatistics::EstimateEqualityCount(Value value) const {
@@ -98,6 +115,7 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
     }
     i = j;
   }
+  stats.CompileEstimator();
   return stats;
 }
 
@@ -117,6 +135,7 @@ Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
   stats.sample_size = result.tuples_sampled;
   stats.build_cost = result.io;
   stats.heavy_hitters = std::move(result.heavy_hitters);
+  stats.CompileEstimator();
   return stats;
 }
 

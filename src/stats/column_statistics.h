@@ -4,7 +4,11 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+#include <span>
+
 #include "common/result.h"
+#include "core/compiled_estimator.h"
 #include "core/compressed_histogram.h"
 #include "core/cvb.h"
 #include "core/histogram.h"
@@ -31,11 +35,29 @@ struct ColumnStatistics {
   bool from_full_scan = false;
   std::uint64_t sample_size = 0;  // tuples examined
   IoStats build_cost{};
+  // The histogram flattened for O(log k) serving (core/compiled_estimator.h).
+  // Populated by the Build* factories and by deserialization; shared, so
+  // copies of the statistics (and snapshot handouts) reuse one compilation.
+  // Hand-assembled statistics may leave it null — estimation then falls
+  // back to the reference interpolation loop.
+  std::shared_ptr<const CompiledEstimator> compiled{};
+
+  // (Re)builds `compiled` from `histogram`. Call after mutating the
+  // histogram of a hand-assembled ColumnStatistics.
+  void CompileEstimator();
 
   // -- Optimizer estimation surface ----------------------------------------
 
-  // Estimated output size of "lo < X <= hi" (Section 2.2 strategy).
+  // Estimated output size of "lo < X <= hi" (Section 2.2 strategy), via
+  // the compiled estimator when present.
   double EstimateRangeCount(const RangeQuery& query) const;
+
+  // Batch variant: out[i] = EstimateRangeCount(queries[i]); large batches
+  // shard across `pool` with bitwise-identical results at any thread
+  // count. Requires out.size() >= queries.size().
+  void EstimateRangeCounts(std::span<const RangeQuery> queries,
+                           std::span<double> out,
+                           ThreadPool* pool = nullptr) const;
 
   // Estimated output size of "X = v". Separator runs pin frequent values
   // exactly (the duplicated-separator representation of Section 5 makes a

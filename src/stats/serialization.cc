@@ -199,6 +199,9 @@ Result<ColumnStatistics> DeserializeColumnStatistics(
   stats.from_full_scan = (flags & 1) != 0;
   EQUIHIST_ASSIGN_OR_RETURN(stats.sample_size, reader.Varint());
   EQUIHIST_ASSIGN_OR_RETURN(stats.row_count, reader.Varint());
+  // Loaded statistics serve reads immediately, so recompile the read-side
+  // estimator (it is derived state, never persisted).
+  stats.CompileEstimator();
   return stats;
 }
 

@@ -18,10 +18,20 @@ std::uint64_t HashColumnName(const std::string& column) {
   return h;
 }
 
+// Serving-cache slots kept per thread; old slots are evicted FIFO. The
+// cache is a linear-scan vector: with realistically few hot (manager,
+// column) pairs per thread this beats any hashed structure.
+constexpr std::size_t kMaxServingSlots = 64;
+
+std::uint64_t NextManagerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 StatisticsManager::StatisticsManager(const Options& options)
-    : options_(options) {}
+    : options_(options), manager_id_(NextManagerId()) {}
 
 ThreadPool* StatisticsManager::pool() {
   std::call_once(pool_once_, [this]() {
@@ -91,11 +101,22 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
   EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats,
                             Build(table, seed, pool()));
   auto snapshot = std::make_shared<const ColumnStatistics>(std::move(stats));
+  // The Build* factories compile the read-side estimator as part of the
+  // build (outside any manager lock); hand the same compilation to the
+  // serving path. Guard anyway — a null estimator must never publish.
+  std::shared_ptr<const CompiledEstimator> compiled = snapshot->compiled;
+  if (compiled == nullptr) {
+    compiled = std::make_shared<const CompiledEstimator>(snapshot->histogram);
+  }
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     total_build_cost_ += snapshot->build_cost;
     entry->stats = snapshot;
+    entry->compiled = std::move(compiled);
     entry->generation = generation + 1;
+    // Release-publish so a serving thread that observes the new counter
+    // also observes the snapshot it validates.
+    entry->published.fetch_add(1, std::memory_order_release);
   }
   entry->modifications_since_build.store(0, std::memory_order_relaxed);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
@@ -199,8 +220,104 @@ bool StatisticsManager::Drop(const std::string& column) {
   if (it == entries_.end()) return false;
   // A placeholder whose first build failed never became visible.
   const bool existed = it->second->stats != nullptr;
+  // Invalidate every thread's serving cache: the bump makes any cached
+  // publication count stale, and the refresh goes through the map — where
+  // the column no longer exists — rather than the detached entry node.
+  it->second->published.fetch_add(1, std::memory_order_release);
   entries_.erase(it);
   return existed;
+}
+
+// -- Lock-free serving path --------------------------------------------------
+
+std::vector<StatisticsManager::CachedServing>&
+StatisticsManager::ServingCache() {
+  thread_local std::vector<CachedServing> cache;
+  return cache;
+}
+
+StatisticsManager::CachedServing* StatisticsManager::FindCachedServing(
+    const std::string& column) {
+  for (CachedServing& slot : ServingCache()) {
+    if (slot.manager_id == manager_id_ && slot.column == column) return &slot;
+  }
+  return nullptr;
+}
+
+Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
+    const std::string& column, const Table& table) {
+  // Capture always resolves through the entry map, never through a cached
+  // entry pointer: an entry detached by Drop must not be re-validated, or
+  // a thread could serve a dropped column forever.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::shared_ptr<Entry> entry;
+    CachedServing fresh;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = entries_.find(column);
+      if (it != entries_.end() && it->second->stats != nullptr) {
+        entry = it->second;
+        // Counter and snapshot are mutually consistent here: publishes
+        // mutate both under the exclusive lock we are sharing against.
+        fresh.published = entry->published.load(std::memory_order_acquire);
+        fresh.stats = entry->stats;
+        fresh.compiled = entry->compiled;
+      }
+    }
+    if (entry != nullptr) {
+      fresh.manager_id = manager_id_;
+      fresh.column = column;
+      fresh.entry = std::move(entry);
+      std::vector<CachedServing>& cache = ServingCache();
+      CachedServing* slot = FindCachedServing(column);
+      if (slot == nullptr) {
+        if (cache.size() >= kMaxServingSlots) cache.erase(cache.begin());
+        slot = &cache.emplace_back();
+      }
+      *slot = std::move(fresh);
+      return slot;
+    }
+    // Missing or never-built column: build through the normal path, then
+    // re-capture. Another thread may Drop between the build and the
+    // capture, hence the (bounded) retry loop.
+    const std::shared_ptr<Entry> node = GetEntry(column);
+    EQUIHIST_ASSIGN_OR_RETURN(
+        const auto built,
+        BuildAndPublish(column, node.get(), table, /*require_fresh=*/false));
+    (void)built;
+  }
+  return Status::Internal(
+      "statistics were repeatedly dropped while refreshing the serving path");
+}
+
+Result<double> StatisticsManager::EstimateRange(const std::string& column,
+                                                const Table& table,
+                                                const RangeQuery& query) {
+  CachedServing* slot = FindCachedServing(column);
+  if (slot == nullptr || slot->entry->published.load(
+                             std::memory_order_acquire) != slot->published) {
+    EQUIHIST_ASSIGN_OR_RETURN(slot, RefreshServing(column, table));
+  }
+  return slot->compiled->EstimateRangeCount(query);
+}
+
+Status StatisticsManager::EstimateRanges(const std::string& column,
+                                         const Table& table,
+                                         std::span<const RangeQuery> queries,
+                                         std::span<double> out,
+                                         bool use_pool) {
+  if (out.size() < queries.size()) {
+    return Status::InvalidArgument(
+        "output span smaller than the query batch");
+  }
+  CachedServing* slot = FindCachedServing(column);
+  if (slot == nullptr || slot->entry->published.load(
+                             std::memory_order_acquire) != slot->published) {
+    EQUIHIST_ASSIGN_OR_RETURN(slot, RefreshServing(column, table));
+  }
+  slot->compiled->EstimateRangeCounts(queries, out,
+                                      use_pool ? pool() : nullptr);
+  return Status::OK();
 }
 
 bool StatisticsManager::Has(const std::string& column) const {

@@ -7,11 +7,13 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/compiled_estimator.h"
 #include "stats/column_statistics.h"
 #include "storage/table.h"
 
@@ -87,6 +89,32 @@ class StatisticsManager {
   Result<std::shared_ptr<const ColumnStatistics>> EnsureFreshShared(
       const std::string& column, const Table& table);
 
+  // -- Lock-free serving path ------------------------------------------------
+  //
+  // The hot optimizer entry points. Estimates run against the column's
+  // current immutable snapshot through its CompiledEstimator (O(log k) per
+  // query). Each thread keeps a small snapshot cache keyed by (manager,
+  // column) and validated by a per-entry publication counter; while
+  // statistics are unchanged the whole call is lock-free — one relaxed
+  // string-keyed cache probe plus one atomic load, no mutex, no shared_ptr
+  // refcount traffic. The counter bumps on every publish and on Drop, so a
+  // changed column costs one shared-lock snapshot refresh and subsequent
+  // calls are lock-free again.
+  //
+  // Staleness is deliberately not checked here (plan-time estimation must
+  // be nearly free); call EnsureFresh* when freshness matters — a rebuild
+  // invalidates every thread's cache automatically via the counter.
+  Result<double> EstimateRange(const std::string& column, const Table& table,
+                               const RangeQuery& query);
+
+  // Batch variant: one snapshot resolution for the whole batch, then the
+  // compiled batch path; with use_pool the batch shards across the
+  // manager's pool (bitwise-identical results at any thread count).
+  // Requires out.size() >= queries.size().
+  Status EstimateRanges(const std::string& column, const Table& table,
+                        std::span<const RangeQuery> queries,
+                        std::span<double> out, bool use_pool = false);
+
   // Builds (or freshens) statistics for every named column of `table`,
   // fanning the builds out across the manager's thread pool — the
   // auto-statistics sweep a server runs after bulk load. Columns already
@@ -111,9 +139,29 @@ class StatisticsManager {
     // Immutable snapshot, swapped atomically under mu_; null while the
     // first build is in flight.
     std::shared_ptr<const ColumnStatistics> stats;
+    // The snapshot's read-side estimator; set together with `stats` under
+    // mu_ (compiled outside any lock).
+    std::shared_ptr<const CompiledEstimator> compiled;
     std::atomic<std::uint64_t> modifications_since_build{0};
     std::uint64_t generation = 0;  // # builds completed, guarded by mu_
     std::mutex build_mu;           // serializes builds of this column
+    // Publication counter for the lock-free serving path: bumped (under
+    // mu_) whenever `stats` changes and when the column is dropped. A
+    // thread-cached snapshot is current iff this still equals the value
+    // captured at caching time; monotone, so there is no ABA.
+    std::atomic<std::uint64_t> published{0};
+  };
+
+  // One thread-local cache slot of the serving path: the shared_ptrs keep
+  // the snapshot (and its Entry node) alive without per-query refcount
+  // traffic, `published` is the captured publication count.
+  struct CachedServing {
+    std::uint64_t manager_id = 0;
+    std::string column;
+    std::uint64_t published = 0;
+    std::shared_ptr<Entry> entry;
+    std::shared_ptr<const ColumnStatistics> stats;
+    std::shared_ptr<const CompiledEstimator> compiled;
   };
 
   Result<ColumnStatistics> Build(const Table& table, std::uint64_t seed,
@@ -130,7 +178,19 @@ class StatisticsManager {
   // Lazily created pool per options_.threads (null when sequential).
   ThreadPool* pool();
 
+  // The calling thread's serving cache (shared by all managers, keyed by
+  // manager_id_ so address reuse across manager lifetimes cannot alias).
+  static std::vector<CachedServing>& ServingCache();
+  // Cache probe for (this manager, column); null on miss.
+  CachedServing* FindCachedServing(const std::string& column);
+  // Slow path: resolves the column's current snapshot via the entry map
+  // (building on first access), installs it in this thread's cache, and
+  // returns the slot.
+  Result<CachedServing*> RefreshServing(const std::string& column,
+                                        const Table& table);
+
   const Options options_;
+  const std::uint64_t manager_id_;  // process-unique, assigned at construction
   mutable std::shared_mutex mu_;  // guards entries_ map + snapshot/gen fields
   // shared_ptr nodes: an in-flight build keeps its Entry alive even if the
   // column is concurrently dropped, and Entry addresses stay stable so

@@ -124,6 +124,48 @@ TEST(CompressedHistogramTest, Validation) {
       CompressedHistogram::BuildFromSample(std::vector<Value>{1}, 5, 0).ok());
 }
 
+TEST(CompressedHistogramTest, RangeEstimationIsStableAtHighBucketCounts) {
+  // Kahan-summation regression at a high bucket count: thousands of
+  // singletons with multiplicities of very different magnitudes summed
+  // over a wide range. Every count and every prefix total is exactly
+  // representable in a double here, so compensated accumulation must
+  // recover the truth exactly — naive left-to-right accumulation of
+  // mixed-magnitude terms is what the KahanSum in EstimateRangeCount
+  // protects against.
+  std::vector<Value> data;
+  std::uint64_t heavy_total = 0;
+  std::uint64_t light_total = 0;
+  constexpr int kHeavy = 1500;
+  for (int i = 0; i < kHeavy; ++i) {
+    // Heavy values (each far above the n/k threshold) on the positive
+    // axis, light residual values on the negative axis, so range queries
+    // over the positive half are answered purely from singleton sums and
+    // their exact integer truths are known.
+    data.insert(data.end(), 100000, static_cast<Value>(i * 10));
+    heavy_total += 100000;
+    data.insert(data.end(), 3, static_cast<Value>(-(i * 10) - 5));
+    light_total += 3;
+  }
+  const ValueSet population(std::move(data));
+  const auto ch = CompressedHistogram::BuildPerfect(population, 5000);
+  ASSERT_TRUE(ch.ok());
+  ASSERT_GE(ch->singletons().size(), 1000u);  // genuinely singleton-heavy
+  // Whole domain: every singleton plus the fully covered equi part, all
+  // exact integers — any deviation is accumulation error.
+  EXPECT_DOUBLE_EQ(
+      ch->EstimateRangeCount({-100000, static_cast<Value>(kHeavy * 10)}),
+      static_cast<double>(heavy_total + light_total));
+  // A wide sub-range over 756 singletons; the equi part lies entirely
+  // below the range and contributes exactly zero.
+  std::uint64_t sub = 0;
+  for (int i = 0; i < kHeavy; ++i) {
+    const Value v = static_cast<Value>(i * 10);
+    if (-1 < v && v <= 7550) sub += 100000;
+  }
+  EXPECT_DOUBLE_EQ(ch->EstimateRangeCount({-1, 7550}),
+                   static_cast<double>(sub));
+}
+
 TEST(CompressedHistogramTest, ToStringMentionsSingletons) {
   const ValueSet data = SkewedData();
   const auto ch = CompressedHistogram::BuildPerfect(data, 10);

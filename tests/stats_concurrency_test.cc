@@ -3,6 +3,7 @@
 // BuildAll fan-out. Run under -fsanitize=thread in CI (the ci.yml tsan
 // job) to prove the locking discipline.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -162,6 +163,120 @@ TEST(StatsConcurrencyTest, BuildAllMatchesSerialBuilds) {
               (*from_parallel)->histogram.counts());
     EXPECT_EQ((*from_serial)->sample_size, (*from_parallel)->sample_size);
   }
+}
+
+TEST(StatsConcurrencyTest, ServingPathMatchesSnapshotEstimates) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40, .f = 0.25, .threads = 1});
+  const RangeQuery query{100, 5000};
+  const auto estimate = manager.EstimateRange("col", table, query);
+  ASSERT_TRUE(estimate.ok());
+  // The serving path must answer from exactly the published snapshot.
+  const auto snapshot = manager.GetOrBuildShared("col", table);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(*estimate, (*snapshot)->EstimateRangeCount(query));
+  // Repeat calls hit the thread cache and stay bitwise identical.
+  for (int i = 0; i < 10; ++i) {
+    const auto again = manager.EstimateRange("col", table, query);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *estimate);
+  }
+  EXPECT_EQ(manager.rebuild_count(), 1u);  // one build served everything
+}
+
+TEST(StatsConcurrencyTest, ServingCacheInvalidatesOnRebuildAndDrop) {
+  Table table = SmallTable();
+  StatisticsManager manager(
+      {.buckets = 40, .f = 0.25, .staleness_threshold = 0.1, .threads = 1});
+  const RangeQuery query{0, 100000};
+  ASSERT_TRUE(manager.EstimateRange("col", table, query).ok());
+  EXPECT_EQ(manager.rebuild_count(), 1u);
+
+  // A rebuild publishes a new snapshot; the cached serving slot must miss
+  // and re-resolve to the new statistics.
+  manager.RecordModifications("col", table.tuple_count());
+  ASSERT_TRUE(manager.EnsureFreshShared("col", table).ok());
+  EXPECT_EQ(manager.rebuild_count(), 2u);
+  const auto fresh = manager.GetOrBuildShared("col", table);
+  ASSERT_TRUE(fresh.ok());
+  const auto estimate = manager.EstimateRange("col", table, query);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(*estimate, (*fresh)->EstimateRangeCount(query));
+
+  // Dropping invalidates too: the next estimate triggers a fresh build
+  // rather than serving the dropped snapshot.
+  EXPECT_TRUE(manager.Drop("col"));
+  ASSERT_TRUE(manager.EstimateRange("col", table, query).ok());
+  EXPECT_EQ(manager.rebuild_count(), 3u);
+}
+
+TEST(StatsConcurrencyTest, BatchServingMatchesScalarAtAnyThreadCount) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40, .f = 0.25, .threads = 4});
+  std::vector<RangeQuery> queries;
+  for (int i = 0; i < 2000; ++i) {
+    queries.push_back({i * 13 % 40000, i * 13 % 40000 + 500 + i});
+  }
+  std::vector<double> scalar(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto estimate = manager.EstimateRange("col", table, queries[i]);
+    ASSERT_TRUE(estimate.ok());
+    scalar[i] = *estimate;
+  }
+  // Sequential and pooled batch paths agree with the scalar path bitwise.
+  std::vector<double> batch(queries.size(), -1.0);
+  ASSERT_TRUE(manager
+                  .EstimateRanges("col", table, queries, batch,
+                                  /*use_pool=*/false)
+                  .ok());
+  EXPECT_EQ(batch, scalar);
+  std::fill(batch.begin(), batch.end(), -1.0);
+  ASSERT_TRUE(manager
+                  .EstimateRanges("col", table, queries, batch,
+                                  /*use_pool=*/true)
+                  .ok());
+  EXPECT_EQ(batch, scalar);
+  // An undersized output span is rejected, not overrun.
+  std::vector<double> small(queries.size() - 1);
+  EXPECT_FALSE(manager.EstimateRanges("col", table, queries, small).ok());
+}
+
+TEST(StatsConcurrencyTest, ConcurrentServingDuringRebuildsAndDrops) {
+  // Readers estimate through the lock-free path while writers force
+  // rebuilds and drops underneath — under TSan this proves the
+  // publication-counter protocol. Estimates must always come from *some*
+  // complete snapshot: positive row counts, finite values, no errors.
+  Table table = SmallTable();
+  StatisticsManager manager(
+      {.buckets = 30, .f = 0.3, .staleness_threshold = 0.05, .threads = 2});
+  const std::vector<std::string> columns = {"a", "b"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 200; ++i) {
+        const std::string& column = columns[(t + i) % columns.size()];
+        const auto estimate =
+            manager.EstimateRange(column, table, {100, 30000 + i});
+        if (!estimate.ok() || !(*estimate >= 0.0) ||
+            *estimate > static_cast<double>(table.tuple_count())) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 20; ++i) {
+      manager.RecordModifications(columns[i % columns.size()],
+                                  table.tuple_count() / 4);
+      (void)manager.EnsureFreshShared(columns[i % columns.size()], table);
+    }
+  });
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 10; ++i) manager.Drop(columns[i % columns.size()]);
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(StatsConcurrencyTest, SnapshotOutlivesDropAndRebuild) {
