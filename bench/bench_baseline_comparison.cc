@@ -106,8 +106,8 @@ void GmpVsRebuild(const bench::Scale& scale) {
 
 }  // namespace
 
-int main() {
-  const bench::Scale scale = bench::GetScale();
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::GetScale(argc, argv);
   bench::PrintBanner("BASE",
                      "baselines: equi-width histograms and GMP incremental "
                      "maintenance",

@@ -2,14 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace equihist::bench {
 
-Scale GetScale() {
+Scale GetScale(int argc, char** argv) {
   Scale scale;
   const char* env = std::getenv("EQUIHIST_FULL_SCALE");
   scale.full = (env != nullptr && env[0] == '1');
-  if (scale.full) {
+  const char* smoke_env = std::getenv("EQUIHIST_SMOKE");
+  scale.smoke = (smoke_env != nullptr && smoke_env[0] == '1');
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") scale.smoke = true;
+  }
+  if (scale.smoke) {
+    scale.full = false;
+    scale.default_n = 20000;
+    scale.k = 16;
+    scale.n_sweep = {10000, 20000};
+  } else if (scale.full) {
     scale.default_n = 10000000;
     scale.k = 600;
     scale.n_sweep = {5000000, 10000000, 15000000, 20000000};
@@ -26,7 +37,8 @@ void PrintBanner(const std::string& experiment_id, const std::string& title,
   std::printf("=============================================================\n");
   std::printf("%s: %s\n", experiment_id.c_str(), title.c_str());
   std::printf("scale: %s (set EQUIHIST_FULL_SCALE=1 for the paper's sizes)\n",
-              scale.full ? "FULL (paper)" : "fast");
+              scale.smoke ? "SMOKE (CI)"
+                          : (scale.full ? "FULL (paper)" : "fast"));
   std::printf("=============================================================\n\n");
 }
 

@@ -20,6 +20,11 @@ namespace equihist::bench {
 
 struct Scale {
   bool full = false;
+  // Smoke mode (--smoke flag or EQUIHIST_SMOKE=1): tiny n, fixed seeds —
+  // finishes in seconds, exercises every code path. CI runs the harnesses
+  // this way so a bench that rots fails the build, not the next
+  // experiment run.
+  bool smoke = false;
   // The paper's default table size (most figures): 10M rows full, 1M fast.
   std::uint64_t default_n = 1000000;
   // Histogram buckets: 600 full (one SQL Server page of integer steps),
@@ -31,8 +36,11 @@ struct Scale {
   std::uint64_t DomainFor(std::uint64_t n) const { return n / 100; }
 };
 
-// Reads EQUIHIST_FULL_SCALE from the environment.
-Scale GetScale();
+// Resolves the run scale: EQUIHIST_FULL_SCALE=1 selects the paper's sizes,
+// a --smoke argument or EQUIHIST_SMOKE=1 selects the tiny CI scale (smoke
+// wins when both are set). Pass main's argc/argv to honour the flag;
+// GetScale() alone still reads the environment.
+Scale GetScale(int argc = 0, char** argv = nullptr);
 
 // Prints the standard experiment banner (experiment id, paper figure,
 // scale note).

@@ -63,17 +63,18 @@ double HistEq(const Histogram& h, Value v) {
 
 }  // namespace
 
-int main() {
-  const bench::Scale scale = bench::GetScale();
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::GetScale(argc, argv);
   bench::PrintBanner("FAM",
                      "histogram families: equi-height vs equi-width vs "
                      "V-optimal vs MaxDiff",
                      scale);
 
-  // V-optimal's DP is quadratic in distinct values: keep d moderate.
+  // V-optimal's DP is quadratic in distinct values: keep d moderate (and
+  // tiny in smoke mode, where the point is exercising the code paths).
   const std::uint64_t n = scale.default_n / 4;
-  const std::uint64_t d = 2000;
-  const std::uint64_t k = scale.full ? 100 : 50;
+  const std::uint64_t d = scale.smoke ? 200 : 2000;
+  const std::uint64_t k = scale.smoke ? 16 : (scale.full ? 100 : 50);
   const auto freq = MakeZipf({.n = n, .domain_size = d, .skew = 1.5,
                               .seed = 3});
   const ValueSet data = ValueSet::FromFrequencies(*freq);

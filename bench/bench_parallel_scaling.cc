@@ -141,7 +141,7 @@ int main() {
                     << stats.status().ToString() << "\n";
           std::exit(1);
         }
-        return std::move(stats->histogram);
+        return stats->histogram();
       }));
 
   const auto cvb_workload = [&](const std::string& name,

@@ -135,9 +135,9 @@ int main() {
   const auto stale = BuildStatisticsFullScan(stale_table, scale.k);
 
   // "None": a single-bucket histogram — the optimizer's blind guess.
-  ColumnStatistics blind{
-      .histogram = Histogram::Create({}, {n}, truth.min() - 1, truth.max())
-                       .value()};
+  ColumnStatistics blind;
+  blind.SetEquiHeight(
+      Histogram::Create({}, {n}, truth.min() - 1, truth.max()).value());
   blind.row_count = n;
   blind.density = 0.0;
   blind.distinct_estimate = static_cast<double>(n);

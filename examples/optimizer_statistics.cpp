@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
 
   // 3. Answer optimizer questions.
   const ColumnStatistics& o = **orders_stats;
-  const Value median = o.histogram.separators()[o.histogram.separators().size() / 2];
+  const Value median = o.histogram().separators()[o.histogram().separators().size() / 2];
   std::printf("optimizer estimates on orders.customer_id:\n");
   std::printf("  range (0, %lld]         ~ %s rows\n",
               static_cast<long long>(median),
@@ -90,8 +90,8 @@ int main(int argc, char** argv) {
                 FormatCount(static_cast<double>(top.count)).c_str());
   }
   std::printf("  equality = %lld (cold)  ~ %.1f rows (density fallback)\n",
-              static_cast<long long>(o.histogram.upper_fence()),
-              o.EstimateEqualityCount(o.histogram.upper_fence()));
+              static_cast<long long>(o.histogram().upper_fence()),
+              o.EstimateEqualityCount(o.histogram().upper_fence()));
   std::printf("  DISTINCT reduction      ~ %.2f%% of rows survive\n",
               100.0 * o.EstimateDistinctFraction());
 

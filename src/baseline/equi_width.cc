@@ -6,6 +6,7 @@
 
 #include "common/math.h"
 #include "common/string_util.h"
+#include "core/histogram.h"
 
 namespace equihist {
 namespace {
@@ -61,47 +62,85 @@ Result<EquiWidthHistogram> EquiWidthHistogram::BuildFromSample(
   return h;
 }
 
+Result<EquiWidthHistogram> EquiWidthHistogram::FromParts(
+    std::vector<std::uint64_t> counts, Value lo, Value hi) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("an equi-width histogram needs >= 1 bucket");
+  }
+  if (lo >= hi) {
+    return Status::InvalidArgument(
+        "the equi-width domain (lo, hi] must be non-empty");
+  }
+  EquiWidthHistogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.total_ = 0;
+  for (std::uint64_t c : counts) h.total_ += c;
+  h.counts_ = std::move(counts);
+  return h;
+}
+
 std::uint64_t EquiWidthHistogram::BucketIndexForValue(Value v) const {
   if (v <= lo_ + 1) return 0;
   if (v >= hi_) return counts_.size() - 1;
   // Bucket j covers (lo + j*w, lo + (j+1)*w] for width w = (hi-lo)/k.
-  const double width = static_cast<double>(hi_ - lo_) /
-                       static_cast<double>(counts_.size());
-  const auto index = static_cast<std::uint64_t>(
-      std::ceil(static_cast<double>(v - lo_) / width) - 1.0);
+  // ValueDistance: the signed subtractions overflow (UB) for domains
+  // spanning more than half the int64 range.
+  const double width =
+      ValueDistance(lo_, hi_) / static_cast<double>(counts_.size());
+  const auto index =
+      static_cast<std::uint64_t>(std::ceil(ValueDistance(lo_, v) / width) - 1.0);
   return std::min<std::uint64_t>(index, counts_.size() - 1);
 }
 
 Value EquiWidthHistogram::BucketLowerBound(std::uint64_t j) const {
   if (j == 0) return lo_;
-  const double width = static_cast<double>(hi_ - lo_) /
-                       static_cast<double>(counts_.size());
-  return lo_ + static_cast<Value>(std::llround(width * static_cast<double>(j)));
+  const double width =
+      ValueDistance(lo_, hi_) / static_cast<double>(counts_.size());
+  // Offsets are applied in unsigned arithmetic: for a domain wider than
+  // half the int64 range the offset itself exceeds INT64_MAX, so both
+  // llround and a signed addition would be UB.
+  const auto offset =
+      static_cast<std::uint64_t>(std::round(width * static_cast<double>(j)));
+  return static_cast<Value>(static_cast<std::uint64_t>(lo_) + offset);
 }
 
 Value EquiWidthHistogram::BucketUpperBound(std::uint64_t j) const {
   if (j == counts_.size() - 1) return hi_;
-  const double width = static_cast<double>(hi_ - lo_) /
-                       static_cast<double>(counts_.size());
-  return lo_ +
-         static_cast<Value>(std::llround(width * static_cast<double>(j + 1)));
+  const double width =
+      ValueDistance(lo_, hi_) / static_cast<double>(counts_.size());
+  const auto offset = static_cast<std::uint64_t>(
+      std::round(width * static_cast<double>(j + 1)));
+  return static_cast<Value>(static_cast<std::uint64_t>(lo_) + offset);
 }
 
 double EquiWidthHistogram::EstimateRangeCount(const RangeQuery& query) const {
-  const Value q_lo = std::max(query.lo, lo_);
-  const Value q_hi = std::min(query.hi, hi_);
-  if (q_hi <= q_lo) return 0.0;
+  // Mirrors the core estimator's semantics exactly (core/range_estimator):
+  // clamp to the fences, empty after clamping -> 0, degenerate zero-width
+  // buckets contribute all-or-nothing at their pinned value instead of
+  // being dropped, and partial buckets interpolate by ValueDistance ratio.
+  // The differential test in baseline_equi_width_test locks this to the
+  // reference loop bit-for-bit.
+  const Value lo = std::max(query.lo, lo_);
+  const Value hi = std::min(query.hi, hi_);
+  if (hi <= lo) return 0.0;
   KahanSum estimate;
   for (std::uint64_t j = 0; j < counts_.size(); ++j) {
-    const Value b_lo = BucketLowerBound(j);
-    const Value b_hi = BucketUpperBound(j);
-    if (b_hi <= b_lo) continue;
-    const Value cover_lo = std::max(q_lo, b_lo);
-    const Value cover_hi = std::min(q_hi, b_hi);
+    const Value bucket_lo = BucketLowerBound(j);
+    const Value bucket_hi = BucketUpperBound(j);
+    const double count = static_cast<double>(counts_[j]);
+    if (bucket_hi <= bucket_lo) {
+      // Zero-width bucket (domain narrower than k): a single value at
+      // bucket_hi.
+      if (lo < bucket_hi && bucket_hi <= hi) estimate.Add(count);
+      continue;
+    }
+    const Value cover_lo = std::max(lo, bucket_lo);
+    const Value cover_hi = std::min(hi, bucket_hi);
     if (cover_hi <= cover_lo) continue;
-    const double fraction = static_cast<double>(cover_hi - cover_lo) /
-                            static_cast<double>(b_hi - b_lo);
-    estimate.Add(static_cast<double>(counts_[j]) * fraction);
+    const double fraction = ValueDistance(cover_lo, cover_hi) /
+                            ValueDistance(bucket_lo, bucket_hi);
+    estimate.Add(count * fraction);
   }
   return estimate.Value();
 }

@@ -32,6 +32,13 @@ class EquiWidthHistogram {
       std::span<const Value> sorted_sample, std::uint64_t k,
       std::uint64_t population_size);
 
+  // Reassembles a histogram from its parts (used by deserialization and
+  // the HistogramModel backend adapter): per-bucket counts over the domain
+  // (lo, hi]. Requires at least one bucket and lo < hi; the total is the
+  // sum of the counts.
+  static Result<EquiWidthHistogram> FromParts(
+      std::vector<std::uint64_t> counts, Value lo, Value hi);
+
   std::uint64_t bucket_count() const { return counts_.size(); }
   std::uint64_t total() const { return total_; }
   Value lo() const { return lo_; }

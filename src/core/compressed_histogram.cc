@@ -108,6 +108,42 @@ Result<CompressedHistogram> CompressedHistogram::Build(
   return result;
 }
 
+Result<CompressedHistogram> CompressedHistogram::FromParts(
+    std::vector<Singleton> singletons, std::optional<Histogram> equi_part,
+    std::uint64_t bucket_budget, std::uint64_t total) {
+  if (bucket_budget == 0) {
+    return Status::InvalidArgument("bucket budget must be positive");
+  }
+  if (singletons.empty() && !equi_part.has_value()) {
+    return Status::InvalidArgument(
+        "a compressed histogram needs singletons or an equi-height part");
+  }
+  for (std::size_t i = 0; i < singletons.size(); ++i) {
+    if (singletons[i].count == 0) {
+      return Status::InvalidArgument("singleton counts must be positive");
+    }
+    if (i > 0 && singletons[i - 1].value >= singletons[i].value) {
+      return Status::InvalidArgument(
+          "singletons must be sorted by value, strictly increasing");
+    }
+  }
+  const std::uint64_t max_singletons =
+      equi_part.has_value() ? bucket_budget - 1 : bucket_budget;
+  if (singletons.size() > max_singletons) {
+    return Status::InvalidArgument(
+        "singletons exceed the bucket budget");
+  }
+  CompressedHistogram result;
+  result.k_ = bucket_budget;
+  result.total_ = total;
+  result.singletons_ = std::move(singletons);
+  if (equi_part.has_value()) {
+    result.equi_part_ = std::move(*equi_part);
+    result.has_equi_part_ = true;
+  }
+  return result;
+}
+
 Result<CompressedHistogram> CompressedHistogram::BuildPerfect(
     const ValueSet& population, std::uint64_t k) {
   EQUIHIST_ASSIGN_OR_RETURN(

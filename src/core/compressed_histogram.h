@@ -2,6 +2,7 @@
 #define EQUIHIST_CORE_COMPRESSED_HISTOGRAM_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +43,15 @@ class CompressedHistogram {
   static Result<CompressedHistogram> BuildFromSample(
       std::span<const Value> sorted_sample, std::uint64_t k,
       std::uint64_t population_size);
+
+  // Reassembles a compressed histogram from its parts (used by
+  // deserialization and the HistogramModel backend adapter). Singletons
+  // must be sorted by value, strictly increasing, with positive counts, and
+  // must fit the bucket budget (k-1 of them when an equi-height part is
+  // present, k otherwise). `total` is the claimed population size.
+  static Result<CompressedHistogram> FromParts(
+      std::vector<Singleton> singletons, std::optional<Histogram> equi_part,
+      std::uint64_t bucket_budget, std::uint64_t total);
 
   // High-multiplicity values, sorted by value ascending.
   const std::vector<Singleton>& singletons() const { return singletons_; }

@@ -45,9 +45,12 @@
 #include "sampling/block_sampler.h"     // IWYU pragma: export
 #include "sampling/design_effect.h"     // IWYU pragma: export
 #include "stats/column_statistics.h"    // IWYU pragma: export
+#include "stats/histogram_backends.h"   // IWYU pragma: export
+#include "stats/histogram_model.h"      // IWYU pragma: export
 #include "stats/join_estimator.h"       // IWYU pragma: export
 #include "stats/serialization.h"        // IWYU pragma: export
 #include "stats/statistics_manager.h"   // IWYU pragma: export
+#include "stats/wire_format.h"          // IWYU pragma: export
 #include "sampling/row_sampler.h"       // IWYU pragma: export
 #include "sampling/sample.h"    // IWYU pragma: export
 #include "sampling/schedule.h"  // IWYU pragma: export

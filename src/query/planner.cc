@@ -32,14 +32,17 @@ double YaoPagesTouched(std::uint64_t pages, std::uint32_t tuples_per_page,
   return static_cast<double>(pages) * (1.0 - miss);
 }
 
-PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
-                            const RangeQuery& query,
-                            std::uint64_t table_pages,
-                            std::uint32_t tuples_per_page,
-                            std::uint32_t index_entries_per_leaf,
-                            const CostModel& cost_model) {
+namespace {
+
+// The shared cost comparison, fed by whichever estimation surface the
+// caller holds.
+PlanChoice ChooseFromEstimate(double estimated_rows,
+                              std::uint64_t table_pages,
+                              std::uint32_t tuples_per_page,
+                              std::uint32_t index_entries_per_leaf,
+                              const CostModel& cost_model) {
   PlanChoice choice;
-  choice.estimated_rows = stats.EstimateRangeCount(query);
+  choice.estimated_rows = estimated_rows;
   choice.full_scan_cost =
       static_cast<double>(table_pages) * cost_model.sequential_page_cost;
   const double leaf_cost =
@@ -53,6 +56,30 @@ PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
                     ? AccessPath::kIndexRangeScan
                     : AccessPath::kFullScan;
   return choice;
+}
+
+}  // namespace
+
+PlanChoice ChooseAccessPath(const HistogramModel& model,
+                            const RangeQuery& query,
+                            std::uint64_t table_pages,
+                            std::uint32_t tuples_per_page,
+                            std::uint32_t index_entries_per_leaf,
+                            const CostModel& cost_model) {
+  return ChooseFromEstimate(model.EstimateRangeCount(query), table_pages,
+                            tuples_per_page, index_entries_per_leaf,
+                            cost_model);
+}
+
+PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
+                            const RangeQuery& query,
+                            std::uint64_t table_pages,
+                            std::uint32_t tuples_per_page,
+                            std::uint32_t index_entries_per_leaf,
+                            const CostModel& cost_model) {
+  return ChooseFromEstimate(stats.EstimateRangeCount(query), table_pages,
+                            tuples_per_page, index_entries_per_leaf,
+                            cost_model);
 }
 
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,

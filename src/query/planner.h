@@ -53,7 +53,14 @@ double YaoPagesTouched(std::uint64_t pages, std::uint32_t tuples_per_page,
 // Costs both access paths for "lo < X <= hi" and picks the cheaper one.
 // The index cost is (leaves(matches) + Yao(pages, b, matches)) at the
 // random-read rate; the full scan cost is the page count at the
-// sequential rate.
+// sequential rate. The model overload costs directly through any
+// histogram backend; the ColumnStatistics overload forwards to it.
+PlanChoice ChooseAccessPath(const HistogramModel& model,
+                            const RangeQuery& query,
+                            std::uint64_t table_pages,
+                            std::uint32_t tuples_per_page,
+                            std::uint32_t index_entries_per_leaf = 512,
+                            const CostModel& cost_model = CostModel{});
 PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
                             const RangeQuery& query,
                             std::uint64_t table_pages,

@@ -1,37 +1,87 @@
 #include "stats/column_statistics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/parallel_sort.h"
+#include "common/rng.h"
 #include "common/string_util.h"
+#include "core/bounds.h"
 #include "core/density.h"
 #include "core/histogram_builder.h"
 #include "core/range_estimator.h"
 #include "distinct/estimators.h"
+#include "distinct/frequency_profile.h"
+#include "sampling/row_sampler.h"
+#include "stats/histogram_backends.h"
 #include "storage/scan.h"
 
 namespace equihist {
+namespace {
 
-void ColumnStatistics::CompileEstimator() {
-  compiled = std::make_shared<const CompiledEstimator>(histogram);
+// Values whose multiplicity in `sorted` exceeds the ideal bucket size
+// become pinned heavy hitters, counts scaled by `scale` (1.0 for a full
+// scan).
+std::vector<CompressedHistogram::Singleton> CollectHeavyHitters(
+    std::span<const Value> sorted, std::uint64_t buckets, double scale) {
+  std::vector<CompressedHistogram::Singleton> hitters;
+  const double ideal =
+      static_cast<double>(sorted.size()) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (static_cast<double>(j - i) > ideal) {
+      const auto scaled = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(j - i) * scale));
+      hitters.push_back(CompressedHistogram::Singleton{
+          sorted[i], std::max<std::uint64_t>(scaled, 1)});
+    }
+    i = j;
+  }
+  return hitters;
+}
+
+}  // namespace
+
+void ColumnStatistics::SetEquiHeight(Histogram histogram) {
+  model = std::make_shared<EquiHeightModel>(std::move(histogram));
+}
+
+const Histogram* ColumnStatistics::equi_height() const {
+  const auto* equi = dynamic_cast<const EquiHeightModel*>(model.get());
+  return equi != nullptr ? &equi->histogram() : nullptr;
+}
+
+const CompiledEstimator* ColumnStatistics::compiled() const {
+  const auto* equi = dynamic_cast<const EquiHeightModel*>(model.get());
+  return equi != nullptr ? &equi->compiled() : nullptr;
+}
+
+const Histogram& ColumnStatistics::histogram() const {
+  const Histogram* equi = equi_height();
+  if (equi == nullptr) {
+    // The assertive accessor exists for equi-height-only code paths; a
+    // wrong-family call is a programming error, not a recoverable state.
+    std::abort();
+  }
+  return *equi;
 }
 
 double ColumnStatistics::EstimateRangeCount(const RangeQuery& query) const {
-  if (compiled != nullptr) return compiled->EstimateRangeCount(query);
-  return ::equihist::EstimateRangeCount(histogram, query);
+  if (model == nullptr) return 0.0;
+  return model->EstimateRangeCount(query);
 }
 
 void ColumnStatistics::EstimateRangeCounts(std::span<const RangeQuery> queries,
                                            std::span<double> out,
                                            ThreadPool* pool) const {
-  if (compiled != nullptr) {
-    compiled->EstimateRangeCounts(queries, out, pool);
+  if (model == nullptr) {
+    std::fill(out.begin(), out.begin() + queries.size(), 0.0);
     return;
   }
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    out[i] = ::equihist::EstimateRangeCount(histogram, queries[i]);
-  }
+  model->EstimateRangeCounts(queries, out, pool);
 }
 
 double ColumnStatistics::EstimateEqualityCount(Value value) const {
@@ -46,7 +96,8 @@ double ColumnStatistics::EstimateEqualityCount(Value value) const {
     return static_cast<double>(it->count);
   }
   // Out-of-domain values match nothing.
-  if (value <= histogram.lower_fence() || value > histogram.upper_fence()) {
+  if (model != nullptr &&
+      (value <= model->lower_fence() || value > model->upper_fence())) {
     return 0.0;
   }
   // Infrequent value: average multiplicity among the non-heavy values,
@@ -69,7 +120,7 @@ double ColumnStatistics::EstimateDistinctFraction() const {
 std::string ColumnStatistics::ToString() const {
   std::ostringstream os;
   os << "ColumnStatistics{rows=" << FormatWithThousands(row_count)
-     << ", k=" << histogram.bucket_count()
+     << ", " << (model != nullptr ? model->Describe() : "no histogram")
      << ", density=" << FormatFixed(density, 6)
      << ", distinct~=" << FormatCount(distinct_estimate)
      << ", heavy=" << heavy_hitters.size()
@@ -94,7 +145,8 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
   EQUIHIST_ASSIGN_OR_RETURN(Histogram histogram,
                             BuildPerfectHistogram(data, buckets, pool));
 
-  ColumnStatistics stats{.histogram = std::move(histogram)};
+  ColumnStatistics stats;
+  stats.SetEquiHeight(std::move(histogram));
   stats.density = ComputeDensity(data.sorted_values());
   stats.distinct_estimate = static_cast<double>(data.DistinctCount());
   stats.row_count = data.size();
@@ -103,19 +155,8 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
   stats.build_cost = io;
 
   // Exact heavy hitters: multiplicity above the ideal bucket size.
-  const double ideal = static_cast<double>(data.size()) /
-                       static_cast<double>(buckets);
-  const auto& sorted = data.sorted_values();
-  for (std::size_t i = 0; i < sorted.size();) {
-    std::size_t j = i;
-    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
-    if (static_cast<double>(j - i) > ideal) {
-      stats.heavy_hitters.push_back(
-          CompressedHistogram::Singleton{sorted[i], j - i});
-    }
-    i = j;
-  }
-  stats.CompileEstimator();
+  stats.heavy_hitters =
+      CollectHeavyHitters(data.sorted_values(), buckets, /*scale=*/1.0);
   return stats;
 }
 
@@ -127,7 +168,8 @@ Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
       const double distinct,
       PaperEstimator(result.sample_profile, table.tuple_count()));
 
-  ColumnStatistics stats{.histogram = std::move(result.histogram)};
+  ColumnStatistics stats;
+  stats.SetEquiHeight(std::move(result.histogram));
   stats.density = result.density_estimate;
   stats.distinct_estimate = distinct;
   stats.row_count = table.tuple_count();
@@ -135,7 +177,75 @@ Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
   stats.sample_size = result.tuples_sampled;
   stats.build_cost = result.io;
   stats.heavy_hitters = std::move(result.heavy_hitters);
-  stats.CompileEstimator();
+  return stats;
+}
+
+Result<ColumnStatistics> BuildStatisticsWithBackend(
+    const Table& table, const BackendBuildOptions& options, ThreadPool* pool) {
+  if (options.backend == HistogramBackendId::kEquiHeight) {
+    // The paper's own pipeline, untouched: CVB for sampled builds, the
+    // exact sort for full scans.
+    if (!options.prefer_sampling) {
+      return BuildStatisticsFullScan(table, options.buckets, pool);
+    }
+    CvbOptions cvb;
+    cvb.k = options.buckets;
+    cvb.f = options.f;
+    cvb.gamma = options.gamma;
+    cvb.seed = options.seed;
+    cvb.threads = 1;  // the caller's pool is passed in explicitly
+    return BuildStatisticsSampled(table, cvb, pool);
+  }
+
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const HistogramBackendRegistry::Backend backend,
+      HistogramBackendRegistry::Global().Find(options.backend));
+  const std::uint64_t n = table.tuple_count();
+  if (n == 0) {
+    return Status::FailedPrecondition("table is empty");
+  }
+
+  IoStats io;
+  std::vector<Value> values;
+  if (options.prefer_sampling) {
+    EQUIHIST_ASSIGN_OR_RETURN(
+        const std::uint64_t wanted,
+        DeviationSampleSize(n, options.buckets, options.f, options.gamma));
+    Rng rng(options.seed);
+    values = SampleRowsFromTable(table, std::min(wanted, n), rng, &io);
+  } else {
+    values = FullScan(table, &io, pool);
+  }
+  ParallelSort(values, pool);
+
+  EQUIHIST_ASSIGN_OR_RETURN(HistogramModelPtr model,
+                            backend.build_from_sample(values, options.buckets,
+                                                      n));
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(values.size());
+
+  ColumnStatistics stats;
+  stats.model = std::move(model);
+  stats.density = ComputeDensity(values);
+  if (options.prefer_sampling) {
+    EQUIHIST_ASSIGN_OR_RETURN(
+        stats.distinct_estimate,
+        PaperEstimator(FrequencyProfile::FromSorted(values), n));
+  } else {
+    std::uint64_t distinct = 0;
+    for (std::size_t i = 0; i < values.size();) {
+      std::size_t j = i;
+      while (j < values.size() && values[j] == values[i]) ++j;
+      ++distinct;
+      i = j;
+    }
+    stats.distinct_estimate = static_cast<double>(distinct);
+  }
+  stats.row_count = n;
+  stats.from_full_scan = !options.prefer_sampling;
+  stats.sample_size = values.size();
+  stats.build_cost = io;
+  stats.heavy_hitters = CollectHeavyHitters(values, options.buckets, scale);
   return stats;
 }
 

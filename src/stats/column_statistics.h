@@ -13,17 +13,29 @@
 #include "core/cvb.h"
 #include "core/histogram.h"
 #include "data/workload.h"
+#include "stats/histogram_model.h"
 #include "storage/io_stats.h"
 #include "storage/table.h"
 
 namespace equihist {
 
 // The statistics object a database persists per column — exactly the
-// bundle the paper's SQL Server prototype collected (Section 7.1):
-// an equi-height histogram, the density, and a distinct-value estimate,
-// plus the provenance needed to reason about freshness and cost.
+// bundle the paper's SQL Server prototype collected (Section 7.1): a
+// histogram, the density, and a distinct-value estimate, plus the
+// provenance needed to reason about freshness and cost.
+//
+// The histogram is held behind the backend-polymorphic HistogramModel
+// interface: equi-height by default (the paper's structure, served through
+// the compiled O(log k) read path), but any registered backend — the
+// equi-width baseline, Section 5's compressed histograms, a GMP snapshot,
+// or an externally registered family — plugs in without changing any
+// consumer.
 struct ColumnStatistics {
-  Histogram histogram;
+  // The servable histogram; null only for a partially hand-assembled
+  // object (estimation then returns 0). Shared and immutable, so copies
+  // and snapshot handouts reuse one model (including its compiled read
+  // path).
+  HistogramModelPtr model{};
   double density = 0.0;
   double distinct_estimate = 0.0;
   std::uint64_t row_count = 0;
@@ -35,21 +47,27 @@ struct ColumnStatistics {
   bool from_full_scan = false;
   std::uint64_t sample_size = 0;  // tuples examined
   IoStats build_cost{};
-  // The histogram flattened for O(log k) serving (core/compiled_estimator.h).
-  // Populated by the Build* factories and by deserialization; shared, so
-  // copies of the statistics (and snapshot handouts) reuse one compilation.
-  // Hand-assembled statistics may leave it null — estimation then falls
-  // back to the reference interpolation loop.
-  std::shared_ptr<const CompiledEstimator> compiled{};
 
-  // (Re)builds `compiled` from `histogram`. Call after mutating the
-  // histogram of a hand-assembled ColumnStatistics.
-  void CompileEstimator();
+  // Installs `histogram` as the model, wrapped in the equi-height adapter
+  // (which compiles the O(log k) read path). The constructor used by the
+  // Build* factories and by hand-assembled test statistics.
+  void SetEquiHeight(Histogram histogram);
+
+  // -- Typed access for equi-height-only consumers --------------------------
+  //
+  // CVB cross-validation, bucket diagnostics and the page-budget check
+  // need the concrete equi-height structure. equi_height()/compiled()
+  // return null when the model is absent or a different family;
+  // histogram() is the assertive form for call sites that know the family
+  // (aborts otherwise).
+  const Histogram* equi_height() const;
+  const CompiledEstimator* compiled() const;
+  const Histogram& histogram() const;
 
   // -- Optimizer estimation surface ----------------------------------------
 
-  // Estimated output size of "lo < X <= hi" (Section 2.2 strategy), via
-  // the compiled estimator when present.
+  // Estimated output size of "lo < X <= hi" (Section 2.2 strategy),
+  // through the model; 0 when no model is set.
   double EstimateRangeCount(const RangeQuery& query) const;
 
   // Batch variant: out[i] = EstimateRangeCount(queries[i]); large batches
@@ -59,12 +77,11 @@ struct ColumnStatistics {
                            std::span<double> out,
                            ThreadPool* pool = nullptr) const;
 
-  // Estimated output size of "X = v". Separator runs pin frequent values
-  // exactly (the duplicated-separator representation of Section 5 makes a
-  // heavy value's count readable from its zero-width buckets); infrequent
-  // values fall back to the density-based average — density*n is the
-  // expected count of the value held by a random tuple, SQL Server's
-  // classical use of the statistic.
+  // Estimated output size of "X = v". Heavy values are pinned exactly (the
+  // compressed-histogram singleton list collected at build time);
+  // infrequent values fall back to the density-based average — density*n
+  // is the expected count of the value held by a random tuple, SQL
+  // Server's classical use of the statistic.
   double EstimateEqualityCount(Value value) const;
 
   // Estimated reduction n -> d for duplicate elimination (Section 6.2's
@@ -88,6 +105,28 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
 Result<ColumnStatistics> BuildStatisticsSampled(const Table& table,
                                                 const CvbOptions& options,
                                                 ThreadPool* pool = nullptr);
+
+// Build parameters for the backend-generic path below.
+struct BackendBuildOptions {
+  HistogramBackendId backend = HistogramBackendId::kEquiHeight;
+  std::uint64_t buckets = 200;
+  double f = 0.1;       // target relative max error (Theorem 4 / CVB)
+  double gamma = 0.01;  // failure probability
+  // Sample with the Theorem 4 budget rather than scanning everything.
+  bool prefer_sampling = true;
+  std::uint64_t seed = 1;
+};
+
+// Builds statistics whose histogram comes from any registered backend.
+// The equi-height backend delegates to BuildStatisticsSampled /
+// BuildStatisticsFullScan (bit-identical to calling them directly); other
+// backends draw one Theorem 4-sized row sample (or full-scan when
+// prefer_sampling is false) and hand it to the backend's registered
+// builder, with density / distinct / heavy hitters estimated from the
+// same sample.
+Result<ColumnStatistics> BuildStatisticsWithBackend(
+    const Table& table, const BackendBuildOptions& options,
+    ThreadPool* pool = nullptr);
 
 }  // namespace equihist
 

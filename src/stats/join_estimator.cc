@@ -15,6 +15,10 @@ Status ValidateStats(const ColumnStatistics& stats, const char* side) {
     return Status::InvalidArgument(std::string(side) +
                                    " statistics have no distinct estimate");
   }
+  if (stats.model == nullptr) {
+    return Status::InvalidArgument(std::string(side) +
+                                   " statistics have no histogram model");
+  }
   return Status::OK();
 }
 
@@ -40,8 +44,7 @@ LightSide LightOf(const ColumnStatistics& stats) {
 }
 
 bool InDomain(const ColumnStatistics& stats, Value v) {
-  return v > stats.histogram.lower_fence() &&
-         v <= stats.histogram.upper_fence();
+  return v > stats.model->lower_fence() && v <= stats.model->upper_fence();
 }
 
 bool IsHeavy(const ColumnStatistics& stats, Value v) {
@@ -57,10 +60,10 @@ bool IsHeavy(const ColumnStatistics& stats, Value v) {
 // assumption over (lower_fence, upper_fence].
 double DomainOverlapFraction(const ColumnStatistics& a,
                              const ColumnStatistics& b) {
-  const double a_lo = static_cast<double>(a.histogram.lower_fence());
-  const double a_hi = static_cast<double>(a.histogram.upper_fence());
-  const double b_lo = static_cast<double>(b.histogram.lower_fence());
-  const double b_hi = static_cast<double>(b.histogram.upper_fence());
+  const double a_lo = static_cast<double>(a.model->lower_fence());
+  const double a_hi = static_cast<double>(a.model->upper_fence());
+  const double b_lo = static_cast<double>(b.model->lower_fence());
+  const double b_hi = static_cast<double>(b.model->upper_fence());
   const double width = a_hi - a_lo;
   if (width <= 0.0) return (b_lo < a_hi && a_hi <= b_hi) ? 1.0 : 0.0;
   const double overlap = std::min(a_hi, b_hi) - std::max(a_lo, b_lo);

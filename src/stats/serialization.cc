@@ -1,171 +1,104 @@
 #include "stats/serialization.h"
 
-#include <cstring>
+#include <utility>
+
+#include "stats/histogram_backends.h"
+#include "stats/wire_format.h"
 
 namespace equihist {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53485145;  // 'EQHS'
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;
+// Version 1 had no backend-id byte; its payload is always equi-height.
+constexpr std::uint8_t kVersionEquiHeightOnly = 1;
 
-void PutVarint(std::uint64_t v, std::vector<std::uint8_t>* out) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out->push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint64_t ZigZag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t UnZigZag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-void PutSigned(std::int64_t v, std::vector<std::uint8_t>* out) {
-  PutVarint(ZigZag(v), out);
-}
-
-void PutF64(double v, std::vector<std::uint8_t>* out) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
-  }
-}
-
-// A bounds-checked little reader over the byte span.
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::size_t position() const { return pos_; }
-
-  Result<std::uint64_t> Varint() {
-    std::uint64_t value = 0;
-    int shift = 0;
-    while (true) {
-      if (pos_ >= bytes_.size()) {
-        return Status::InvalidArgument("truncated varint");
-      }
-      if (shift >= 64) {
-        return Status::InvalidArgument("varint overflows 64 bits");
-      }
-      const std::uint8_t byte = bytes_[pos_++];
-      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) return value;
-      shift += 7;
-    }
-  }
-
-  Result<std::int64_t> Signed() {
-    EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t raw, Varint());
-    return UnZigZag(raw);
-  }
-
-  Result<std::uint8_t> Byte() {
-    if (pos_ >= bytes_.size()) {
-      return Status::InvalidArgument("truncated byte");
-    }
-    return bytes_[pos_++];
-  }
-
-  Result<double> F64() {
-    if (pos_ + 8 > bytes_.size()) {
-      return Status::InvalidArgument("truncated double");
-    }
-    std::uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    double value;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
-  }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-};
+using wire::PutF64;
+using wire::PutSigned;
+using wire::PutVarint;
+using wire::Reader;
+using wire::WrapAdd;
+using wire::WrapSub;
 
 }  // namespace
 
-void SerializeHistogram(const Histogram& histogram,
-                        std::vector<std::uint8_t>* out) {
+void SerializeHistogramModel(const HistogramModel& model,
+                             std::vector<std::uint8_t>* out) {
   PutVarint(kMagic, out);
   out->push_back(kVersion);
-  PutVarint(histogram.bucket_count(), out);
-  PutVarint(histogram.total(), out);
-  PutSigned(histogram.lower_fence(), out);
-  PutSigned(histogram.upper_fence(), out);
-  Value prev = histogram.lower_fence();
-  for (Value s : histogram.separators()) {
-    PutSigned(s - prev, out);
-    prev = s;
-  }
-  for (std::uint64_t c : histogram.counts()) PutVarint(c, out);
+  out->push_back(static_cast<std::uint8_t>(model.backend_id()));
+  model.SerializePayload(out);
 }
 
-Result<Histogram> DeserializeHistogram(std::span<const std::uint8_t> bytes,
-                                       std::size_t* consumed) {
+Result<HistogramModelPtr> DeserializeHistogramModel(
+    std::span<const std::uint8_t> bytes, std::size_t* consumed) {
   Reader reader(bytes);
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t magic, reader.Varint());
   if (magic != kMagic) {
     return Status::InvalidArgument("bad histogram magic");
   }
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t version, reader.Byte());
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported histogram version");
-  }
-  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t k, reader.Varint());
-  if (k == 0 || k > (1ULL << 32)) {
-    return Status::InvalidArgument("implausible bucket count");
-  }
-  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t total, reader.Varint());
-  EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t lower, reader.Signed());
-  EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t upper, reader.Signed());
-
-  std::vector<Value> separators;
-  separators.reserve(k - 1);
-  Value prev = lower;
-  for (std::uint64_t j = 0; j + 1 < k; ++j) {
-    EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t delta, reader.Signed());
-    prev += delta;
-    separators.push_back(prev);
-  }
-  std::vector<std::uint64_t> counts;
-  counts.reserve(k);
-  std::uint64_t sum = 0;
-  for (std::uint64_t j = 0; j < k; ++j) {
-    EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t c, reader.Varint());
-    counts.push_back(c);
-    sum += c;
-  }
-  if (sum != total) {
-    return Status::InvalidArgument("bucket counts do not sum to total");
+  HistogramBackendId backend_id = HistogramBackendId::kEquiHeight;
+  if (version == kVersion) {
+    EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t id_byte, reader.Byte());
+    backend_id = static_cast<HistogramBackendId>(id_byte);
+  } else if (version != kVersionEquiHeightOnly) {
+    return Status::InvalidArgument("unsupported histogram format version");
   }
   EQUIHIST_ASSIGN_OR_RETURN(
-      Histogram histogram,
-      Histogram::Create(std::move(separators), std::move(counts), lower,
-                        upper));
-  if (consumed != nullptr) *consumed = reader.position();
-  return histogram;
+      const HistogramBackendRegistry::Backend backend,
+      HistogramBackendRegistry::Global().Find(backend_id));
+  std::size_t payload_consumed = 0;
+  EQUIHIST_ASSIGN_OR_RETURN(
+      HistogramModelPtr model,
+      backend.deserialize_payload(bytes.subspan(reader.position()),
+                                  &payload_consumed));
+  const std::size_t total = reader.position() + payload_consumed;
+  if (consumed != nullptr) {
+    *consumed = total;
+  } else if (total != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after the histogram");
+  }
+  return model;
+}
+
+void SerializeHistogram(const Histogram& histogram,
+                        std::vector<std::uint8_t>* out) {
+  PutVarint(kMagic, out);
+  out->push_back(kVersion);
+  out->push_back(static_cast<std::uint8_t>(HistogramBackendId::kEquiHeight));
+  EquiHeightModel::SerializeEquiHeightPayload(histogram, out);
+}
+
+Result<Histogram> DeserializeHistogram(std::span<const std::uint8_t> bytes,
+                                       std::size_t* consumed) {
+  std::size_t used = 0;
+  EQUIHIST_ASSIGN_OR_RETURN(const HistogramModelPtr model,
+                            DeserializeHistogramModel(bytes, &used));
+  // Any equi-height-family model (plain or a GMP snapshot) carries a
+  // concrete Histogram; other families cannot satisfy this API.
+  const auto* equi = dynamic_cast<const EquiHeightModel*>(model.get());
+  if (equi == nullptr) {
+    return Status::InvalidArgument(
+        "the serialized histogram is not equi-height");
+  }
+  if (consumed != nullptr) {
+    *consumed = used;
+  } else if (used != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after the histogram");
+  }
+  return equi->histogram();
 }
 
 void SerializeColumnStatistics(const ColumnStatistics& stats,
                                std::vector<std::uint8_t>* out) {
-  SerializeHistogram(stats.histogram, out);
+  SerializeHistogramModel(*stats.model, out);
   PutF64(stats.density, out);
   PutF64(stats.distinct_estimate, out);
   PutVarint(stats.heavy_hitters.size(), out);
-  Value prev = stats.histogram.lower_fence();
+  Value prev = stats.model->lower_fence();
   for (const auto& h : stats.heavy_hitters) {
-    PutSigned(h.value - prev, out);
+    PutSigned(WrapSub(h.value, prev), out);
     prev = h.value;
     PutVarint(h.count, out);
   }
@@ -177,31 +110,36 @@ void SerializeColumnStatistics(const ColumnStatistics& stats,
 Result<ColumnStatistics> DeserializeColumnStatistics(
     std::span<const std::uint8_t> bytes) {
   std::size_t consumed = 0;
-  EQUIHIST_ASSIGN_OR_RETURN(Histogram histogram,
-                            DeserializeHistogram(bytes, &consumed));
+  EQUIHIST_ASSIGN_OR_RETURN(HistogramModelPtr model,
+                            DeserializeHistogramModel(bytes, &consumed));
   Reader reader(bytes.subspan(consumed));
-  ColumnStatistics stats{.histogram = std::move(histogram)};
+  ColumnStatistics stats;
+  stats.model = std::move(model);
   EQUIHIST_ASSIGN_OR_RETURN(stats.density, reader.F64());
   EQUIHIST_ASSIGN_OR_RETURN(stats.distinct_estimate, reader.F64());
-  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t hitters, reader.Varint());
-  if (hitters > (1ULL << 32)) {
-    return Status::InvalidArgument("implausible heavy-hitter count");
-  }
-  Value prev = stats.histogram.lower_fence();
+  // Each heavy hitter is at least two bytes (value delta + count), so a
+  // corrupted count cannot size an allocation past the buffer.
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t hitters,
+                            reader.LengthPrefixedCount(2));
+  stats.heavy_hitters.reserve(hitters);
+  Value prev = stats.model->lower_fence();
   for (std::uint64_t i = 0; i < hitters; ++i) {
     EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t delta, reader.Signed());
-    prev += delta;
+    prev = WrapAdd(prev, delta);
     EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t count, reader.Varint());
     stats.heavy_hitters.push_back(
         CompressedHistogram::Singleton{prev, count});
   }
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t flags, reader.Byte());
+  if (flags > 1) {
+    return Status::InvalidArgument("bad statistics flags");
+  }
   stats.from_full_scan = (flags & 1) != 0;
   EQUIHIST_ASSIGN_OR_RETURN(stats.sample_size, reader.Varint());
   EQUIHIST_ASSIGN_OR_RETURN(stats.row_count, reader.Varint());
-  // Loaded statistics serve reads immediately, so recompile the read-side
-  // estimator (it is derived state, never persisted).
-  stats.CompileEstimator();
+  if (consumed + reader.position() != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after the statistics");
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/histogram.h"
 #include "stats/column_statistics.h"
+#include "stats/histogram_model.h"
 
 namespace equihist {
 
@@ -17,28 +18,49 @@ namespace equihist {
 // delta/varint encoding under the same budget: a 600-step histogram over a
 // 64-bit integer column fits an 8 KB page with room to spare (tested).
 //
-// Format (version 1, little-endian varints):
-//   u32 magic 'EQHS' | u8 version | varint k | varint n
-//   zigzag-varint lower_fence | zigzag-varint upper_fence
-//   k-1 zigzag-varint separator deltas (first relative to lower_fence)
-//   k   varint bucket counts
-// Statistics add: f64 density | f64 distinct | varint heavy-hitter count |
-//   per hitter: zigzag-varint value delta, varint count | u8 flags |
-//   varint sample_size.
+// Container (version 2, little-endian varints):
+//   u32 magic 'EQHS' | u8 version | u8 backend id | backend payload
+// The backend id is a HistogramBackendId; the payload is owned end to end
+// by that backend's registered codec (HistogramModel::SerializePayload /
+// HistogramBackendRegistry::Backend::deserialize_payload), so new
+// histogram families round-trip with no change to this framing. The
+// equi-height payload is: varint k | varint n | zigzag lower_fence |
+// zigzag upper_fence | k-1 zigzag separator deltas | k varint counts.
 //
-// Deserialization validates structure and re-runs Histogram::Create's
-// invariant checks, so corrupted bytes yield Status, never UB.
+// Version 1 blobs (no backend-id byte; the payload is always equi-height)
+// are still readable: the reader treats `version == 1` as an implicit
+// equi-height tag.
+//
+// Statistics append after the container: f64 density | f64 distinct |
+//   varint heavy-hitter count | per hitter: zigzag value delta, varint
+//   count | u8 flags | varint sample_size | varint row_count.
+//
+// Deserialization validates everything — length prefixes against the
+// remaining buffer before any allocation, count sums against the claimed
+// total (with overflow checks), and the structural invariants of the
+// reassembled histogram — so corrupted bytes yield Status, never UB. The
+// whole-buffer entry points (any Deserialize* called with no `consumed`
+// out-parameter) additionally reject trailing garbage.
 
-// Appends the encoding of `histogram` to `out`.
+// Appends the container encoding of `model` to `out`.
+void SerializeHistogramModel(const HistogramModel& model,
+                             std::vector<std::uint8_t>* out);
+
+// Parses any registered backend's histogram from the front of `bytes`. On
+// success advances `*consumed` by the bytes read; when `consumed` is null
+// the model must span the whole buffer.
+Result<HistogramModelPtr> DeserializeHistogramModel(
+    std::span<const std::uint8_t> bytes, std::size_t* consumed = nullptr);
+
+// Equi-height convenience wrappers over the container (the historical
+// API). Deserialization accepts v1 blobs and v2 equi-height-family blobs;
+// other families fail with InvalidArgument.
 void SerializeHistogram(const Histogram& histogram,
                         std::vector<std::uint8_t>* out);
-
-// Parses a histogram from the front of `bytes`; on success advances
-// `*consumed` by the number of bytes read (if non-null).
 Result<Histogram> DeserializeHistogram(std::span<const std::uint8_t> bytes,
                                        std::size_t* consumed = nullptr);
 
-// Whole-statistics round trip.
+// Whole-statistics round trip. Serialization requires stats.model.
 void SerializeColumnStatistics(const ColumnStatistics& stats,
                                std::vector<std::uint8_t>* out);
 Result<ColumnStatistics> DeserializeColumnStatistics(

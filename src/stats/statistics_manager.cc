@@ -41,19 +41,23 @@ ThreadPool* StatisticsManager::pool() {
   return pool_.get();
 }
 
-Result<ColumnStatistics> StatisticsManager::Build(const Table& table,
+Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
+                                                  const Table& table,
                                                   std::uint64_t seed,
                                                   ThreadPool* build_pool) {
-  if (options_.prefer_sampling) {
-    CvbOptions cvb;
-    cvb.k = options_.buckets;
-    cvb.f = options_.f;
-    cvb.gamma = options_.gamma;
-    cvb.seed = seed;
-    cvb.threads = 1;  // the manager's pool is passed in explicitly
-    return BuildStatisticsSampled(table, cvb, build_pool);
-  }
-  return BuildStatisticsFullScan(table, options_.buckets, build_pool);
+  BackendBuildOptions build;
+  build.backend = options_.default_backend;
+  const auto it = options_.column_backends.find(column);
+  if (it != options_.column_backends.end()) build.backend = it->second;
+  build.buckets = options_.buckets;
+  build.f = options_.f;
+  build.gamma = options_.gamma;
+  build.prefer_sampling = options_.prefer_sampling;
+  build.seed = seed;
+  // The equi-height default routes through the CVB / full-scan pipelines
+  // exactly as before; other backends sample once and build through the
+  // registry.
+  return BuildStatisticsWithBackend(table, build, build_pool);
 }
 
 std::shared_ptr<StatisticsManager::Entry> StatisticsManager::GetEntry(
@@ -99,20 +103,20 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
   const std::uint64_t seed =
       DeriveStreamSeed(options_.seed ^ HashColumnName(column), generation);
   EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats,
-                            Build(table, seed, pool()));
+                            Build(column, table, seed, pool()));
   auto snapshot = std::make_shared<const ColumnStatistics>(std::move(stats));
-  // The Build* factories compile the read-side estimator as part of the
-  // build (outside any manager lock); hand the same compilation to the
-  // serving path. Guard anyway — a null estimator must never publish.
-  std::shared_ptr<const CompiledEstimator> compiled = snapshot->compiled;
-  if (compiled == nullptr) {
-    compiled = std::make_shared<const CompiledEstimator>(snapshot->histogram);
+  // The build factories produce the model (with any compiled read-path
+  // state) outside any manager lock; the serving path shares it. A
+  // model-less snapshot must never publish — the serving path would have
+  // nothing to estimate with.
+  if (snapshot->model == nullptr) {
+    return Status::Internal("built statistics carry no histogram model");
   }
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     total_build_cost_ += snapshot->build_cost;
     entry->stats = snapshot;
-    entry->compiled = std::move(compiled);
+    entry->model = snapshot->model;
     entry->generation = generation + 1;
     // Release-publish so a serving thread that observes the new counter
     // also observes the snapshot it validates.
@@ -261,7 +265,7 @@ Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
         // mutate both under the exclusive lock we are sharing against.
         fresh.published = entry->published.load(std::memory_order_acquire);
         fresh.stats = entry->stats;
-        fresh.compiled = entry->compiled;
+        fresh.model = entry->model;
       }
     }
     if (entry != nullptr) {
@@ -298,7 +302,7 @@ Result<double> StatisticsManager::EstimateRange(const std::string& column,
                              std::memory_order_acquire) != slot->published) {
     EQUIHIST_ASSIGN_OR_RETURN(slot, RefreshServing(column, table));
   }
-  return slot->compiled->EstimateRangeCount(query);
+  return slot->model->EstimateRangeCount(query);
 }
 
 Status StatisticsManager::EstimateRanges(const std::string& column,
@@ -315,8 +319,8 @@ Status StatisticsManager::EstimateRanges(const std::string& column,
                              std::memory_order_acquire) != slot->published) {
     EQUIHIST_ASSIGN_OR_RETURN(slot, RefreshServing(column, table));
   }
-  slot->compiled->EstimateRangeCounts(queries, out,
-                                      use_pool ? pool() : nullptr);
+  slot->model->EstimateRangeCounts(queries, out,
+                                   use_pool ? pool() : nullptr);
   return Status::OK();
 }
 

@@ -13,8 +13,8 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
-#include "core/compiled_estimator.h"
 #include "stats/column_statistics.h"
+#include "stats/histogram_model.h"
 #include "storage/table.h"
 
 namespace equihist {
@@ -54,6 +54,12 @@ class StatisticsManager {
     double staleness_threshold = 0.2;
     // Build by sampling (CVB) rather than by full scan.
     bool prefer_sampling = true;
+    // Histogram family used for builds: `default_backend` unless the
+    // column has an entry in `column_backends`. Any backend registered in
+    // HistogramBackendRegistry::Global() — built-in or external — works;
+    // the serving path is family-agnostic.
+    HistogramBackendId default_backend = HistogramBackendId::kEquiHeight;
+    std::map<std::string, HistogramBackendId> column_backends{};
     std::uint64_t seed = 99;
     // Worker threads shared by every build issued through this manager
     // (block reads, sample sorting, BuildAll fan-out): 0 = one per
@@ -92,8 +98,10 @@ class StatisticsManager {
   // -- Lock-free serving path ------------------------------------------------
   //
   // The hot optimizer entry points. Estimates run against the column's
-  // current immutable snapshot through its CompiledEstimator (O(log k) per
-  // query). Each thread keeps a small snapshot cache keyed by (manager,
+  // current immutable snapshot through its HistogramModel (the equi-height
+  // family serves via the compiled O(log k) read path, other backends via
+  // their own estimators). Each thread keeps a small snapshot cache keyed
+  // by (manager,
   // column) and validated by a per-entry publication counter; while
   // statistics are unchanged the whole call is lock-free — one relaxed
   // string-keyed cache probe plus one atomic load, no mutex, no shared_ptr
@@ -139,9 +147,9 @@ class StatisticsManager {
     // Immutable snapshot, swapped atomically under mu_; null while the
     // first build is in flight.
     std::shared_ptr<const ColumnStatistics> stats;
-    // The snapshot's read-side estimator; set together with `stats` under
-    // mu_ (compiled outside any lock).
-    std::shared_ptr<const CompiledEstimator> compiled;
+    // The snapshot's servable histogram model (any backend family); set
+    // together with `stats` under mu_, built outside any lock.
+    HistogramModelPtr model;
     std::atomic<std::uint64_t> modifications_since_build{0};
     std::uint64_t generation = 0;  // # builds completed, guarded by mu_
     std::mutex build_mu;           // serializes builds of this column
@@ -161,11 +169,11 @@ class StatisticsManager {
     std::uint64_t published = 0;
     std::shared_ptr<Entry> entry;
     std::shared_ptr<const ColumnStatistics> stats;
-    std::shared_ptr<const CompiledEstimator> compiled;
+    HistogramModelPtr model;
   };
 
-  Result<ColumnStatistics> Build(const Table& table, std::uint64_t seed,
-                                 ThreadPool* pool);
+  Result<ColumnStatistics> Build(const std::string& column, const Table& table,
+                                 std::uint64_t seed, ThreadPool* pool);
   // Finds or creates the entry node for `column`.
   std::shared_ptr<Entry> GetEntry(const std::string& column);
   // Serializes on entry->build_mu, re-checks whether a build is still

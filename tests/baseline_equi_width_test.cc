@@ -126,6 +126,52 @@ TEST(EquiWidthTest, WorseThanEquiHeightOnSkewedRangeWorkload) {
   EXPECT_GT(width_worst, 2.0 * height_worst);
 }
 
+TEST(EquiWidthTest, DifferentialAgainstCoreEstimatorOnSameBuckets) {
+  // An equi-width histogram is structurally an equi-height histogram whose
+  // separators happen to be width-derived. On identical buckets the two
+  // estimators must agree bit for bit: same fence clamping, same
+  // degenerate-range rules, same interpolation, same accumulation order.
+  const auto freq = MakeZipf({.n = 60000, .domain_size = 3000, .skew = 1.2});
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  for (const std::uint64_t k : {1u, 7u, 32u, 200u}) {
+    const auto width = EquiWidthHistogram::Build(data, k);
+    ASSERT_TRUE(width.ok());
+    std::vector<Value> separators;
+    for (std::uint64_t j = 0; j + 1 < k; ++j) {
+      separators.push_back(width->BucketUpperBound(j));
+    }
+    const auto core = Histogram::Create(separators, width->counts(),
+                                        width->lo(), width->hi());
+    ASSERT_TRUE(core.ok());
+    Rng rng(11 + k);
+    for (int i = 0; i < 2000; ++i) {
+      // Endpoints beyond the fences and inverted/empty ranges included on
+      // purpose: the clamping and hi <= lo paths must match too.
+      const Value a = rng.NextInRange(width->lo() - 100, width->hi() + 100);
+      const Value b = rng.NextInRange(width->lo() - 100, width->hi() + 100);
+      const RangeQuery q{a, b};
+      EXPECT_DOUBLE_EQ(width->EstimateRangeCount(q),
+                       EstimateRangeCount(*core, q))
+          << "k=" << k << " lo=" << a << " hi=" << b;
+    }
+  }
+}
+
+TEST(EquiWidthTest, DegenerateRangesMatchCoreSemantics) {
+  const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(1000));
+  const auto h = EquiWidthHistogram::Build(data, 10);
+  ASSERT_TRUE(h.ok());
+  // hi <= lo is empty under the half-open (lo, hi] convention.
+  EXPECT_EQ(h->EstimateRangeCount({500, 500}), 0.0);
+  EXPECT_EQ(h->EstimateRangeCount({700, 300}), 0.0);
+  // Entirely outside the fences.
+  EXPECT_EQ(h->EstimateRangeCount({-500, -100}), 0.0);
+  EXPECT_EQ(h->EstimateRangeCount({2000, 3000}), 0.0);
+  // Straddling a fence clamps to it rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h->EstimateRangeCount({-500, 1500}),
+                   h->EstimateRangeCount({h->lo(), h->hi()}));
+}
+
 TEST(EquiWidthTest, Validation) {
   const ValueSet data = ValueSet::FromFrequencies(*MakeAllDistinct(10));
   EXPECT_FALSE(EquiWidthHistogram::Build(data, 0).ok());

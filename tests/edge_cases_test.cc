@@ -98,7 +98,7 @@ TEST(EdgeCaseTest, NegativeValuesEndToEnd) {
   SerializeColumnStatistics(*stats, &bytes);
   const auto restored = DeserializeColumnStatistics(bytes);
   ASSERT_TRUE(restored.ok());
-  EXPECT_EQ(restored->histogram.lower_fence(), stats->histogram.lower_fence());
+  EXPECT_EQ(restored->histogram().lower_fence(), stats->histogram().lower_fence());
 }
 
 TEST(EdgeCaseTest, ExtremeDomainBoundsSurviveSerialization) {

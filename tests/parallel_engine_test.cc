@@ -329,9 +329,9 @@ TEST(ParallelStatsBuildTest, FullScanBuildIdenticalAcrossThreadCounts) {
     ThreadPool pool(threads);
     const auto parallel = BuildStatisticsFullScan(table, 64, &pool);
     ASSERT_TRUE(parallel.ok());
-    EXPECT_EQ(parallel->histogram.separators(),
-              serial->histogram.separators());
-    EXPECT_EQ(parallel->histogram.counts(), serial->histogram.counts());
+    EXPECT_EQ(parallel->histogram().separators(),
+              serial->histogram().separators());
+    EXPECT_EQ(parallel->histogram().counts(), serial->histogram().counts());
     EXPECT_EQ(parallel->row_count, serial->row_count);
     EXPECT_DOUBLE_EQ(parallel->distinct_estimate, serial->distinct_estimate);
     EXPECT_EQ(parallel->build_cost.pages_read, serial->build_cost.pages_read);

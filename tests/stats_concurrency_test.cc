@@ -75,7 +75,7 @@ TEST(StatsConcurrencyTest, MixedReadersWritersAndRebuilds) {
           continue;
         }
         // Touch the snapshot: safe even if the entry is rebuilt right now.
-        if ((*stats)->histogram.bucket_count() == 0) failures.fetch_add(1);
+        if ((*stats)->histogram().bucket_count() == 0) failures.fetch_add(1);
         (void)manager.IsStale(columns[i % columns.size()]);
       }
     });
@@ -156,11 +156,11 @@ TEST(StatsConcurrencyTest, BuildAllMatchesSerialBuilds) {
     const auto from_parallel = parallel.GetOrBuildShared(c, table);
     ASSERT_TRUE(from_serial.ok());
     ASSERT_TRUE(from_parallel.ok());
-    EXPECT_EQ((*from_serial)->histogram.separators(),
-              (*from_parallel)->histogram.separators())
+    EXPECT_EQ((*from_serial)->histogram().separators(),
+              (*from_parallel)->histogram().separators())
         << "column " << c;
-    EXPECT_EQ((*from_serial)->histogram.counts(),
-              (*from_parallel)->histogram.counts());
+    EXPECT_EQ((*from_serial)->histogram().counts(),
+              (*from_parallel)->histogram().counts());
     EXPECT_EQ((*from_serial)->sample_size, (*from_parallel)->sample_size);
   }
 }
@@ -274,6 +274,61 @@ TEST(StatsConcurrencyTest, ConcurrentServingDuringRebuildsAndDrops) {
   });
   threads.emplace_back([&]() {
     for (int i = 0; i < 10; ++i) manager.Drop(columns[i % columns.size()]);
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StatsConcurrencyTest, MixedBackendServingDuringRebuildsAndDrops) {
+  // Same race as above, but every column is served by a different histogram
+  // backend: the snapshot-cache protocol must be family-agnostic. Under
+  // TSan this proves the serving path never mixes a column's old model with
+  // a new snapshot while Drop/rebuild swap entries underneath.
+  Table table = SmallTable();
+  StatisticsManager::Options options;
+  options.buckets = 24;
+  options.f = 0.3;
+  options.staleness_threshold = 0.05;
+  options.threads = 2;
+  options.column_backends["eh"] = HistogramBackendId::kEquiHeight;
+  options.column_backends["ew"] = HistogramBackendId::kEquiWidth;
+  options.column_backends["cp"] = HistogramBackendId::kCompressed;
+  options.column_backends["gm"] = HistogramBackendId::kGmpIncremental;
+  StatisticsManager manager(options);
+  const std::vector<std::string> columns = {"eh", "ew", "cp", "gm"};
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 150; ++i) {
+        const std::string& column = columns[(t + i) % columns.size()];
+        const auto estimate =
+            manager.EstimateRange(column, table, {100, 30000 + i});
+        if (!estimate.ok() || !(*estimate >= 0.0) ||
+            *estimate > static_cast<double>(table.tuple_count()) + 1.0) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // A served snapshot must carry the column's configured family.
+        const auto snapshot = manager.GetOrBuildShared(column, table);
+        if (!snapshot.ok() || (*snapshot)->model == nullptr ||
+            (*snapshot)->model->backend_id() !=
+                options.column_backends.at(column)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 20; ++i) {
+      manager.RecordModifications(columns[i % columns.size()],
+                                  table.tuple_count() / 4);
+      (void)manager.EnsureFreshShared(columns[i % columns.size()], table);
+    }
+  });
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 12; ++i) manager.Drop(columns[i % columns.size()]);
   });
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);

@@ -108,8 +108,8 @@ TEST(ColumnStatisticsSerializationTest, RoundTrip) {
   SerializeColumnStatistics(*stats, &bytes);
   const auto restored = DeserializeColumnStatistics(bytes);
   ASSERT_TRUE(restored.ok());
-  EXPECT_EQ(restored->histogram.separators(), stats->histogram.separators());
-  EXPECT_EQ(restored->histogram.counts(), stats->histogram.counts());
+  EXPECT_EQ(restored->histogram().separators(), stats->histogram().separators());
+  EXPECT_EQ(restored->histogram().counts(), stats->histogram().counts());
   EXPECT_DOUBLE_EQ(restored->density, stats->density);
   EXPECT_DOUBLE_EQ(restored->distinct_estimate, stats->distinct_estimate);
   EXPECT_EQ(restored->heavy_hitters, stats->heavy_hitters);
