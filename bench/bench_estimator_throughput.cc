@@ -9,6 +9,15 @@
 //   batch: queries/second of the batch API EstimateRangeCounts at 1/2/4/8
 //     worker threads, which must scale near-linearly to 4 threads since
 //     queries are independent and the pool only shards them.
+//   manager_serving: the DESIGN.md §11 robustness guard — ns/query of
+//     StatisticsManager::EstimateRange (fault hooks compiled in, no
+//     injector attached) vs the raw model path, measured twice: on a
+//     healthy column and again while the column sits in stale-while-error
+//     degradation (fault injector attached, a rebuild failed, breaker
+//     bookkeeping populated). All three runs must produce bitwise-equal
+//     estimate sums — a failed rebuild never republishes — and the
+//     degraded/healthy ratio shows the fault machinery adds nothing to
+//     the serving fast path.
 //
 // Every configuration first cross-checks compiled vs reference estimates
 // on a query subsample (the documented ulp-level tolerance); a mismatch
@@ -34,6 +43,8 @@
 #include "common/thread_pool.h"
 #include "core/compiled_estimator.h"
 #include "core/range_estimator.h"
+#include "stats/statistics_manager.h"
+#include "storage/fault_injection.h"
 
 namespace {
 
@@ -67,6 +78,21 @@ struct KReport {
   std::uint64_t actual_buckets = 0;
   std::vector<SingleThreadRow> single_thread;
   std::vector<BatchRow> batch;
+};
+
+// The §11 serving guard: raw model path vs manager fast path, healthy and
+// then degraded (stale-while-error with a fault injector attached).
+struct ManagerServingReport {
+  std::uint64_t n = 0;
+  std::uint64_t buckets = 0;
+  std::uint64_t queries = 0;
+  double direct_ns_per_query = 0.0;
+  double healthy_ns_per_query = 0.0;
+  double degraded_ns_per_query = 0.0;
+  double healthy_overhead_vs_direct = 0.0;
+  double degraded_vs_healthy = 0.0;
+  bool estimates_identical = false;  // all three sums bitwise equal
+  bool degradation_established = false;
 };
 
 double ElapsedNs(const std::chrono::steady_clock::time_point start) {
@@ -126,7 +152,8 @@ bool Verified(const Histogram& histogram, const CompiledEstimator& compiled,
   return true;
 }
 
-std::string ToJson(const std::vector<KReport>& reports, std::uint64_t n,
+std::string ToJson(const std::vector<KReport>& reports,
+                   const ManagerServingReport& serving, std::uint64_t n,
                    std::size_t queries_per_class) {
   std::ostringstream os;
   os << "{\n";
@@ -135,6 +162,24 @@ std::string ToJson(const std::vector<KReport>& reports, std::uint64_t n,
   os << "  \"queries_per_class\": " << queries_per_class << ",\n";
   os << "  \"host\": {\"hardware_concurrency\": "
      << std::thread::hardware_concurrency() << "},\n";
+  os << "  \"manager_serving\": {\n";
+  os << "    \"n\": " << serving.n << ", \"buckets\": " << serving.buckets
+     << ", \"queries\": " << serving.queries << ",\n";
+  os << "    \"direct_ns_per_query\": " << serving.direct_ns_per_query
+     << ",\n";
+  os << "    \"healthy_ns_per_query\": " << serving.healthy_ns_per_query
+     << ",\n";
+  os << "    \"degraded_ns_per_query\": " << serving.degraded_ns_per_query
+     << ",\n";
+  os << "    \"healthy_overhead_vs_direct\": "
+     << serving.healthy_overhead_vs_direct << ",\n";
+  os << "    \"degraded_vs_healthy\": " << serving.degraded_vs_healthy
+     << ",\n";
+  os << "    \"estimates_identical\": "
+     << (serving.estimates_identical ? "true" : "false") << ",\n";
+  os << "    \"degradation_established\": "
+     << (serving.degradation_established ? "true" : "false") << "\n";
+  os << "  },\n";
   os << "  \"configurations\": [\n";
   for (std::size_t r = 0; r < reports.size(); ++r) {
     const KReport& report = reports[r];
@@ -165,8 +210,8 @@ std::string ToJson(const std::vector<KReport>& reports, std::uint64_t n,
 
 }  // namespace
 
-int main() {
-  const bench::Scale scale = bench::GetScale();
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::GetScale(argc, argv);
   bench::PrintBanner("PERF3", "Compiled estimator serving throughput", scale);
 
   const std::size_t queries_per_class = scale.full ? 200000 : 50000;
@@ -288,7 +333,136 @@ int main() {
     reports.push_back(std::move(report));
   }
 
-  const std::string json = ToJson(reports, scale.default_n, queries_per_class);
+  // -- manager serving overhead (the DESIGN.md §11 robustness guard) -------
+  //
+  // The fault-tolerance machinery (retry, health bookkeeping, breaker,
+  // fallback) lives entirely in the build/slow paths; serving must cost
+  // the same with it compiled in. Three timings over one query mix:
+  //   direct:   ColumnStatistics::EstimateRangeCount on the snapshot — the
+  //             raw model/compiled path with no manager in front.
+  //   healthy:  StatisticsManager::EstimateRange on a fresh column (fault
+  //             hooks compiled but no injector attached).
+  //   degraded: the same calls while the column is stale-while-error — a
+  //             fault injector is attached and a rebuild has failed, so
+  //             the degraded-serving state is fully populated.
+  // All three accumulate the same sum bitwise (same published snapshot,
+  // same iteration order); a mismatch — or a degraded run that issues even
+  // one storage read — fails the bench.
+  ManagerServingReport serving;
+  {
+    const std::uint64_t mgr_n = std::min<std::uint64_t>(scale.default_n,
+                                                        200000);
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(mgr_n, 1.0, LayoutKind::kRandom, 64, 2026);
+    StatisticsManager::Options options;
+    options.buckets = scale.k;
+    options.seed = 17;
+    options.threads = 1;
+    StatisticsManager manager(options);
+    const std::string column = "bench.col";
+    const auto snapshot = manager.GetOrBuildShared(column, dataset.table);
+    if (!snapshot.ok()) {
+      std::cerr << "manager build failed: " << snapshot.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const ColumnStatistics& stats = **snapshot;
+    const Value lf = stats.histogram().lower_fence();
+    const Value uf = stats.histogram().upper_fence();
+    const auto domain =
+        static_cast<std::uint64_t>(static_cast<double>(uf - lf));
+    Rng rng(2026);
+    std::vector<RangeQuery> queries = MakeQueries(rng, lf, uf, 1,
+                                                  queries_per_class / 3);
+    {
+      auto narrow = MakeQueries(rng, lf, uf,
+                                std::max<std::uint64_t>(domain / 1000, 2),
+                                queries_per_class / 3);
+      auto wide = MakeQueries(rng, lf, uf, domain / 2, queries_per_class / 3);
+      queries.insert(queries.end(), narrow.begin(), narrow.end());
+      queries.insert(queries.end(), wide.begin(), wide.end());
+    }
+    serving.n = mgr_n;
+    serving.buckets = stats.histogram().bucket_count();
+    serving.queries = queries.size();
+
+    const auto direct_pass = [&]() {
+      double acc = 0.0;
+      for (const RangeQuery& q : queries) acc += stats.EstimateRangeCount(q);
+      return acc;
+    };
+    const auto manager_pass = [&]() {
+      double acc = 0.0;
+      for (const RangeQuery& q : queries) {
+        const auto est = manager.EstimateRange(column, dataset.table, q);
+        acc += est.ok() ? *est : 0.0;
+      }
+      return acc;
+    };
+
+    const double direct_sum = direct_pass();
+    const double healthy_sum = manager_pass();
+    const double count = static_cast<double>(queries.size());
+    serving.direct_ns_per_query = BestNs(direct_pass, &sink) / count;
+    serving.healthy_ns_per_query = BestNs(manager_pass, &sink) / count;
+
+    // Push the column into stale-while-error: every page read now fails,
+    // so the forced rebuild is absorbed and the old snapshot keeps
+    // serving with the breaker/health bookkeeping populated. The injector
+    // stays attached during the timing — the serving path must not touch
+    // storage at all.
+    manager.RecordModifications(column, mgr_n);
+    FaultSpec spec;
+    spec.lost_probability = 1.0;
+    FaultInjector injector(spec);
+    dataset.table.set_fault_injector(&injector);
+    const auto refreshed = manager.EnsureFresh(column, dataset.table);
+    const ColumnHealthReport health = manager.Health(column);
+    serving.degradation_established = refreshed.ok() &&
+                                      health.health == ColumnHealth::kStale &&
+                                      health.total_build_failures > 0;
+    const std::uint64_t reads_before =
+        injector.lost_injected() + injector.transient_injected();
+    const double degraded_sum = manager_pass();
+    serving.degraded_ns_per_query = BestNs(manager_pass, &sink) / count;
+    const std::uint64_t reads_after =
+        injector.lost_injected() + injector.transient_injected();
+    dataset.table.set_fault_injector(nullptr);
+
+    serving.estimates_identical =
+        direct_sum == healthy_sum && healthy_sum == degraded_sum;
+    serving.healthy_overhead_vs_direct =
+        serving.direct_ns_per_query > 0.0
+            ? serving.healthy_ns_per_query / serving.direct_ns_per_query
+            : 0.0;
+    serving.degraded_vs_healthy =
+        serving.healthy_ns_per_query > 0.0
+            ? serving.degraded_ns_per_query / serving.healthy_ns_per_query
+            : 0.0;
+    if (!serving.estimates_identical) {
+      std::cerr << "ERROR: manager serving sums diverge: direct="
+                << direct_sum << " healthy=" << healthy_sum
+                << " degraded=" << degraded_sum << "\n";
+      all_verified = false;
+    }
+    if (!serving.degradation_established) {
+      std::cerr << "ERROR: stale-while-error state was not established\n";
+      all_verified = false;
+    }
+    if (reads_after != reads_before) {
+      std::cerr << "ERROR: degraded serving issued "
+                << (reads_after - reads_before) << " storage reads\n";
+      all_verified = false;
+    }
+    std::cerr << "  manager serving: direct=" << serving.direct_ns_per_query
+              << " ns/q, healthy=" << serving.healthy_ns_per_query
+              << " ns/q (x" << serving.healthy_overhead_vs_direct
+              << "), degraded=" << serving.degraded_ns_per_query << " ns/q (x"
+              << serving.degraded_vs_healthy << " vs healthy)\n";
+  }
+
+  const std::string json =
+      ToJson(reports, serving, scale.default_n, queries_per_class);
   std::cout << json;
   std::ofstream file("BENCH_estimator_throughput.json");
   file << json;

@@ -1,0 +1,87 @@
+#ifndef EQUIHIST_COMMON_RETRY_H_
+#define EQUIHIST_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace equihist {
+
+// Bounded retry with deterministic exponential backoff, the policy every
+// fault-tolerant read path in the library shares. Only kUnavailable is
+// retried: transient faults are the one failure class where repeating the
+// identical operation can succeed. kDataLoss / kNotFound and friends fail
+// immediately — retrying a lost page only burns the fault budget.
+//
+// The backoff schedule is a pure function of the attempt number (no
+// jitter), so tests can assert the exact delay sequence and two builds
+// with the same faults behave identically.
+struct RetryPolicy {
+  // Total tries including the first. 1 disables retrying entirely; 0 is
+  // treated as 1.
+  std::uint32_t max_attempts = 3;
+  // Backoff before retry i (1-based) is base << (i - 1), capped. The
+  // default base of zero makes retries immediate — the simulated storage
+  // layer has no congestion to wait out — while real deployments (and the
+  // backoff unit tests) set a base.
+  std::uint64_t base_backoff_micros = 0;
+  std::uint64_t max_backoff_micros = 10'000;
+
+  // Deterministic backoff before retry attempt `retry` (1-based: the delay
+  // taken after the retry-th failure). Saturates at max_backoff_micros.
+  std::uint64_t BackoffMicros(std::uint32_t retry) const {
+    if (base_backoff_micros == 0 || retry == 0) return 0;
+    const std::uint32_t shift = retry - 1;
+    // 2^shift overflows past 63; everything that large is capped anyway.
+    if (shift >= 63) return max_backoff_micros;
+    const std::uint64_t factor = std::uint64_t{1} << shift;
+    if (base_backoff_micros > max_backoff_micros / factor) {
+      return max_backoff_micros;
+    }
+    return base_backoff_micros * factor;
+  }
+
+  std::uint32_t EffectiveAttempts() const {
+    return max_attempts == 0 ? 1 : max_attempts;
+  }
+};
+
+namespace internal {
+// Uniform code access for Status and Result<T>.
+inline StatusCode CodeOf(const Status& status) { return status.code(); }
+template <typename R>
+StatusCode CodeOf(const R& result) {
+  return result.status().code();
+}
+}  // namespace internal
+
+// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts
+// times, sleeping the deterministic backoff between tries, retrying only
+// while the result is kUnavailable. Returns the last result either way.
+// When `retries` is non-null it is incremented once per retry actually
+// taken — the hook the I/O accounting (IoStats::transient_retries) uses.
+template <typename Fn>
+auto RetryTransient(const RetryPolicy& policy, Fn&& fn,
+                    std::uint64_t* retries = nullptr) -> decltype(fn()) {
+  const std::uint32_t attempts = policy.EffectiveAttempts();
+  auto result = fn();
+  for (std::uint32_t retry = 1;
+       retry < attempts && !result.ok() &&
+       IsTransientError(internal::CodeOf(result));
+       ++retry) {
+    const std::uint64_t backoff = policy.BackoffMicros(retry);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    if (retries != nullptr) ++*retries;
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_RETRY_H_

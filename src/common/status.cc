@@ -16,6 +16,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotFound";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

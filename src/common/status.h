@@ -25,7 +25,21 @@ enum class StatusCode {
   kNotFound = 4,
   // Internal invariant violation: indicates a bug in this library.
   kInternal = 5,
+  // A transient failure (e.g. an injected or real intermittent read
+  // error). Retrying the same operation may succeed; the retry layer
+  // (common/retry.h) treats exactly this code as retryable.
+  kUnavailable = 6,
+  // Data is permanently gone or failed integrity checks (lost page,
+  // checksum mismatch). Retrying cannot help; callers must skip, resample,
+  // or degrade.
+  kDataLoss = 7,
 };
+
+// True for codes a bounded retry can plausibly clear (currently only
+// kUnavailable).
+inline bool IsTransientError(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 // Returns a stable, human-readable name such as "InvalidArgument".
 std::string_view StatusCodeToString(StatusCode code);
@@ -63,6 +77,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "common/parallel_sort.h"
 #include "common/rng.h"
@@ -98,13 +99,41 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
 
   Rng rng(options.seed);
   IncrementalBlockSampler sampler(&table, rng.Next(), pool);
+  sampler.set_retry_policy(options.retry);
 
   CvbResult result{
       .histogram = Histogram::Create({}, {1}, 0, 1).value()  // placeholder
   };
 
+  // Per-build fault budget: every block the sampler gives up on (after
+  // retry) was replaced by a fresh uniform draw, but past the budget the
+  // sample is suspect and the build fails loudly instead.
+  auto check_fault_budget = [&]() -> Status {
+    if (sampler.pages_skipped() > options.max_skipped_blocks) {
+      return Status::DataLoss(
+          "CVB fault budget exhausted: " +
+          std::to_string(sampler.pages_skipped()) +
+          " blocks permanently unreadable (budget " +
+          std::to_string(options.max_skipped_blocks) + ") after reading " +
+          std::to_string(result.io.pages_read) + " blocks");
+    }
+    return Status::OK();
+  };
+  auto exhausted_error = [&]() -> Status {
+    return Status::ResourceExhausted(
+        "table exhausted before CVB validation passed: read " +
+        std::to_string(result.io.pages_read) + " blocks, skipped " +
+        std::to_string(sampler.pages_skipped()) + " unreadable blocks");
+  };
+
   // Step 2/3: initial sample and histogram H0.
   std::vector<Value> batch = sampler.NextBatch(g0, &result.io);
+  EQUIHIST_RETURN_IF_ERROR(check_fault_budget());
+  if (batch.empty()) {
+    // g0 >= 1, so an empty initial batch means every page the sampler
+    // touched was permanently unreadable — nothing to build from.
+    return exhausted_error();
+  }
   Sample accumulated(std::move(batch), pool);
   EQUIHIST_ASSIGN_OR_RETURN(
       Histogram current,
@@ -126,13 +155,14 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
     }
     IoStats batch_io;
     batch = sampler.NextBatch(want_blocks, &batch_io, &offsets);
+    result.io += batch_io;
+    EQUIHIST_RETURN_IF_ERROR(check_fault_budget());
     if (batch.empty()) {
       // Table exhausted before convergence: the accumulated sample is the
-      // whole table, so the "approximate" histogram is in fact exact.
+      // whole *readable* table — exact when nothing was skipped.
       result.exhausted_table = true;
       break;
     }
-    result.io += batch_io;
 
     CvbIterationLog entry;
     entry.iteration = i;
@@ -201,7 +231,14 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
     }
   }
 
+  result.blocks_skipped = sampler.pages_skipped();
   if (result.exhausted_table && !result.converged) {
+    if (result.blocks_skipped > 0 || !options.allow_exhaustive_fallback) {
+      // With skips, the "whole table" sample is silently missing the
+      // unreadable pages — not exact, so don't pretend it is. Without the
+      // fallback, the caller demanded convergence-by-validation.
+      return exhausted_error();
+    }
     // Fold in whatever was read; with the whole file sampled the
     // accumulated sample equals the column and the histogram is perfect.
     EQUIHIST_ASSIGN_OR_RETURN(

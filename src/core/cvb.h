@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/compressed_histogram.h"
 #include "core/histogram.h"
@@ -110,6 +111,23 @@ struct CvbOptions {
   // every setting — the parallel stages shard work by problem size, not
   // thread count, and all RNG streams stay sequential.
   std::uint64_t threads = 0;
+  // Fault tolerance (DESIGN.md §11). Transient read faults are retried per
+  // `retry`; blocks that stay unreadable are skipped and replaced with
+  // fresh uniformly-drawn blocks (the sampler's resample path, which keeps
+  // the accumulated sample uniform over the readable pages). The build
+  // aborts with kDataLoss once more than `max_skipped_blocks` blocks have
+  // been given up on — a budget on how much of the table may silently be
+  // missing from the sample.
+  RetryPolicy retry{};
+  std::uint64_t max_skipped_blocks = 64;
+  // When the table is exhausted before the validation passes and *no*
+  // blocks were skipped, the accumulated sample is the whole table and the
+  // histogram is exact — by default that is returned as a success with
+  // exhausted_table set. Set false to demand convergence-by-validation and
+  // get kResourceExhausted instead. Exhaustion with skipped blocks always
+  // returns kResourceExhausted: the histogram would be silently missing
+  // the unreadable pages' tuples.
+  bool allow_exhaustive_fallback = true;
 };
 
 struct CvbIterationLog {
@@ -128,6 +146,10 @@ struct CvbResult {
   bool exhausted_table = false;   // sampled every page (histogram is exact)
   std::uint64_t iterations = 0;
   std::uint64_t blocks_sampled = 0;
+  // Blocks permanently unreadable after retry, each replaced by a fresh
+  // uniformly-drawn block (also in io.pages_skipped). Zero on healthy
+  // storage.
+  std::uint64_t blocks_skipped = 0;
   std::uint64_t tuples_sampled = 0;
   double sampling_fraction = 0.0; // tuples_sampled / n
   IoStats io{};
@@ -144,8 +166,12 @@ struct CvbResult {
 };
 
 // Runs CVB over `table`. Returns InvalidArgument for bad options. If the
-// table is exhausted before the validation passes, the result carries the
-// exact histogram with exhausted_table = true and converged = false.
+// table is exhausted before the validation passes and no blocks were
+// skipped, the result carries the exact histogram with exhausted_table =
+// true and converged = false (unless options.allow_exhaustive_fallback is
+// off — then kResourceExhausted). Exhaustion after skips, or a skip count
+// above options.max_skipped_blocks, fails with a typed error whose message
+// carries the blocks-read / blocks-skipped accounting.
 // When `pool` is non-null it is used for the parallel stages (and
 // options.threads is ignored); otherwise a pool is created per
 // options.threads when that resolves to more than one thread.

@@ -6,22 +6,39 @@
 namespace equihist {
 namespace {
 
-void AppendPage(const Table& table, std::uint64_t page_id, IoStats* stats,
-                std::vector<Value>& out) {
-  Result<const Page*> page = table.file().ReadPage(page_id, stats);
-  assert(page.ok());
+// Reads one page with retry and appends its tuples. Permanent failures
+// propagate as the page's typed status.
+Status AppendPage(const Table& table, std::uint64_t page_id,
+                  const RetryPolicy& retry, IoStats* stats,
+                  std::vector<Value>& out) {
+  Result<const Page*> page =
+      table.file().ReadPageRetrying(page_id, retry, stats);
+  if (!page.ok()) return page.status();
   for (Value v : (*page)->values()) out.push_back(v);
+  return Status::OK();
 }
 
+// Outcome of the parallel read of one page-id list.
+struct ParallelReadResult {
+  std::vector<Value> values;            // successful pages, in id-list order
+  std::vector<std::size_t> offsets;     // per surviving page, into `values`
+  std::uint64_t pages_failed = 0;       // permanently unreadable
+  std::uint64_t pages_corrupt = 0;      // subset: checksum failures
+};
+
 // Reads `page_ids` into a freshly sized vector, fanning the page reads out
-// across the pool. Each page's destination offset is precomputed from the
-// (uncharged) page sizes, so the output is byte-identical to a sequential
-// read loop; per-shard IoStats are summed in shard order afterwards so the
-// charged totals match too.
-std::vector<Value> ReadPagesParallel(const Table& table,
+// across the pool with per-page transient retry. Each page's destination
+// offset is precomputed from the (uncharged) page sizes, so the output is
+// byte-identical to a sequential read loop; per-shard IoStats are summed
+// in shard order afterwards so the charged totals match too. Pages that
+// stay unreadable are dropped: their slots are compacted out afterwards
+// (in page-id-list order, so the surviving output is again thread-count
+// independent) and counted in the result — the caller charges the skips
+// and decides whether to resample or fail.
+ParallelReadResult ReadPagesParallel(const Table& table,
                                      const std::vector<std::uint64_t>& page_ids,
-                                     IoStats* stats, ThreadPool* pool,
-                                     std::vector<std::size_t>* page_offsets) {
+                                     const RetryPolicy& retry, IoStats* stats,
+                                     ThreadPool* pool) {
   std::vector<std::size_t> offsets(page_ids.size() + 1, 0);
   for (std::size_t p = 0; p < page_ids.size(); ++p) {
     offsets[p + 1] = offsets[p] + table.file().page(page_ids[p]).size();
@@ -29,11 +46,21 @@ std::vector<Value> ReadPagesParallel(const Table& table,
   std::vector<Value> out(offsets.back());
   const std::size_t shards = pool == nullptr ? 1 : pool->size();
   std::vector<IoStats> shard_stats(shards);
+  // 0 = ok, 1 = failed, 2 = failed with checksum mismatch. Written by one
+  // shard each, read after the join.
+  std::vector<std::uint8_t> failed(page_ids.size(), 0);
   auto read_range = [&](std::size_t lo, std::size_t hi, std::size_t s) {
     IoStats& local = shard_stats[s];
     for (std::size_t p = lo; p < hi; ++p) {
-      Result<const Page*> page = table.file().ReadPage(page_ids[p], &local);
-      assert(page.ok());
+      Result<const Page*> page =
+          table.file().ReadPageRetrying(page_ids[p], retry, &local);
+      if (!page.ok()) {
+        const bool corrupt =
+            page.status().code() == StatusCode::kDataLoss &&
+            page.status().message().find("checksum") != std::string::npos;
+        failed[p] = corrupt ? 2 : 1;
+        continue;
+      }
       const auto values = (*page)->values();
       std::copy(values.begin(), values.end(), out.begin() + offsets[p]);
     }
@@ -46,16 +73,41 @@ std::vector<Value> ReadPagesParallel(const Table& table,
   if (stats != nullptr) {
     for (const IoStats& s : shard_stats) *stats += s;
   }
-  if (page_offsets != nullptr) {
-    page_offsets->assign(offsets.begin(), offsets.end() - 1);
+
+  ParallelReadResult result;
+  result.offsets.reserve(page_ids.size());
+  bool any_failed = false;
+  for (std::size_t p = 0; p < page_ids.size(); ++p) {
+    if (failed[p] != 0) {
+      any_failed = true;
+      ++result.pages_failed;
+      if (failed[p] == 2) ++result.pages_corrupt;
+    }
   }
-  return out;
+  if (!any_failed) {
+    result.values = std::move(out);
+    result.offsets.assign(offsets.begin(), offsets.end() - 1);
+    return result;
+  }
+  // Compact the failed pages' slots out, preserving id-list order.
+  std::vector<Value> compacted;
+  compacted.reserve(out.size());
+  for (std::size_t p = 0; p < page_ids.size(); ++p) {
+    if (failed[p] != 0) continue;
+    result.offsets.push_back(compacted.size());
+    compacted.insert(compacted.end(),
+                     out.begin() + static_cast<std::ptrdiff_t>(offsets[p]),
+                     out.begin() + static_cast<std::ptrdiff_t>(offsets[p + 1]));
+  }
+  result.values = std::move(compacted);
+  return result;
 }
 
 }  // namespace
 
 Result<std::vector<Value>> SampleBlocksWithoutReplacement(
-    const Table& table, std::uint64_t num_blocks, Rng& rng, IoStats* stats) {
+    const Table& table, std::uint64_t num_blocks, Rng& rng, IoStats* stats,
+    const RetryPolicy& retry) {
   const std::uint64_t pages = table.page_count();
   if (num_blocks > pages) {
     return Status::InvalidArgument(
@@ -72,7 +124,7 @@ Result<std::vector<Value>> SampleBlocksWithoutReplacement(
   for (std::uint64_t i = 0; i < num_blocks; ++i) {
     const std::uint64_t j = i + rng.NextBounded(pages - i);
     std::swap(ids[i], ids[j]);
-    AppendPage(table, ids[i], stats, out);
+    EQUIHIST_RETURN_IF_ERROR(AppendPage(table, ids[i], retry, stats, out));
   }
   return out;
 }
@@ -80,7 +132,8 @@ Result<std::vector<Value>> SampleBlocksWithoutReplacement(
 Result<std::vector<Value>> SampleBlocksWithReplacement(const Table& table,
                                                        std::uint64_t num_blocks,
                                                        Rng& rng,
-                                                       IoStats* stats) {
+                                                       IoStats* stats,
+                                                       const RetryPolicy& retry) {
   const std::uint64_t pages = table.page_count();
   if (pages == 0) {
     return Status::InvalidArgument("cannot sample from an empty table");
@@ -88,14 +141,15 @@ Result<std::vector<Value>> SampleBlocksWithReplacement(const Table& table,
   std::vector<Value> out;
   out.reserve(num_blocks * table.tuples_per_page());
   for (std::uint64_t i = 0; i < num_blocks; ++i) {
-    AppendPage(table, rng.NextBounded(pages), stats, out);
+    EQUIHIST_RETURN_IF_ERROR(
+        AppendPage(table, rng.NextBounded(pages), retry, stats, out));
   }
   return out;
 }
 
 Result<std::vector<Value>> SampleBlocksWithReplacement(
     const Table& table, std::uint64_t num_blocks, std::uint64_t seed,
-    IoStats* stats, ThreadPool* pool) {
+    IoStats* stats, ThreadPool* pool, const RetryPolicy& retry) {
   const std::uint64_t pages = table.page_count();
   if (pages == 0) {
     return Status::InvalidArgument("cannot sample from an empty table");
@@ -121,8 +175,22 @@ Result<std::vector<Value>> SampleBlocksWithReplacement(
                         for (std::size_t s = lo; s < hi; ++s) draw_span(s);
                       });
   }
-  // Phase 2: read the chosen pages concurrently.
-  return ReadPagesParallel(table, ids, stats, pool, nullptr);
+  // Phase 2: read the chosen pages concurrently. The seed-addressed
+  // contract promises exactly these draws, so unreadable pages fail the
+  // sample rather than shrink it.
+  ParallelReadResult read =
+      ReadPagesParallel(table, ids, retry, stats, pool);
+  if (read.pages_failed > 0) {
+    if (stats != nullptr) {
+      stats->pages_skipped += read.pages_failed;
+      stats->pages_corrupt += read.pages_corrupt;
+    }
+    return Status::DataLoss(
+        std::to_string(read.pages_failed) +
+        " of the sampled blocks are permanently unreadable (" +
+        std::to_string(read.pages_corrupt) + " corrupt)");
+  }
+  return std::move(read.values);
 }
 
 IncrementalBlockSampler::IncrementalBlockSampler(const Table* table,
@@ -141,13 +209,41 @@ IncrementalBlockSampler::IncrementalBlockSampler(const Table* table,
 std::vector<Value> IncrementalBlockSampler::NextBatch(
     std::uint64_t num_blocks, IoStats* stats,
     std::vector<std::size_t>* page_offsets) {
-  const std::uint64_t take =
-      std::min<std::uint64_t>(num_blocks, pages_remaining());
-  const std::vector<std::uint64_t> ids(
-      permutation_.begin() + static_cast<std::ptrdiff_t>(next_),
-      permutation_.begin() + static_cast<std::ptrdiff_t>(next_ + take));
-  next_ += take;
-  return ReadPagesParallel(*table_, ids, stats, pool_, page_offsets);
+  std::vector<Value> values;
+  std::vector<std::size_t> offsets;
+  std::uint64_t readable = 0;  // pages delivered so far this batch
+  // Read, then top the batch back up with the next permutation entries for
+  // every skipped page: the permutation is a uniform random order of all
+  // pages, so the pages delivered remain a uniform without-replacement
+  // sample of the readable ones.
+  while (readable < num_blocks && pages_remaining() > 0) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(num_blocks - readable, pages_remaining());
+    const std::vector<std::uint64_t> ids(
+        permutation_.begin() + static_cast<std::ptrdiff_t>(next_),
+        permutation_.begin() + static_cast<std::ptrdiff_t>(next_ + take));
+    next_ += take;
+    ParallelReadResult read =
+        ReadPagesParallel(*table_, ids, retry_, stats, pool_);
+    if (read.pages_failed > 0) {
+      pages_skipped_ += read.pages_failed;
+      if (stats != nullptr) {
+        stats->pages_skipped += read.pages_failed;
+        stats->pages_corrupt += read.pages_corrupt;
+      }
+    }
+    readable += take - read.pages_failed;
+    if (values.empty()) {
+      values = std::move(read.values);
+      offsets = std::move(read.offsets);
+    } else {
+      const std::size_t base = values.size();
+      for (const std::size_t off : read.offsets) offsets.push_back(base + off);
+      values.insert(values.end(), read.values.begin(), read.values.end());
+    }
+  }
+  if (page_offsets != nullptr) *page_offsets = std::move(offsets);
+  return values;
 }
 
 }  // namespace equihist

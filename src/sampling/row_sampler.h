@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "data/distribution.h"
 #include "storage/io_stats.h"
@@ -37,8 +38,18 @@ Result<std::vector<Value>> SampleRowsBernoulli(std::span<const Value> values,
 // Record-level sampling against the paged table, charging one page read per
 // sampled tuple (no caching — the pessimistic model of Section 4's opening
 // argument). With replacement.
-std::vector<Value> SampleRowsFromTable(const Table& table, std::uint64_t r,
-                                       Rng& rng, IoStats* stats);
+//
+// Fault handling (DESIGN.md §11): transient read faults are retried per
+// `retry`; a page that stays permanently unreadable is simply redrawn —
+// with-replacement draws are i.i.d. uniform, so redrawing conditions the
+// sample on the readable pages without bias. Skipped draws are charged to
+// stats->pages_skipped. Returns kDataLoss if kMaxConsecutiveSkips draws in
+// a row land on unreadable pages (the table is effectively gone).
+inline constexpr std::uint64_t kMaxConsecutiveSkips = 64;
+Result<std::vector<Value>> SampleRowsFromTable(const Table& table,
+                                               std::uint64_t r, Rng& rng,
+                                               IoStats* stats,
+                                               const RetryPolicy& retry = {});
 
 // Streaming reservoir sampler (Vitter's Algorithm R): maintains a uniform
 // without-replacement sample of fixed capacity over a stream of unknown

@@ -134,7 +134,10 @@ Result<ColumnStatistics> BuildStatisticsFullScan(const Table& table,
                                                  std::uint64_t buckets,
                                                  ThreadPool* pool) {
   IoStats io;
-  std::vector<Value> values = FullScan(table, &io, pool);
+  // Fault-aware scan: transient faults retried, permanent ones surface as
+  // typed errors the StatisticsManager's degraded-serving layer absorbs.
+  EQUIHIST_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            FullScanChecked(table, &io, pool));
   // Pre-sort in parallel; the ValueSet constructor then detects sorted
   // input and skips its own sequential sort.
   ParallelSort(values, pool);
@@ -194,6 +197,8 @@ Result<ColumnStatistics> BuildStatisticsWithBackend(
     cvb.gamma = options.gamma;
     cvb.seed = options.seed;
     cvb.threads = 1;  // the caller's pool is passed in explicitly
+    cvb.retry = options.retry;
+    cvb.max_skipped_blocks = options.max_skipped_blocks;
     return BuildStatisticsSampled(table, cvb, pool);
   }
 
@@ -212,9 +217,12 @@ Result<ColumnStatistics> BuildStatisticsWithBackend(
         const std::uint64_t wanted,
         DeviationSampleSize(n, options.buckets, options.f, options.gamma));
     Rng rng(options.seed);
-    values = SampleRowsFromTable(table, std::min(wanted, n), rng, &io);
+    EQUIHIST_ASSIGN_OR_RETURN(
+        values, SampleRowsFromTable(table, std::min(wanted, n), rng, &io,
+                                    options.retry));
   } else {
-    values = FullScan(table, &io, pool);
+    EQUIHIST_ASSIGN_OR_RETURN(
+        values, FullScanChecked(table, &io, pool, options.retry));
   }
   ParallelSort(values, pool);
 

@@ -115,6 +115,11 @@ struct BackendBuildOptions {
   // Sample with the Theorem 4 budget rather than scanning everything.
   bool prefer_sampling = true;
   std::uint64_t seed = 1;
+  // Fault tolerance (DESIGN.md §11): transient-fault retry for every page
+  // read issued by the build, and the CVB skip budget — more than
+  // `max_skipped_blocks` permanently unreadable blocks fail the build.
+  RetryPolicy retry{};
+  std::uint64_t max_skipped_blocks = 64;
 };
 
 // Builds statistics whose histogram comes from any registered backend.

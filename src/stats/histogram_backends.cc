@@ -255,6 +255,41 @@ void CompressedModel::SerializePayload(std::vector<std::uint8_t>* out) const {
   }
 }
 
+// ----------------------------------------------------------- fallback-uniform
+
+double FallbackUniformModel::EstimateRangeCount(const RangeQuery& query) const {
+  if (query.hi <= query.lo) return 0.0;
+  if (!domain_known()) {
+    return kMagicRangeSelectivity * static_cast<double>(total_);
+  }
+  const Value from = std::max(query.lo, lower_fence_);
+  const Value to = std::min(query.hi, upper_fence_);
+  if (to <= from) return 0.0;
+  const double width = static_cast<double>(upper_fence_) -
+                       static_cast<double>(lower_fence_);
+  const double overlap =
+      static_cast<double>(to) - static_cast<double>(from);
+  return overlap / width * static_cast<double>(total_);
+}
+
+std::string FallbackUniformModel::Describe() const {
+  std::ostringstream os;
+  os << "fallback-uniform{n=" << FormatWithThousands(total_) << ", domain=";
+  if (domain_known()) {
+    os << "(" << lower_fence_ << ", " << upper_fence_ << "]}";
+  } else {
+    os << "unknown}";
+  }
+  return os.str();
+}
+
+void FallbackUniformModel::SerializePayload(
+    std::vector<std::uint8_t>* out) const {
+  wire::PutVarint(total_, out);
+  wire::PutSigned(lower_fence_, out);
+  wire::PutSigned(upper_fence_, out);
+}
+
 // --------------------------------------------------- registry registrations
 
 namespace {
@@ -422,6 +457,36 @@ Result<HistogramModelPtr> DeserializeCompressed(
       std::make_shared<CompressedModel>(std::move(histogram)));
 }
 
+Result<HistogramModelPtr> BuildFallbackUniformFromSample(
+    std::span<const Value> sorted_sample, std::uint64_t /*buckets*/,
+    std::uint64_t population_size) {
+  if (population_size == 0) {
+    return Status::InvalidArgument("population_size must be positive");
+  }
+  if (sorted_sample.empty()) {
+    // No data at all: the unknown-domain shape the degraded-serving path
+    // publishes from bare metadata.
+    return HistogramModelPtr(
+        std::make_shared<FallbackUniformModel>(population_size, 0, 0));
+  }
+  return HistogramModelPtr(std::make_shared<FallbackUniformModel>(
+      population_size, sorted_sample.front() - 1, sorted_sample.back()));
+}
+
+Result<HistogramModelPtr> DeserializeFallbackUniform(
+    std::span<const std::uint8_t> payload, std::size_t* consumed) {
+  wire::Reader reader(payload);
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t total, reader.Varint());
+  EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t lower, reader.Signed());
+  EQUIHIST_ASSIGN_OR_RETURN(const std::int64_t upper, reader.Signed());
+  if (upper < lower) {
+    return Status::InvalidArgument("fallback-uniform fences are inverted");
+  }
+  if (consumed != nullptr) *consumed = reader.position();
+  return HistogramModelPtr(
+      std::make_shared<FallbackUniformModel>(total, lower, upper));
+}
+
 }  // namespace
 
 namespace internal {
@@ -449,10 +514,16 @@ void RegisterBuiltinHistogramBackends(HistogramBackendRegistry& registry) {
       {.name = "gmp-incremental",
        .build_from_sample = BuildGmpFromSample,
        .deserialize_payload = DeserializeGmp});
+  const Status s4 = registry.Register(
+      HistogramBackendId::kFallbackUniform,
+      {.name = "fallback-uniform",
+       .build_from_sample = BuildFallbackUniformFromSample,
+       .deserialize_payload = DeserializeFallbackUniform});
   (void)s0;
   (void)s1;
   (void)s2;
   (void)s3;
+  (void)s4;
 }
 
 }  // namespace internal

@@ -130,6 +130,43 @@ class CompressedModel : public HistogramModel {
   Value upper_fence_ = 0;
 };
 
+// Uniform fallback (DESIGN.md §11): the metadata-only model the
+// StatisticsManager publishes when a column has no trustworthy histogram —
+// every build has failed on storage faults and nothing was ever served.
+// With a known domain it interpolates uniformly over (lower, upper]; with
+// the unknown-domain sentinel (lower_fence == upper_fence, the shape the
+// manager builds from a bare row count) it answers any non-degenerate
+// range with the classical System-R magic selectivity of 1/3.
+class FallbackUniformModel : public HistogramModel {
+ public:
+  static constexpr double kMagicRangeSelectivity = 1.0 / 3.0;
+
+  // Requires upper_fence >= lower_fence; equal fences mean "domain
+  // unknown".
+  FallbackUniformModel(std::uint64_t total, Value lower_fence,
+                       Value upper_fence)
+      : total_(total), lower_fence_(lower_fence), upper_fence_(upper_fence) {}
+
+  HistogramBackendId backend_id() const override {
+    return HistogramBackendId::kFallbackUniform;
+  }
+  double EstimateRangeCount(const RangeQuery& query) const override;
+  std::uint64_t bucket_count() const override { return 1; }
+  std::uint64_t total() const override { return total_; }
+  Value lower_fence() const override { return lower_fence_; }
+  Value upper_fence() const override { return upper_fence_; }
+  std::size_t MemoryBytes() const override { return sizeof(*this); }
+  std::string Describe() const override;
+  void SerializePayload(std::vector<std::uint8_t>* out) const override;
+
+  bool domain_known() const { return upper_fence_ > lower_fence_; }
+
+ private:
+  std::uint64_t total_;
+  Value lower_fence_;
+  Value upper_fence_;
+};
+
 }  // namespace equihist
 
 #endif  // EQUIHIST_STATS_HISTOGRAM_BACKENDS_H_

@@ -30,11 +30,12 @@ namespace equihist {
 // Identifies a histogram family in the registry and on the wire (the one
 // tag byte of the serialized container, format version 2).
 enum class HistogramBackendId : std::uint8_t {
-  kEquiHeight = 0,      // core/histogram + core/compiled_estimator read path
-  kEquiWidth = 1,       // baseline/equi_width
-  kCompressed = 2,      // core/compressed_histogram (Section 5)
-  kGmpIncremental = 3,  // baseline/gmp_incremental snapshot (Section 3.4)
-  // Ids 4..127 are reserved for future built-ins; 128..255 are free for
+  kEquiHeight = 0,       // core/histogram + core/compiled_estimator read path
+  kEquiWidth = 1,        // baseline/equi_width
+  kCompressed = 2,       // core/compressed_histogram (Section 5)
+  kGmpIncremental = 3,   // baseline/gmp_incremental snapshot (Section 3.4)
+  kFallbackUniform = 4,  // metadata-only uniform model (degraded serving)
+  // Ids 5..127 are reserved for future built-ins; 128..255 are free for
   // externally registered backends.
 };
 

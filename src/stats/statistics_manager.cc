@@ -1,11 +1,37 @@
 #include "stats/statistics_manager.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/rng.h"
+#include "stats/histogram_backends.h"
+#include "stats/serialization.h"
 
 namespace equihist {
 namespace {
+
+// Errors that mean "storage misbehaved" and are eligible for degraded
+// serving; config and precondition errors always propagate to the caller.
+bool IsFaultError(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDataLoss ||
+         code == StatusCode::kResourceExhausted;
+}
+
+// The metadata-only snapshot published when a column has no trustworthy
+// histogram: a uniform model over an unknown domain (System-R magic
+// selectivity), distinct ~ rows so equality estimates degrade to ~1.
+std::shared_ptr<const ColumnStatistics> MakeFallbackSnapshot(
+    const Table& table) {
+  const std::uint64_t n = table.tuple_count();
+  ColumnStatistics stats;
+  stats.model = std::make_shared<FallbackUniformModel>(n, 0, 0);
+  stats.row_count = n;
+  stats.density = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  stats.distinct_estimate = static_cast<double>(n);
+  stats.from_full_scan = false;
+  stats.sample_size = 0;
+  return std::make_shared<const ColumnStatistics>(std::move(stats));
+}
 
 // FNV-1a: a platform-stable column-name hash, so per-column seed streams
 // are reproducible everywhere (std::hash is implementation-defined).
@@ -33,6 +59,14 @@ std::uint64_t NextManagerId() {
 StatisticsManager::StatisticsManager(const Options& options)
     : options_(options), manager_id_(NextManagerId()) {}
 
+std::uint64_t StatisticsManager::NowMicros() const {
+  if (options_.clock) return options_.clock();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 ThreadPool* StatisticsManager::pool() {
   std::call_once(pool_once_, [this]() {
     const std::size_t threads = ResolveThreadCount(options_.threads);
@@ -54,6 +88,8 @@ Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
   build.gamma = options_.gamma;
   build.prefer_sampling = options_.prefer_sampling;
   build.seed = seed;
+  build.retry = options_.retry;
+  build.max_skipped_blocks = options_.max_skipped_blocks;
   // The equi-height default routes through the CVB / full-scan pipelines
   // exactly as before; other backends sample once and build through the
   // registry.
@@ -85,16 +121,32 @@ bool StatisticsManager::IsStaleLocked(const Entry& entry) const {
 
 Result<std::shared_ptr<const ColumnStatistics>>
 StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
-                                   const Table& table, bool require_fresh) {
+                                   const Table& table, bool require_fresh,
+                                   Status* build_error) {
   // One build per column at a time: a second thread arriving here blocks
   // until the first publishes, then takes the fresh snapshot below.
   std::lock_guard<std::mutex> build_lock(entry->build_mu);
   std::uint64_t generation = 0;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    if (entry->stats != nullptr &&
+    if (entry->stats != nullptr && !entry->serving_fallback &&
         (!require_fresh || !IsStaleLocked(*entry))) {
       return entry->stats;
+    }
+    // Circuit breaker: while open, don't even attempt the build — keep
+    // serving whatever is published (the stale snapshot or the fallback).
+    if (entry->breaker_open_until != 0 &&
+        NowMicros() < entry->breaker_open_until) {
+      const Status open = Status::Unavailable(
+          "circuit breaker open after " +
+          std::to_string(entry->consecutive_build_failures) +
+          " consecutive build failures; last: " +
+          entry->last_error.ToString());
+      if (entry->stats != nullptr) {
+        if (build_error != nullptr) *build_error = open;
+        return entry->stats;
+      }
+      return open;
     }
     generation = entry->generation;
   }
@@ -102,9 +154,13 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
   // the order in which threads or BuildAll shards reach this column.
   const std::uint64_t seed =
       DeriveStreamSeed(options_.seed ^ HashColumnName(column), generation);
-  EQUIHIST_ASSIGN_OR_RETURN(ColumnStatistics stats,
-                            Build(column, table, seed, pool()));
-  auto snapshot = std::make_shared<const ColumnStatistics>(std::move(stats));
+  Result<ColumnStatistics> built = Build(column, table, seed, pool());
+  if (!built.ok()) {
+    if (build_error != nullptr) *build_error = built.status();
+    return AbsorbBuildFailure(entry, table, built.status());
+  }
+  auto snapshot =
+      std::make_shared<const ColumnStatistics>(std::move(built).value());
   // The build factories produce the model (with any compiled read-path
   // state) outside any manager lock; the serving path shares it. A
   // model-less snapshot must never publish — the serving path would have
@@ -118,6 +174,13 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     entry->stats = snapshot;
     entry->model = snapshot->model;
     entry->generation = generation + 1;
+    // A successful build heals everything: breaker closed, fallback and
+    // quarantine replaced by the real snapshot.
+    entry->consecutive_build_failures = 0;
+    entry->breaker_open_until = 0;
+    entry->serving_fallback = false;
+    entry->quarantined = false;
+    entry->last_error = Status::OK();
     // Release-publish so a serving thread that observes the new counter
     // also observes the snapshot it validates.
     entry->published.fetch_add(1, std::memory_order_release);
@@ -128,12 +191,53 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
+StatisticsManager::AbsorbBuildFailure(Entry* entry, const Table& table,
+                                      const Status& error) {
+  // Non-fault errors (bad options, empty table, internal bugs) are the
+  // caller's problem: no breaker, no degradation, just the error.
+  if (!IsFaultError(error.code())) return error;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ++entry->consecutive_build_failures;
+    ++entry->total_build_failures;
+    entry->last_error = error;
+    if (entry->consecutive_build_failures >=
+        options_.breaker_failure_threshold) {
+      entry->breaker_open_until =
+          NowMicros() + options_.breaker_cooldown_micros;
+    }
+    // Stale-while-error: the failed rebuild leaves the published snapshot
+    // untouched (`published` is NOT bumped), so every serving thread keeps
+    // its cached snapshot with zero extra cost. The staleness that caused
+    // the rebuild persists — the modification counter is not reset — so
+    // the next EnsureFresh tries again (breaker permitting).
+    if (entry->stats != nullptr) return entry->stats;
+  }
+  if (!options_.fallback_on_unbuilt) return error;
+  // Never-built column on faulty storage: publish the metadata-only
+  // uniform fallback so estimation stays available. Health reports
+  // kDegraded; a later successful build replaces it.
+  auto snapshot = MakeFallbackSnapshot(table);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    entry->stats = snapshot;
+    entry->model = snapshot->model;
+    entry->serving_fallback = true;
+    entry->published.fetch_add(1, std::memory_order_release);
+  }
+  return snapshot;
+}
+
+Result<std::shared_ptr<const ColumnStatistics>>
 StatisticsManager::GetOrBuildShared(const std::string& column,
                                     const Table& table) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     const auto it = entries_.find(column);
-    if (it != entries_.end() && it->second->stats != nullptr) {
+    // A fallback snapshot doesn't satisfy GetOrBuild: fall through and try
+    // a real build (the breaker inside BuildAndPublish rate-limits it).
+    if (it != entries_.end() && it->second->stats != nullptr &&
+        !it->second->serving_fallback) {
       return it->second->stats;
     }
   }
@@ -168,18 +272,26 @@ bool StatisticsManager::IsStale(const std::string& column) const {
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::EnsureFreshShared(const std::string& column,
-                                     const Table& table) {
+StatisticsManager::EnsureFreshInternal(const std::string& column,
+                                       const Table& table,
+                                       Status* build_error) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     const auto it = entries_.find(column);
     if (it != entries_.end() && it->second->stats != nullptr &&
-        !IsStaleLocked(*it->second)) {
+        !it->second->serving_fallback && !IsStaleLocked(*it->second)) {
       return it->second->stats;
     }
   }
   const std::shared_ptr<Entry> entry = GetEntry(column);
-  return BuildAndPublish(column, entry.get(), table, /*require_fresh=*/true);
+  return BuildAndPublish(column, entry.get(), table, /*require_fresh=*/true,
+                         build_error);
+}
+
+Result<std::shared_ptr<const ColumnStatistics>>
+StatisticsManager::EnsureFreshShared(const std::string& column,
+                                     const Table& table) {
+  return EnsureFreshInternal(column, table, /*build_error=*/nullptr);
 }
 
 Result<const ColumnStatistics*> StatisticsManager::EnsureFresh(
@@ -189,33 +301,107 @@ Result<const ColumnStatistics*> StatisticsManager::EnsureFresh(
   return s.get();
 }
 
-Status StatisticsManager::BuildAll(const std::vector<std::string>& columns,
-                                   const Table& table) {
+StatisticsManager::BuildAllResult StatisticsManager::BuildAll(
+    const std::vector<std::string>& columns, const Table& table) {
+  // Per-column outcome: the build error even when degraded serving
+  // absorbed it, or the propagated error for non-fault failures.
+  auto build_one = [this, &table](const std::string& column) -> Status {
+    Status build_error = Status::OK();
+    const auto result = EnsureFreshInternal(column, table, &build_error);
+    if (!result.ok()) return result.status();
+    return build_error;
+  };
+
+  BuildAllResult result;
+  result.attempted = columns.size();
+  std::vector<Status> outcomes(columns.size());
   ThreadPool* fan_out = pool();
   if (fan_out == nullptr) {
-    for (const std::string& column : columns) {
-      EQUIHIST_ASSIGN_OR_RETURN(const auto ignored,
-                                EnsureFreshShared(column, table));
-      (void)ignored;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      outcomes[i] = build_one(columns[i]);
     }
-    return Status::OK();
+  } else {
+    // Each column is one pool task; its build then uses the same pool for
+    // its internal stages (ParallelFor callers participate, so the nesting
+    // cannot starve). Every column is attempted regardless of failures.
+    std::vector<std::future<Status>> pending;
+    pending.reserve(columns.size());
+    for (const std::string& column : columns) {
+      pending.push_back(fan_out->Submit(
+          [&build_one, column]() -> Status { return build_one(column); }));
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      outcomes[i] = pending[i].get();
+    }
   }
-  // Each column is one pool task; its build then uses the same pool for
-  // its internal stages (ParallelFor callers participate, so the nesting
-  // cannot starve).
-  std::vector<std::future<Status>> pending;
-  pending.reserve(columns.size());
-  for (const std::string& column : columns) {
-    pending.push_back(fan_out->Submit([this, column, &table]() -> Status {
-      return EnsureFreshShared(column, table).status();
-    }));
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (outcomes[i].ok()) {
+      ++result.succeeded;
+    } else {
+      result.failed.emplace_back(columns[i], outcomes[i]);
+    }
   }
-  Status first_error = Status::OK();
-  for (std::future<Status>& f : pending) {
-    const Status status = f.get();
-    if (!status.ok() && first_error.ok()) first_error = status;
+  return result;
+}
+
+Status StatisticsManager::InstallSerializedStatistics(
+    const std::string& column, std::span<const std::uint8_t> bytes) {
+  const std::shared_ptr<Entry> entry = GetEntry(column);
+  // Installs serialize against live builds of the same column.
+  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  Result<ColumnStatistics> parsed = DeserializeColumnStatistics(bytes);
+  if (parsed.ok() && parsed->model == nullptr) {
+    parsed = Status::DataLoss("serialized statistics carry no histogram");
   }
-  return first_error;
+  if (!parsed.ok()) {
+    // Quarantine: reject the blob, record why, keep serving whatever was
+    // published before. The flag clears on the next successful install or
+    // live build.
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    entry->quarantined = true;
+    entry->last_error = parsed.status();
+    return parsed.status();
+  }
+  auto snapshot =
+      std::make_shared<const ColumnStatistics>(std::move(parsed).value());
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    entry->stats = snapshot;
+    entry->model = snapshot->model;
+    entry->generation += 1;
+    entry->serving_fallback = false;
+    entry->quarantined = false;
+    entry->consecutive_build_failures = 0;
+    entry->breaker_open_until = 0;
+    entry->last_error = Status::OK();
+    entry->published.fetch_add(1, std::memory_order_release);
+  }
+  entry->modifications_since_build.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
+  ColumnHealthReport report;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(column);
+  if (it == entries_.end()) return report;  // unknown: kDegraded, !exists
+  const Entry& entry = *it->second;
+  report.exists = true;
+  report.serving_fallback = entry.serving_fallback;
+  report.quarantined = entry.quarantined;
+  report.consecutive_build_failures = entry.consecutive_build_failures;
+  report.total_build_failures = entry.total_build_failures;
+  report.last_error = entry.last_error;
+  report.breaker_open = entry.breaker_open_until != 0 &&
+                        NowMicros() < entry.breaker_open_until;
+  if (entry.stats == nullptr || entry.serving_fallback || entry.quarantined) {
+    report.health = ColumnHealth::kDegraded;
+  } else if (IsStaleLocked(entry) || entry.consecutive_build_failures > 0) {
+    report.health = ColumnHealth::kStale;
+  } else {
+    report.health = ColumnHealth::kFresh;
+  }
+  return report;
 }
 
 bool StatisticsManager::Drop(const std::string& column) {

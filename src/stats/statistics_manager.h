@@ -3,21 +3,44 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "stats/column_statistics.h"
 #include "stats/histogram_model.h"
 #include "storage/table.h"
 
 namespace equihist {
+
+// Serving health of one column — the DESIGN.md §11 state machine.
+enum class ColumnHealth : std::uint8_t {
+  kFresh = 0,     // current snapshot, last build succeeded
+  kStale = 1,     // serving a previous snapshot (modification threshold
+                  // crossed, or the last rebuild failed and was absorbed)
+  kDegraded = 2,  // no trustworthy histogram: the uniform fallback model,
+                  // a quarantined blob, or nothing at all
+};
+
+struct ColumnHealthReport {
+  ColumnHealth health = ColumnHealth::kDegraded;
+  bool exists = false;            // column is known to the manager
+  bool breaker_open = false;      // circuit breaker holding rebuilds back
+  bool serving_fallback = false;  // estimates come from the uniform fallback
+  bool quarantined = false;       // last installed blob failed to parse
+  std::uint64_t consecutive_build_failures = 0;
+  std::uint64_t total_build_failures = 0;
+  Status last_error{};  // most recent build or install failure
+};
 
 // A small auto-statistics facility in the style of SQL Server's
 // auto-create/auto-update statistics (the production context of the
@@ -65,6 +88,30 @@ class StatisticsManager {
     // (block reads, sample sorting, BuildAll fan-out): 0 = one per
     // hardware thread, 1 = fully sequential (no pool is ever created).
     std::uint64_t threads = 0;
+
+    // -- Fault tolerance & degraded serving (DESIGN.md §11) ------------------
+
+    // Transient-fault retry for every page read a build issues, and the
+    // CVB fault budget (blocks permanently skipped before a build fails).
+    RetryPolicy retry{};
+    std::uint64_t max_skipped_blocks = 64;
+    // Circuit breaker: after this many consecutive failed builds of a
+    // column, rebuild attempts stop for `breaker_cooldown_micros` and the
+    // previous snapshot (or the fallback) keeps serving. After the
+    // cooldown one attempt is let through (half-open); success closes the
+    // breaker, failure re-opens it.
+    std::uint64_t breaker_failure_threshold = 3;
+    std::uint64_t breaker_cooldown_micros = 1'000'000;
+    // Monotonic microsecond clock driving breaker cooldowns; null uses
+    // steady_clock. Tests inject a manual clock so open/half-open
+    // transitions are deterministic.
+    std::function<std::uint64_t()> clock{};
+    // When a column that never built successfully fails on a *storage
+    // fault* (kUnavailable / kDataLoss / kResourceExhausted), publish the
+    // metadata-only uniform fallback model instead of failing every
+    // estimate. Non-fault errors (bad options, empty table) always
+    // propagate, fallback or not.
+    bool fallback_on_unbuilt = true;
   };
 
   explicit StatisticsManager(const Options& options);
@@ -123,12 +170,43 @@ class StatisticsManager {
                         std::span<const RangeQuery> queries,
                         std::span<double> out, bool use_pool = false);
 
+  // Per-column outcome aggregation of a BuildAll sweep: every column that
+  // could be built was; the rest are reported here instead of aborting the
+  // sweep. A failed column may still be servable (stale snapshot or
+  // fallback) — Health() tells.
+  struct BuildAllResult {
+    std::uint64_t attempted = 0;
+    std::uint64_t succeeded = 0;  // fresh after the sweep
+    // Columns whose (re)build failed, in input order, with the underlying
+    // build error — including failures absorbed by degraded serving.
+    std::vector<std::pair<std::string, Status>> failed;
+
+    bool ok() const { return failed.empty(); }
+    // The first failure, for Status-style call sites.
+    Status status() const {
+      return failed.empty() ? Status::OK() : failed.front().second;
+    }
+  };
+
   // Builds (or freshens) statistics for every named column of `table`,
   // fanning the builds out across the manager's thread pool — the
   // auto-statistics sweep a server runs after bulk load. Columns already
-  // fresh are left untouched. Returns the first build error, if any.
-  Status BuildAll(const std::vector<std::string>& columns,
-                  const Table& table);
+  // fresh are left untouched. Never gives up early: every column is
+  // attempted, and per-column failures are aggregated in the result.
+  BuildAllResult BuildAll(const std::vector<std::string>& columns,
+                          const Table& table);
+
+  // Installs statistics from a serialized blob (the stats/serialization.h
+  // container), as a restore-from-catalog path would. A blob the v2
+  // parser rejects quarantines the column: the error is recorded (see
+  // Health()), the previous snapshot — if any — keeps serving, and the
+  // quarantine clears on the next successful install or live build.
+  Status InstallSerializedStatistics(const std::string& column,
+                                     std::span<const std::uint8_t> bytes);
+
+  // The column's serving-health report (slow path; takes the shared
+  // lock). Unknown columns report exists = false, health = kDegraded.
+  ColumnHealthReport Health(const std::string& column) const;
 
   // Drops a column's statistics (returns true if they existed).
   bool Drop(const std::string& column);
@@ -158,6 +236,16 @@ class StatisticsManager {
     // thread-cached snapshot is current iff this still equals the value
     // captured at caching time; monotone, so there is no ABA.
     std::atomic<std::uint64_t> published{0};
+    // -- Degraded-serving state (DESIGN.md §11), all guarded by mu_ and
+    // written only in slow paths — a failed rebuild never bumps
+    // `published`, so serving threads keep their cached snapshot at zero
+    // cost.
+    std::uint64_t consecutive_build_failures = 0;
+    std::uint64_t total_build_failures = 0;
+    std::uint64_t breaker_open_until = 0;  // clock micros; 0 = closed
+    bool serving_fallback = false;  // `stats` is the uniform fallback
+    bool quarantined = false;       // last installed blob failed to parse
+    Status last_error{};
   };
 
   // One thread-local cache slot of the serving path: the shared_ptrs keep
@@ -179,10 +267,25 @@ class StatisticsManager {
   // Serializes on entry->build_mu, re-checks whether a build is still
   // needed (`require_fresh` additionally rebuilds stale snapshots), then
   // builds without locks held and publishes under the exclusive lock.
+  // Storage-fault build failures degrade instead of propagating — the
+  // previous snapshot keeps serving (stale-while-error), or the uniform
+  // fallback publishes for a never-built column; the underlying error is
+  // reported through `build_error` (when non-null) and Health().
   Result<std::shared_ptr<const ColumnStatistics>> BuildAndPublish(
       const std::string& column, Entry* entry, const Table& table,
-      bool require_fresh);
+      bool require_fresh, Status* build_error = nullptr);
+  // The degrade path of a failed build: breaker bookkeeping plus
+  // stale-while-error / fallback-publish. Called with entry->build_mu
+  // held.
+  Result<std::shared_ptr<const ColumnStatistics>> AbsorbBuildFailure(
+      Entry* entry, const Table& table, const Status& error);
+  // EnsureFreshShared with the underlying build error surfaced even when
+  // degradation absorbed it (the BuildAll aggregation hook).
+  Result<std::shared_ptr<const ColumnStatistics>> EnsureFreshInternal(
+      const std::string& column, const Table& table, Status* build_error);
   bool IsStaleLocked(const Entry& entry) const;
+  // The injectable monotonic clock (microseconds).
+  std::uint64_t NowMicros() const;
   // Lazily created pool per options_.threads (null when sequential).
   ThreadPool* pool();
 

@@ -1,0 +1,109 @@
+#include "storage/fault_injection.h"
+
+#include <utility>
+
+namespace equihist {
+namespace {
+
+// SplitMix64 finalizer: the same platform-stable mixer the RNG seeding
+// uses, applied to (seed, page_id, kind) so every decision is a pure
+// function of the spec and the page.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashDecision(std::uint64_t seed, std::uint64_t page_id,
+                           std::uint32_t kind_tag) {
+  return Mix64(Mix64(seed ^ (0xA0761D6478BD642FULL + kind_tag)) ^ page_id);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(std::move(spec)),
+      transient_set_(spec_.transient_pages.begin(),
+                     spec_.transient_pages.end()),
+      lost_set_(spec_.lost_pages.begin(), spec_.lost_pages.end()),
+      corrupt_set_(spec_.corrupt_pages.begin(), spec_.corrupt_pages.end()) {}
+
+bool FaultInjector::HashSelects(std::uint64_t page_id, std::uint32_t kind_tag,
+                                double p) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const double u =
+      static_cast<double>(HashDecision(spec_.seed, page_id, kind_tag) >> 11) *
+      0x1.0p-53;
+  return u < p;
+}
+
+FaultKind FaultInjector::Classify(std::uint64_t page_id) const {
+  // Explicit triggers first, then probabilities; lost > corrupt > transient
+  // keeps overlapping selections deterministic.
+  if (lost_set_.count(page_id) != 0 ||
+      HashSelects(page_id, 1, spec_.lost_probability)) {
+    return FaultKind::kLost;
+  }
+  if (corrupt_set_.count(page_id) != 0 ||
+      HashSelects(page_id, 2, spec_.corrupt_probability)) {
+    return FaultKind::kCorrupt;
+  }
+  if (transient_set_.count(page_id) != 0 ||
+      HashSelects(page_id, 3, spec_.transient_probability)) {
+    return FaultKind::kTransient;
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::Decide(std::uint64_t page_id) {
+  switch (Classify(page_id)) {
+    case FaultKind::kNone:
+      return FaultKind::kNone;
+    case FaultKind::kLost:
+      lost_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultKind::kLost;
+    case FaultKind::kCorrupt:
+      corrupt_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultKind::kCorrupt;
+    case FaultKind::kTransient:
+      break;
+  }
+  // Transient pages fail a bounded number of attempts, then heal. The
+  // counter is per page, so retries of different pages never interact.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint32_t& failed = transient_failures_[page_id];
+    if (failed >= spec_.transient_failures_per_page) return FaultKind::kNone;
+    ++failed;
+  }
+  transient_injected_.fetch_add(1, std::memory_order_relaxed);
+  return FaultKind::kTransient;
+}
+
+bool FaultInjector::InjectsLatency(std::uint64_t page_id) const {
+  if (spec_.latency_micros == 0) return false;
+  return HashSelects(page_id, 4, spec_.latency_probability);
+}
+
+const Page* FaultInjector::CorruptedCopy(std::uint64_t page_id,
+                                         const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corrupted_.find(page_id);
+  if (it == corrupted_.end()) {
+    auto copy = std::make_unique<Page>(page);
+    if (copy->size() > 0) {
+      const std::uint64_t h = HashDecision(spec_.seed, page_id, 5);
+      const auto slot = static_cast<std::uint32_t>(h % copy->size());
+      // A nonzero mask guarantees the payload really changes, so the
+      // stored checksum no longer matches.
+      const Value mask = static_cast<Value>(h | 1);
+      copy->CorruptValue(slot, mask);
+    }
+    it = corrupted_.emplace(page_id, std::move(copy)).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace equihist

@@ -1,0 +1,139 @@
+#ifndef EQUIHIST_STORAGE_FAULT_INJECTION_H_
+#define EQUIHIST_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace equihist {
+
+// Deterministic storage fault injection — the test substrate for the
+// fault-tolerance layer (DESIGN.md §11). A FaultInjector attached to a
+// HeapFile (HeapFile::set_fault_injector) decides, per read attempt, what
+// the simulated disk does:
+//
+//   kTransient — the read fails with kUnavailable; after the configured
+//                number of failed attempts the page reads fine. Models
+//                intermittent I/O errors a retry clears.
+//   kLost      — the read fails with kDataLoss, always. Models a
+//                permanently unreadable block.
+//   kCorrupt   — the read returns a payload whose bytes were flipped
+//                after the checksum was recorded; the reading HeapFile
+//                detects the mismatch and surfaces kDataLoss. Models
+//                silent media corruption caught by page checksums.
+//   latency    — the read succeeds after a fixed injected delay
+//                (orthogonal to the three error kinds).
+//
+// Decisions are driven by per-kind probabilities hashed from
+// (seed, page_id) — never from attempt order or thread interleaving, so a
+// given (spec, table) produces the same fault set at any thread count —
+// plus explicit page-id trigger lists for exact, non-flaky tests. A page
+// named in a trigger list faults regardless of its hash; the probability
+// knobs layer on top for randomized chaos runs.
+//
+// The injector is safe for concurrent use: the parallel block readers hit
+// it from every pool worker.
+
+enum class FaultKind {
+  kNone = 0,
+  kTransient,
+  kLost,
+  kCorrupt,
+};
+
+struct FaultSpec {
+  // Per-read-kind probabilities in [0, 1], evaluated per page (not per
+  // attempt) via a (seed, page_id, kind) hash. A page can satisfy several;
+  // precedence is lost > corrupt > transient, so probabilistic specs stay
+  // deterministic.
+  double transient_probability = 0.0;
+  double lost_probability = 0.0;
+  double corrupt_probability = 0.0;
+  double latency_probability = 0.0;
+
+  // Explicit page-id triggers (exact tests). Order is irrelevant.
+  std::vector<std::uint64_t> transient_pages{};
+  std::vector<std::uint64_t> lost_pages{};
+  std::vector<std::uint64_t> corrupt_pages{};
+
+  // How many read attempts of a transient page fail before it succeeds.
+  std::uint32_t transient_failures_per_page = 1;
+
+  // Injected delay for latency-selected pages.
+  std::uint64_t latency_micros = 0;
+
+  // Seed for the probabilistic decisions and the corruption masks.
+  std::uint64_t seed = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // The fault this read attempt of `page_id` experiences. Transient pages
+  // consume one failed attempt per kTransient returned; once a page's
+  // failures are exhausted, subsequent attempts return kNone.
+  FaultKind Decide(std::uint64_t page_id);
+
+  // True if reads of `page_id` carry injected latency.
+  bool InjectsLatency(std::uint64_t page_id) const;
+  std::uint64_t latency_micros() const { return spec_.latency_micros; }
+
+  // A stable corrupted copy of `page`: payload bits flipped (seed-derived
+  // slot and mask), stored checksum intact, so ChecksumOk() is false. The
+  // copy is cached per page id; the pointer stays valid for the injector's
+  // lifetime.
+  const Page* CorruptedCopy(std::uint64_t page_id, const Page& page);
+
+  // -- Injection counters (what actually fired) -----------------------------
+  std::uint64_t transient_injected() const {
+    return transient_injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lost_injected() const {
+    return lost_injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t corrupt_injected() const {
+    return corrupt_injected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t latency_injected() const {
+    return latency_injected_.load(std::memory_order_relaxed);
+  }
+  void RecordLatencyInjected() {
+    latency_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  // Whether the (seed, page_id, kind) hash selects the page under
+  // probability `p`.
+  bool HashSelects(std::uint64_t page_id, std::uint32_t kind_tag,
+                   double p) const;
+  // The page's static fault class, ignoring transient attempt counting.
+  FaultKind Classify(std::uint64_t page_id) const;
+
+  FaultSpec spec_;
+  std::unordered_set<std::uint64_t> transient_set_;
+  std::unordered_set<std::uint64_t> lost_set_;
+  std::unordered_set<std::uint64_t> corrupt_set_;
+
+  std::mutex mu_;  // guards the two maps below
+  std::unordered_map<std::uint64_t, std::uint32_t> transient_failures_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> corrupted_;
+
+  std::atomic<std::uint64_t> transient_injected_{0};
+  std::atomic<std::uint64_t> lost_injected_{0};
+  std::atomic<std::uint64_t> corrupt_injected_{0};
+  std::atomic<std::uint64_t> latency_injected_{0};
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STORAGE_FAULT_INJECTION_H_

@@ -1,6 +1,11 @@
 #include "storage/heap_file.h"
 
 #include <cassert>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "storage/fault_injection.h"
 
 namespace equihist {
 
@@ -30,12 +35,49 @@ Result<const Page*> HeapFile::ReadPage(std::uint64_t page_id,
   if (page_id >= pages_.size()) {
     return Status::NotFound("page id out of range");
   }
-  const Page& page = pages_[page_id];
+  const Page* page = &pages_[page_id];
+  if (injector_ != nullptr) {
+    switch (injector_->Decide(page_id)) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kTransient:
+        return Status::Unavailable("injected transient read error on page " +
+                                   std::to_string(page_id));
+      case FaultKind::kLost:
+        return Status::DataLoss("page " + std::to_string(page_id) +
+                                " is unreadable (lost)");
+      case FaultKind::kCorrupt:
+        // The injector hands back a payload whose bytes no longer match
+        // the stored checksum; the verification below is the detection a
+        // real engine performs on every page it trusts.
+        page = injector_->CorruptedCopy(page_id, pages_[page_id]);
+        break;
+    }
+    if (!page->ChecksumOk()) {
+      return Status::DataLoss("page " + std::to_string(page_id) +
+                              " failed checksum verification");
+    }
+    if (injector_->InjectsLatency(page_id)) {
+      injector_->RecordLatencyInjected();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(injector_->latency_micros()));
+    }
+  }
   if (stats != nullptr) {
     stats->pages_read += 1;
-    stats->tuples_read += page.size();
+    stats->tuples_read += page->size();
   }
-  return &page;
+  return page;
+}
+
+Result<const Page*> HeapFile::ReadPageRetrying(std::uint64_t page_id,
+                                               const RetryPolicy& policy,
+                                               IoStats* stats) const {
+  std::uint64_t retries = 0;
+  Result<const Page*> result = RetryTransient(
+      policy, [&]() { return ReadPage(page_id, stats); }, &retries);
+  if (stats != nullptr) stats->transient_retries += retries;
+  return result;
 }
 
 }  // namespace equihist

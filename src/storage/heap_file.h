@@ -5,10 +5,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
 namespace equihist {
+
+class FaultInjector;
 
 // An append-only heap file of fixed-geometry pages, the unit the block
 // samplers draw from. Pages are filled densely in append order, so the
@@ -31,7 +34,27 @@ class HeapFile {
 
   // Read access to page `page_id`, charging one page read (and the page's
   // tuples) to `stats` if provided. Returns NotFound for out-of-range ids.
+  //
+  // With a fault injector attached the read may instead return
+  // kUnavailable (injected transient fault) or kDataLoss (lost page, or a
+  // corrupted payload caught by the page checksum); successful reads of
+  // latency-selected pages stall for the injected delay first. Without an
+  // injector the fault path is a single null-pointer test — reads cannot
+  // fail for in-range ids and pay nothing for the hooks.
   Result<const Page*> ReadPage(std::uint64_t page_id, IoStats* stats) const;
+
+  // ReadPage wrapped in the shared bounded-retry policy: transient faults
+  // are re-issued per `policy` (each retry charged to
+  // stats->transient_retries); permanent faults return immediately.
+  Result<const Page*> ReadPageRetrying(std::uint64_t page_id,
+                                       const RetryPolicy& policy,
+                                       IoStats* stats) const;
+
+  // Attaches (or clears, with nullptr) a fault injector. The injector must
+  // outlive all reads; attaching is not synchronized against concurrent
+  // reads, so do it before the file is shared across threads.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   // Direct (uncharged) structural access for tests and internal use.
   const Page& page(std::uint64_t page_id) const { return pages_[page_id]; }
@@ -41,6 +64,7 @@ class HeapFile {
   std::uint32_t tuples_per_page_;
   std::vector<Page> pages_;
   std::uint64_t tuple_count_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace equihist

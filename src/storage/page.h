@@ -29,6 +29,12 @@ Status ValidatePageConfig(const PageConfig& config);
 // One simulated disk page: a fixed-capacity slotted run of records. Only
 // the studied attribute is materialized per record (the rest of the record
 // is padding that influences capacity, not behaviour).
+//
+// Every page carries a payload checksum, maintained incrementally on
+// append (FNV-1a over the record values). The stored checksum is what a
+// real page header would persist; the fault-injection read path verifies
+// it to catch corrupted payloads, and the default (injector-less) read
+// path skips verification so the hot path pays nothing.
 class Page {
  public:
   explicit Page(std::uint32_t capacity) : capacity_(capacity) {
@@ -44,6 +50,7 @@ class Page {
   bool Append(Value value) {
     if (full()) return false;
     values_.push_back(value);
+    checksum_ = MixChecksum(checksum_, value);
     return true;
   }
 
@@ -52,8 +59,41 @@ class Page {
 
   std::span<const Value> values() const { return values_; }
 
+  // The checksum recorded at write time.
+  std::uint64_t checksum() const { return checksum_; }
+
+  // Recomputes the checksum from the current payload. Differs from
+  // checksum() iff the payload was altered after append.
+  std::uint64_t ComputeChecksum() const {
+    std::uint64_t h = kChecksumSeed;
+    for (const Value v : values_) h = MixChecksum(h, v);
+    return h;
+  }
+
+  bool ChecksumOk() const { return ComputeChecksum() == checksum_; }
+
+  // Flips bits of the value in `slot` *without* updating the stored
+  // checksum — the corruption primitive the FaultInjector uses to produce
+  // detectably damaged page copies. Precondition: slot < size().
+  void CorruptValue(std::uint32_t slot, Value xor_mask) {
+    values_[slot] ^= xor_mask;
+  }
+
  private:
+  static constexpr std::uint64_t kChecksumSeed = 0xCBF29CE484222325ULL;
+
+  static std::uint64_t MixChecksum(std::uint64_t h, Value value) {
+    // FNV-1a over the value's 8 bytes, one round per byte.
+    auto bits = static_cast<std::uint64_t>(value);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
   std::uint32_t capacity_;
+  std::uint64_t checksum_ = kChecksumSeed;
   std::vector<Value> values_;
 };
 

@@ -1,34 +1,74 @@
 #include "storage/scan.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace equihist {
+namespace {
+
+[[noreturn]] void AbortOnUnexpectedFault(const Status& status) {
+  // The infallible FullScan overloads are documented fault-free-only;
+  // reaching here means an injector fired under an API that cannot report
+  // it. Fail loudly rather than return silently truncated data.
+  std::fprintf(stderr,
+               "FullScan on faulty storage (use FullScanChecked): %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace
 
 std::vector<Value> FullScan(const Table& table, IoStats* stats) {
-  std::vector<Value> values;
-  values.reserve(table.tuple_count());
-  for (std::uint64_t page_id = 0; page_id < table.page_count(); ++page_id) {
-    Result<const Page*> page = table.file().ReadPage(page_id, stats);
-    assert(page.ok());
-    for (Value v : (*page)->values()) values.push_back(v);
-  }
-  return values;
+  Result<std::vector<Value>> values =
+      FullScanChecked(table, stats, /*pool=*/nullptr);
+  if (!values.ok()) AbortOnUnexpectedFault(values.status());
+  return std::move(values).value();
 }
 
 std::vector<Value> FullScan(const Table& table, IoStats* stats,
                             ThreadPool* pool) {
-  if (pool == nullptr || pool->size() <= 1) return FullScan(table, stats);
+  Result<std::vector<Value>> values = FullScanChecked(table, stats, pool);
+  if (!values.ok()) AbortOnUnexpectedFault(values.status());
+  return std::move(values).value();
+}
+
+Result<std::vector<Value>> FullScanChecked(const Table& table, IoStats* stats,
+                                           ThreadPool* pool,
+                                           const RetryPolicy& policy) {
   const std::uint64_t pages = table.page_count();
+  if (pool == nullptr || pool->size() <= 1) {
+    std::vector<Value> values;
+    values.reserve(table.tuple_count());
+    for (std::uint64_t page_id = 0; page_id < pages; ++page_id) {
+      Result<const Page*> page =
+          table.file().ReadPageRetrying(page_id, policy, stats);
+      if (!page.ok()) return page.status();
+      for (Value v : (*page)->values()) values.push_back(v);
+    }
+    return values;
+  }
+
   const std::uint32_t tpp = table.tuples_per_page();
   std::vector<Value> values(table.tuple_count());
   const std::size_t shards = pool->size();
   std::vector<IoStats> shard_stats(shards);
+  // First failing page per shard; the lowest page id wins afterwards so
+  // the reported error does not depend on thread scheduling.
+  std::vector<std::uint64_t> failed_page(shards, pages);
+  std::vector<Status> failed_status(shards);
   pool->ParallelFor(
       0, pages, shards, [&](std::size_t lo, std::size_t hi, std::size_t s) {
         IoStats& local = shard_stats[s];
         for (std::size_t page_id = lo; page_id < hi; ++page_id) {
-          Result<const Page*> page = table.file().ReadPage(page_id, &local);
-          assert(page.ok());
+          Result<const Page*> page =
+              table.file().ReadPageRetrying(page_id, policy, &local);
+          if (!page.ok()) {
+            if (page_id < failed_page[s]) {
+              failed_page[s] = page_id;
+              failed_status[s] = page.status();
+            }
+            continue;
+          }
           const auto page_values = (*page)->values();
           // Dense packing: page p starts at tuple p * tuples_per_page.
           std::copy(page_values.begin(), page_values.end(),
@@ -39,6 +79,14 @@ std::vector<Value> FullScan(const Table& table, IoStats* stats,
   if (stats != nullptr) {
     for (const IoStats& s : shard_stats) *stats += s;
   }
+  std::size_t worst = shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (failed_page[s] < pages &&
+        (worst == shards || failed_page[s] < failed_page[worst])) {
+      worst = s;
+    }
+  }
+  if (worst != shards) return failed_status[worst];
   return values;
 }
 

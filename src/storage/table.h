@@ -39,6 +39,15 @@ class Table {
   Table& operator=(const Table&) = delete;
 
   const HeapFile& file() const { return *file_; }
+
+  // Attaches a fault injector to the underlying heap file (nullptr
+  // detaches). The injector must outlive every read; attach before the
+  // table is shared across threads. With no injector attached the read
+  // path is exactly the fault-free one.
+  void set_fault_injector(FaultInjector* injector) {
+    file_->set_fault_injector(injector);
+  }
+
   const PageConfig& page_config() const { return file_->config(); }
   std::uint64_t tuple_count() const { return file_->tuple_count(); }
   std::uint64_t page_count() const { return file_->page_count(); }

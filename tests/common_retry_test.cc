@@ -1,0 +1,140 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace equihist {
+namespace {
+
+TEST(RetryPolicyTest, BackoffDoublesAndSaturates) {
+  RetryPolicy policy;
+  policy.base_backoff_micros = 100;
+  policy.max_backoff_micros = 1'000;
+  // base << (retry - 1), capped: 100, 200, 400, 800, 1000, 1000, ...
+  EXPECT_EQ(policy.BackoffMicros(1), 100u);
+  EXPECT_EQ(policy.BackoffMicros(2), 200u);
+  EXPECT_EQ(policy.BackoffMicros(3), 400u);
+  EXPECT_EQ(policy.BackoffMicros(4), 800u);
+  EXPECT_EQ(policy.BackoffMicros(5), 1'000u);
+  EXPECT_EQ(policy.BackoffMicros(6), 1'000u);
+}
+
+TEST(RetryPolicyTest, ZeroBaseMeansImmediateRetries) {
+  RetryPolicy policy;  // base_backoff_micros = 0 by default
+  for (std::uint32_t retry = 0; retry < 10; ++retry) {
+    EXPECT_EQ(policy.BackoffMicros(retry), 0u);
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff_micros = 7;
+  policy.max_backoff_micros = 10'000;
+  std::vector<std::uint64_t> first, second;
+  for (std::uint32_t retry = 1; retry <= 16; ++retry) {
+    first.push_back(policy.BackoffMicros(retry));
+    second.push_back(policy.BackoffMicros(retry));
+  }
+  EXPECT_EQ(first, second);  // pure function of the attempt number
+}
+
+TEST(RetryPolicyTest, HugeShiftSaturatesWithoutOverflow) {
+  RetryPolicy policy;
+  policy.base_backoff_micros = 1;
+  policy.max_backoff_micros = 5'000;
+  EXPECT_EQ(policy.BackoffMicros(64), 5'000u);
+  EXPECT_EQ(policy.BackoffMicros(200), 5'000u);
+}
+
+TEST(RetryPolicyTest, ZeroAttemptsBehavesAsOne) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_EQ(policy.EffectiveAttempts(), 1u);
+}
+
+TEST(RetryTransientTest, RetriesTransientUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status result = RetryTransient(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("blip") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTransientTest, StopsAtAttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status result = RetryTransient(
+      policy, [&]() -> Status { ++calls; return Status::Unavailable("down"); },
+      &retries);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTransientTest, PermanentErrorsAreNotRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status result = RetryTransient(
+      policy, [&]() -> Status { ++calls; return Status::DataLoss("gone"); },
+      &retries);
+  EXPECT_EQ(result.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);  // kDataLoss fails immediately
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTransientTest, WorksWithResultValues) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  const Result<int> result = RetryTransient(policy, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("blip");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTransientTest, SingleAttemptDisablesRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  const Status result = RetryTransient(
+      policy, [&]() -> Status { ++calls; return Status::Unavailable("down"); });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTransientTest, NullRetryCounterIsAllowed) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  int calls = 0;
+  const Status result = RetryTransient(policy, [&]() -> Status {
+    ++calls;
+    return calls < 2 ? Status::Unavailable("blip") : Status::OK();
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace equihist

@@ -127,7 +127,8 @@ TEST(RowSamplerTest, FromTableChargesOnePagePerTuple) {
   Rng rng(11);
   IoStats stats;
   const auto sample = SampleRowsFromTable(*table, 50, rng, &stats);
-  EXPECT_EQ(sample.size(), 50u);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 50u);
   // Record-level sampling against pages is the expensive path: at least one
   // page read per tuple (rejection on the ragged last page may add a few).
   EXPECT_GE(stats.pages_read, 50u);

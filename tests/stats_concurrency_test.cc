@@ -15,6 +15,7 @@
 
 #include "data/distribution.h"
 #include "stats/statistics_manager.h"
+#include "storage/fault_injection.h"
 #include "storage/table.h"
 
 namespace equihist {
@@ -332,6 +333,76 @@ TEST(StatsConcurrencyTest, MixedBackendServingDuringRebuildsAndDrops) {
   });
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(StatsConcurrencyTest, ReadersServeStaleWhileBuildsFailAndRecover) {
+  // Degraded serving under contention (DESIGN.md §11): storage starts
+  // failing every read a bounded number of times, so rebuild attempts keep
+  // failing and are absorbed (stale-while-error) while reader threads
+  // estimate through the lock-free path the whole time. Once the injected
+  // outage wears off, a rebuild succeeds and readers switch to the fresh
+  // snapshot. Under TSan this proves the degraded-state bookkeeping never
+  // races with serving.
+  Table table = SmallTable(20000);
+  StatisticsManager::Options options;
+  options.buckets = 24;
+  options.f = 0.25;
+  options.threads = 2;
+  options.retry.max_attempts = 2;
+  options.breaker_failure_threshold = 1'000'000;  // no cooldown stalls here
+  StatisticsManager manager(options);
+  ASSERT_TRUE(manager.GetOrBuildShared("t.x", table).ok());
+
+  // Every page fails 8 read attempts before healing; rebuilds consume two
+  // attempts per page, so several rebuilds fail before one succeeds. The
+  // injector's per-page counters are internally synchronized.
+  FaultSpec spec;
+  spec.transient_probability = 1.0;
+  spec.transient_failures_per_page = 8;
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> recovered{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 300 && !recovered.load(); ++i) {
+        const auto estimate =
+            manager.EstimateRange("t.x", table, {100, 5000 + t * 100 + i});
+        if (!estimate.ok() || !(*estimate >= 0.0) ||
+            *estimate > static_cast<double>(table.tuple_count())) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    manager.RecordModifications("t.x", table.tuple_count());
+    // Failed rebuilds are absorbed: EnsureFresh keeps returning the stale
+    // snapshot, and the staleness persists until a rebuild succeeds.
+    for (int i = 0; i < 50; ++i) {
+      const auto result = manager.EnsureFreshShared("t.x", table);
+      if (!result.ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      if (manager.Health("t.x").health == ColumnHealth::kFresh) {
+        recovered.store(true);
+        break;
+      }
+    }
+    recovered.store(true);  // release the readers either way
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The outage was long enough that at least one rebuild failed and was
+  // absorbed, and short enough that the column recovered.
+  const auto health = manager.Health("t.x");
+  EXPECT_GT(health.total_build_failures, 0u);
+  EXPECT_EQ(health.health, ColumnHealth::kFresh);
+  EXPECT_EQ(health.consecutive_build_failures, 0u);
+  EXPECT_GE(manager.rebuild_count(), 2u);
 }
 
 TEST(StatsConcurrencyTest, SnapshotOutlivesDropAndRebuild) {
