@@ -1,0 +1,56 @@
+# Configure-time self-test of Clang's thread safety analysis against the
+# annotated lock wrappers (src/common/mutex.h). Two try_compile probes:
+#
+#   * tsa_check_guarded_access_ok.cc       must COMPILE  (correct locking)
+#   * tsa_check_unguarded_access_fails.cc  must NOT compile (missing lock)
+#
+# The negative probe is the important one: the annotation macros expand to
+# nothing on non-Clang compilers, so a misconfigured Clang build (flag
+# dropped, __has_attribute probe broken) would silently check nothing.
+# Failing the configure step makes that state impossible to ship from CI.
+#
+# No-op on compilers without -Wthread-safety (GCC builds rely on the CI
+# Clang job for analysis coverage).
+
+function(equihist_check_thread_safety)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    return()
+  endif()
+
+  set(_tsa_flags "-Wthread-safety" "-Werror")
+  set(_tsa_dir "${CMAKE_SOURCE_DIR}/cmake")
+
+  try_compile(_tsa_positive_ok
+    "${CMAKE_BINARY_DIR}/tsa_check_positive"
+    "${_tsa_dir}/tsa_check_guarded_access_ok.cc"
+    COMPILE_DEFINITIONS "${_tsa_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE _tsa_positive_output)
+  if(NOT _tsa_positive_ok)
+    message(FATAL_ERROR
+      "Thread safety analysis check failed: correctly locked code was "
+      "rejected under -Wthread-safety. Annotation macros or lock wrappers "
+      "are broken.\n${_tsa_positive_output}")
+  endif()
+
+  try_compile(_tsa_negative_ok
+    "${CMAKE_BINARY_DIR}/tsa_check_negative"
+    "${_tsa_dir}/tsa_check_unguarded_access_fails.cc"
+    COMPILE_DEFINITIONS "${_tsa_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON")
+  if(_tsa_negative_ok)
+    message(FATAL_ERROR
+      "Thread safety analysis check failed: an unguarded GUARDED_BY access "
+      "compiled under -Wthread-safety -Werror. The analysis is silently "
+      "disabled — every annotation in the tree is unchecked.")
+  endif()
+
+  message(STATUS "Thread safety analysis self-test passed "
+    "(guarded access accepted, unguarded access rejected)")
+endfunction()

@@ -1,0 +1,30 @@
+// Configure-time positive probe (cmake/ThreadSafetyCheck.cmake): correctly
+// locked access to a GUARDED_BY field must compile cleanly under
+// -Wthread-safety -Werror. If this fails, the annotation macros are broken
+// for the active compiler.
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  equihist::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  void Increment() {
+    equihist::MutexLock lock(mu);
+    ++value;
+  }
+
+  int Read() {
+    equihist::MutexLock lock(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// Configure-time negative probe (cmake/ThreadSafetyCheck.cmake): this
+// translation unit touches a GUARDED_BY field without holding its mutex
+// and MUST fail to compile under -Wthread-safety -Werror. If it compiles,
+// the analysis is silently off and every annotation in the tree is dead
+// weight — the configure step errors out.
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  equihist::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  void Increment() {
+    ++value;  // no lock held: -Wthread-safety must reject this
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -140,7 +140,12 @@ void IncrementalEquiDepth::RecomputeFromSample() {
   std::vector<Value> sample = reservoir_.sample();
   std::sort(sample.begin(), sample.end());
   auto histogram = BuildHistogramFromSample(sample, options_.buckets, n_);
-  assert(histogram.ok());
+  if (!histogram.ok()) {
+    // Unreachable for a reservoir the insert path has populated; an
+    // NDEBUG-blind assert here would turn a failed build into a read of
+    // an empty Result.
+    AbortOnStatus(histogram.status(), "IncrementalEquiDepth recompute");
+  }
   separators_ = histogram->separators();
   counts_ = histogram->counts();
 }

@@ -1,0 +1,107 @@
+#ifndef EQUIHIST_COMMON_ANNOTATIONS_H_
+#define EQUIHIST_COMMON_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations (DESIGN.md §13).
+//
+// These macros attach locking contracts to types, data members, and
+// functions so the *compiler* checks them on every Clang build
+// (-Wthread-safety -Werror in CI): a data member declared
+// GUARDED_BY(mu_) cannot be touched without mu_ held, a function
+// declared REQUIRES(mu_) cannot be called without it, and a scoped lock
+// type declared SCOPED_CAPABILITY is understood to hold its capability
+// for its lifetime. Under GCC (and any compiler without the attribute)
+// every macro expands to nothing, so annotated code is exactly as
+// portable as unannotated code.
+//
+// Conventions used throughout the codebase:
+//   - Every mutex-protected member carries GUARDED_BY(<mutex member>).
+//     Data reachable through a pointer guarded by a lock uses
+//     PT_GUARDED_BY.
+//   - Private helpers called with a lock already held are annotated
+//     REQUIRES(mu) / REQUIRES_SHARED(mu) instead of re-locking.
+//   - Public entry points that must NOT be called with an internal lock
+//     held (they acquire it themselves) may state EXCLUDES(mu).
+//   - Suppressions (NO_THREAD_SAFETY_ANALYSIS) are allowed only with a
+//     comment justifying why the analysis cannot see the invariant, and
+//     are forbidden in src/ by the CI gate.
+//
+// The raw-attribute spellings below follow the canonical mutex.h from
+// the Clang Thread Safety Analysis documentation.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define EQUIHIST_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define EQUIHIST_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// -- Type annotations --------------------------------------------------------
+
+// Marks a type as a lockable capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) EQUIHIST_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII type that acquires a capability in its constructor and
+// releases it in its destructor (MutexLock and friends).
+#define SCOPED_CAPABILITY EQUIHIST_THREAD_ANNOTATION_(scoped_lockable)
+
+// -- Data-member annotations -------------------------------------------------
+
+// The member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) EQUIHIST_THREAD_ANNOTATION_(guarded_by(x))
+
+// The pointee of this pointer member may only be accessed while holding
+// the given capability (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) EQUIHIST_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// -- Function annotations ----------------------------------------------------
+
+// The caller must hold the capability exclusively / at least shared.
+#define REQUIRES(...) \
+  EQUIHIST_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  EQUIHIST_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (exclusively / shared) and holds
+// it on return.
+#define ACQUIRE(...) \
+  EQUIHIST_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  EQUIHIST_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (generic / shared) held on entry.
+#define RELEASE(...) \
+  EQUIHIST_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  EQUIHIST_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// The function must NOT be called with the capability held (it acquires
+// it itself; stating this catches self-deadlock at compile time).
+#define EXCLUDES(...) EQUIHIST_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// The function tries to acquire the capability and returns `b` on
+// success.
+#define TRY_ACQUIRE(...) \
+  EQUIHIST_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  EQUIHIST_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// The function returns a reference to the given capability (accessors
+// like Mutex::native()).
+#define RETURN_CAPABILITY(x) EQUIHIST_THREAD_ANNOTATION_(lock_returned(x))
+
+// The function asserts that the capability is held (exclusively / at
+// least shared): after a call the analysis treats it as held for the
+// rest of the scope. Used both for runtime lock assertions and to
+// re-bind an aliased capability the analysis cannot prove equal (see
+// StatisticsManager::Entry, whose state is guarded by the owning
+// manager's lock through a stored pointer).
+#define ASSERT_CAPABILITY(x) \
+  EQUIHIST_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  EQUIHIST_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// Opt a function out of the analysis entirely. Requires a justifying
+// comment; forbidden in src/ by CI (scripts/run_clang_tidy.sh greps).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EQUIHIST_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // EQUIHIST_COMMON_ANNOTATIONS_H_

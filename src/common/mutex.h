@@ -1,0 +1,169 @@
+#ifndef EQUIHIST_COMMON_MUTEX_H_
+#define EQUIHIST_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace equihist {
+
+// Annotated wrappers over the standard mutex types (DESIGN.md §13).
+//
+// std::mutex and std::shared_mutex carry no thread-safety-analysis
+// attributes, so data guarded by them cannot be checked by Clang's
+// -Wthread-safety. These zero-overhead wrappers add the CAPABILITY
+// annotations; every lock in the library is one of these, and every
+// piece of guarded state is declared GUARDED_BY one of them. The
+// wrappers also satisfy the standard BasicLockable / Lockable /
+// SharedLockable requirements (lock/unlock/try_lock spellings), so they
+// remain usable with std facilities where needed.
+
+// Exclusive mutex. Prefer the scoped MutexLock over manual
+// Lock()/Unlock() pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Standard Lockable spellings (std interop: std::lock_guard<Mutex>,
+  // condition_variable_any). Same contracts as the named methods.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex: many concurrent shared holders or one exclusive
+// holder. Prefer the scoped WriterMutexLock / ReaderMutexLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  // Standard SharedLockable spellings.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+// RAII exclusive lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  // Generic release: the analysis pairs it with the shared acquire above.
+  ~ReaderMutexLock() RELEASE() { mu_.ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable paired with Mutex. Wait takes the Mutex (not the
+// scoped lock) so the REQUIRES contract names the capability the
+// analysis tracks; from the analysis's point of view the mutex stays
+// held across the wait, which matches what the caller may assume about
+// its guarded state before and after.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // The wait adopts the mutex the caller already holds (via MutexLock)
+  // and hands ownership back before returning, so the caller's scoped
+  // lock stays the sole owner.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // std::condition_variable (not _any): Mutex wraps exactly std::mutex,
+  // so the fast native-handle path applies.
+  std::condition_variable cv_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_COMMON_MUTEX_H_

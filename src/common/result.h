@@ -17,8 +17,10 @@ namespace equihist {
 //   Result<Histogram> r = BuildHistogram(...);
 //   if (!r.ok()) return r.status();
 //   Histogram h = std::move(r).value();
+// [[nodiscard]] for the same reason as Status: discarding a Result drops
+// both the value and the error (DESIGN.md §13).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or a status keeps call sites terse
   // ("return histogram;" / "return Status::InvalidArgument(...)"), matching

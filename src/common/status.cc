@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace equihist {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -34,6 +37,13 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
+}
+
+[[noreturn]] void AbortOnStatus(const Status& status,
+                                std::string_view context) {
+  std::fprintf(stderr, "%.*s: %s\n", static_cast<int>(context.size()),
+               context.data(), status.ToString().c_str());
+  std::abort();
 }
 
 }  // namespace equihist

@@ -48,8 +48,13 @@ std::string_view StatusCodeToString(StatusCode code);
 // absl::Status / rocksdb::Status. The library does not throw exceptions;
 // every fallible public entry point returns Status or Result<T>.
 //
+// [[nodiscard]]: a dropped Status is a swallowed failure — the compiler
+// rejects it on every build (the error-discipline leg of DESIGN.md §13).
+// The rare call site that really may ignore an error says so explicitly
+// with `std::ignore = ...;` and a comment.
+//
 // The OK status carries no message and allocates nothing.
-class Status {
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() = default;
@@ -102,6 +107,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Aborts the process, printing `context` and the status. For the
+// documented fault-free-only convenience APIs (FullScan, RangeScan, ...)
+// that cannot report a Status: reaching a failure under one of them means
+// the caller ran it on faulty storage, and failing loudly beats silently
+// returning truncated data. Library code on fallible paths must propagate
+// instead (EQUIHIST_RETURN_IF_ERROR / EQUIHIST_ASSIGN_OR_RETURN).
+[[noreturn]] void AbortOnStatus(const Status& status, std::string_view context);
 
 // Propagates a non-OK status to the caller. Usable only in functions
 // returning Status.

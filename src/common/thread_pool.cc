@@ -20,8 +20,8 @@ struct ThreadPool::ForState {
       nullptr;
   std::atomic<std::size_t> next_shard{0};
   std::atomic<std::size_t> finished{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -34,27 +34,29 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -80,8 +82,8 @@ void ThreadPool::RunShards(const std::shared_ptr<ForState>& state) {
   if (done == shards) {
     // Lock/unlock pairs with the waiter's predicate check so the notify
     // cannot race past a waiter that has not yet slept.
-    std::lock_guard<std::mutex> lock(state->done_mu);
-    state->done_cv.notify_all();
+    MutexLock lock(state->done_mu);
+    state->done_cv.NotifyAll();
   }
 }
 
@@ -114,8 +116,8 @@ void ThreadPool::ParallelFor(
   }
   RunShards(state);  // the caller is always a worker
 
-  std::unique_lock<std::mutex> lock(state->done_mu);
-  state->done_cv.wait(lock, [&state]() {
+  MutexLock lock(state->done_mu);
+  state->done_cv.Wait(state->done_mu, [&state]() {
     return state->finished.load() == state->num_shards;
   });
 }

@@ -1,17 +1,18 @@
 #ifndef EQUIHIST_COMMON_THREAD_POOL_H_
 #define EQUIHIST_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace equihist {
 
@@ -83,10 +84,10 @@ class ThreadPool {
   static void RunShards(const std::shared_ptr<ForState>& state);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace equihist

@@ -1,14 +1,14 @@
 #include "query/index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
 
 namespace equihist {
 
 Result<OrderedIndex> OrderedIndex::Build(const Table& table,
                                          IoStats* build_stats,
-                                         std::uint32_t entries_per_leaf) {
+                                         std::uint32_t entries_per_leaf,
+                                         const RetryPolicy& policy) {
   if (entries_per_leaf == 0) {
     return Status::InvalidArgument("entries_per_leaf must be positive");
   }
@@ -18,10 +18,11 @@ Result<OrderedIndex> OrderedIndex::Build(const Table& table,
   std::vector<Entry> entries;
   entries.reserve(table.tuple_count());
   for (std::uint64_t page_id = 0; page_id < table.page_count(); ++page_id) {
-    Result<const Page*> page = table.file().ReadPage(page_id, build_stats);
-    assert(page.ok());
-    for (std::uint32_t slot = 0; slot < (*page)->size(); ++slot) {
-      entries.push_back(Entry{(*page)->at(slot),
+    EQUIHIST_ASSIGN_OR_RETURN(
+        const Page* page,
+        table.file().ReadPageRetrying(page_id, policy, build_stats));
+    for (std::uint32_t slot = 0; slot < page->size(); ++slot) {
+      entries.push_back(Entry{page->at(slot),
                               static_cast<std::uint32_t>(page_id), slot});
     }
   }
@@ -64,6 +65,17 @@ std::uint64_t OrderedIndex::RangeCount(const RangeQuery& query,
 std::uint64_t OrderedIndex::RangeScan(const Table& table,
                                       const RangeQuery& query,
                                       IoStats* stats) const {
+  Result<std::uint64_t> matches = RangeScanChecked(table, query, stats);
+  if (!matches.ok()) {
+    AbortOnStatus(matches.status(),
+                  "RangeScan on faulty storage (use RangeScanChecked)");
+  }
+  return *matches;
+}
+
+Result<std::uint64_t> OrderedIndex::RangeScanChecked(
+    const Table& table, const RangeQuery& query, IoStats* stats,
+    const RetryPolicy& policy) const {
   const auto [first, last] = EntryRange(query);
   ChargeLeaves(first, last, stats);
   // Fetch each distinct matching table page once (modelling a page cache
@@ -73,13 +85,13 @@ std::uint64_t OrderedIndex::RangeScan(const Table& table,
   for (std::uint64_t i = first; i < last; ++i) {
     const Entry& entry = entries_[i];
     if (fetched.insert(entry.page_id).second) {
-      Result<const Page*> page = table.file().ReadPage(entry.page_id, stats);
-      assert(page.ok());
-      (void)page;
+      EQUIHIST_ASSIGN_OR_RETURN(
+          const Page* page,
+          table.file().ReadPageRetrying(entry.page_id, policy, stats));
       // ReadPage charged the page plus all its tuples; the scan only
       // examines the indexed slot, so adjust tuples_read to one per match.
       if (stats != nullptr) {
-        stats->tuples_read -= (*page)->size();
+        stats->tuples_read -= page->size();
       }
     }
     if (stats != nullptr) stats->tuples_read += 1;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "data/workload.h"
 #include "storage/io_stats.h"
 #include "storage/table.h"
@@ -26,10 +27,14 @@ class OrderedIndex {
 
   // Builds by scanning the table once (the index build is charged to
   // `build_stats` if provided). `entries_per_leaf` models the leaf fan-out
-  // (8 KB / 16 B entry = 512 by default).
+  // (8 KB / 16 B entry = 512 by default). Transient read faults are
+  // retried per `policy` (charged to build_stats->transient_retries); a
+  // page that stays unreadable fails the build with that page's status —
+  // an index over partial data would silently under-count every range.
   static Result<OrderedIndex> Build(const Table& table,
                                     IoStats* build_stats = nullptr,
-                                    std::uint32_t entries_per_leaf = 512);
+                                    std::uint32_t entries_per_leaf = 512,
+                                    const RetryPolicy& policy = {});
 
   std::uint64_t entry_count() const { return entries_.size(); }
   std::uint32_t entries_per_leaf() const { return entries_per_leaf_; }
@@ -41,8 +46,21 @@ class OrderedIndex {
   // touched index leaves and the fetched table pages (each distinct
   // matching page once — a block-nested fetch with a page cache) to
   // `stats`, and returns the number of matching tuples.
+  //
+  // Like FullScan, this overload assumes fault-free storage: a table page
+  // that cannot be read aborts (it cannot report a Status). Fault-aware
+  // callers go through RangeScanChecked.
   std::uint64_t RangeScan(const Table& table, const RangeQuery& query,
                           IoStats* stats) const;
+
+  // Fault-aware RangeScan: transient read errors are retried per `policy`
+  // (charged to stats->transient_retries); a page that stays unreadable
+  // fails the scan with that page's kDataLoss/kUnavailable status.
+  // Fault-free tables return exactly RangeScan's count and I/O bill.
+  Result<std::uint64_t> RangeScanChecked(const Table& table,
+                                         const RangeQuery& query,
+                                         IoStats* stats,
+                                         const RetryPolicy& policy = {}) const;
 
   // Index-only count (no table fetch): charges only leaf reads. Used when
   // the query needs COUNT rather than tuples.

@@ -85,15 +85,32 @@ PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
                             const RangeQuery& query, AccessPath path,
                             ThreadPool* pool) {
+  Result<ExecutionResult> result =
+      ExecutePlanChecked(table, index, query, path, pool);
+  if (!result.ok()) {
+    AbortOnStatus(result.status(),
+                  "ExecutePlan on faulty storage (use ExecutePlanChecked)");
+  }
+  return std::move(result).value();
+}
+
+Result<ExecutionResult> ExecutePlanChecked(const Table& table,
+                                           const OrderedIndex& index,
+                                           const RangeQuery& query,
+                                           AccessPath path, ThreadPool* pool,
+                                           const RetryPolicy& policy) {
   ExecutionResult result;
   result.path = path;
   if (path == AccessPath::kIndexRangeScan) {
-    result.rows = index.RangeScan(table, query, &result.io);
+    EQUIHIST_ASSIGN_OR_RETURN(
+        result.rows, index.RangeScanChecked(table, query, &result.io, policy));
     return result;
   }
   // Full scan through the shared storage primitive (parallel page reads
   // with a pool, identical I/O bill either way), then count matches.
-  const std::vector<Value> values = FullScan(table, &result.io, pool);
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const std::vector<Value> values,
+      FullScanChecked(table, &result.io, pool, policy));
   for (Value v : values) {
     if (query.lo < v && v <= query.hi) ++result.rows;
   }

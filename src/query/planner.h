@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "data/workload.h"
 #include "query/index.h"
@@ -78,9 +79,24 @@ struct ExecutionResult {
 // count and I/O bill. The full-scan arm goes through storage/scan's
 // FullScan; with a pool its page reads run concurrently (row count and
 // charged I/O are identical for any thread count).
+//
+// Like FullScan and RangeScan, this overload assumes fault-free storage
+// and aborts on an unreadable page. Fault-aware callers go through
+// ExecutePlanChecked.
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
                             const RangeQuery& query, AccessPath path,
                             ThreadPool* pool = nullptr);
+
+// Fault-aware plan execution: both arms retry transient read faults per
+// `policy` and propagate a page that stays unreadable as that page's
+// kDataLoss/kUnavailable status. Fault-free tables return exactly
+// ExecutePlan's result.
+Result<ExecutionResult> ExecutePlanChecked(const Table& table,
+                                           const OrderedIndex& index,
+                                           const RangeQuery& query,
+                                           AccessPath path,
+                                           ThreadPool* pool = nullptr,
+                                           const RetryPolicy& policy = {});
 
 }  // namespace equihist
 

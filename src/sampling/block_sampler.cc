@@ -11,10 +11,9 @@ namespace {
 Status AppendPage(const Table& table, std::uint64_t page_id,
                   const RetryPolicy& retry, IoStats* stats,
                   std::vector<Value>& out) {
-  Result<const Page*> page =
-      table.file().ReadPageRetrying(page_id, retry, stats);
-  if (!page.ok()) return page.status();
-  for (Value v : (*page)->values()) out.push_back(v);
+  EQUIHIST_ASSIGN_OR_RETURN(
+      const Page* page, table.file().ReadPageRetrying(page_id, retry, stats));
+  for (Value v : page->values()) out.push_back(v);
   return Status::OK();
 }
 

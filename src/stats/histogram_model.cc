@@ -40,7 +40,7 @@ Status HistogramBackendRegistry::Register(HistogramBackendId id,
   if (backend.name.empty()) {
     return Status::InvalidArgument("a backend needs a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [existing_id, existing] : backends_) {
     if (existing.name == backend.name && existing_id != id) {
       return Status::FailedPrecondition("backend name '" + backend.name +
@@ -58,7 +58,7 @@ Status HistogramBackendRegistry::Register(HistogramBackendId id,
 
 Result<HistogramBackendRegistry::Backend> HistogramBackendRegistry::Find(
     HistogramBackendId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = backends_.find(id);
   if (it == backends_.end()) {
     return Status::NotFound("no histogram backend with id " +
@@ -69,7 +69,7 @@ Result<HistogramBackendRegistry::Backend> HistogramBackendRegistry::Find(
 
 Result<HistogramBackendId> HistogramBackendRegistry::IdForName(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [id, backend] : backends_) {
     if (backend.name == name) return id;
   }
@@ -78,12 +78,12 @@ Result<HistogramBackendId> HistogramBackendRegistry::IdForName(
 }
 
 bool HistogramBackendRegistry::Has(HistogramBackendId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return backends_.find(id) != backends_.end();
 }
 
 std::vector<HistogramBackendId> HistogramBackendRegistry::Ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<HistogramBackendId> ids;
   ids.reserve(backends_.size());
   for (const auto& [id, backend] : backends_) ids.push_back(id);

@@ -5,12 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/range_estimator.h"
@@ -133,8 +134,8 @@ class HistogramBackendRegistry {
   std::vector<HistogramBackendId> Ids() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<HistogramBackendId, Backend> backends_;
+  mutable Mutex mu_;
+  std::map<HistogramBackendId, Backend> backends_ GUARDED_BY(mu_);
 };
 
 // Scores `model` against true counts over `truth` — the backend-polymorphic

@@ -99,13 +99,13 @@ Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
 std::shared_ptr<StatisticsManager::Entry> StatisticsManager::GetEntry(
     const std::string& column) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = entries_.find(column);
     if (it != entries_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(column);
-  if (inserted) it->second = std::make_shared<Entry>();
+  if (inserted) it->second = std::make_shared<Entry>(&mu_);
   return it->second;
 }
 
@@ -125,10 +125,12 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
                                    Status* build_error) {
   // One build per column at a time: a second thread arriving here blocks
   // until the first publishes, then takes the fresh snapshot below.
-  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  MutexLock build_lock(entry->build_mu);
   std::uint64_t generation = 0;
+  std::uint64_t modifications_at_capture = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
+    entry->AssertReaderHeld();
     if (entry->stats != nullptr && !entry->serving_fallback &&
         (!require_fresh || !IsStaleLocked(*entry))) {
       return entry->stats;
@@ -149,6 +151,12 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
       return open;
     }
     generation = entry->generation;
+    // Captured now, consumed at publish: only modifications that already
+    // existed when this build started may be cleared — DML recorded while
+    // the build runs is not reflected in the new snapshot and must keep
+    // counting toward its staleness.
+    modifications_at_capture =
+        entry->modifications_since_build.load(std::memory_order_relaxed);
   }
   // Seed addressed by (manager seed, column, generation): independent of
   // the order in which threads or BuildAll shards reach this column.
@@ -169,7 +177,8 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     return Status::Internal("built statistics carry no histogram model");
   }
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
     total_build_cost_ += snapshot->build_cost;
     entry->stats = snapshot;
     entry->model = snapshot->model;
@@ -184,8 +193,15 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     // Release-publish so a serving thread that observes the new counter
     // also observes the snapshot it validates.
     entry->published.fetch_add(1, std::memory_order_release);
+    // Subtract the captured count instead of resetting to zero:
+    // modifications recorded after the capture raced the build, are not
+    // reflected in the snapshot just published, and must survive into
+    // the new generation's staleness accounting. (The previous
+    // unconditional store(0) — issued after the lock was released, no
+    // less — silently erased them.)
+    entry->modifications_since_build.fetch_sub(modifications_at_capture,
+                                               std::memory_order_relaxed);
   }
-  entry->modifications_since_build.store(0, std::memory_order_relaxed);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   return snapshot;
 }
@@ -197,7 +213,8 @@ StatisticsManager::AbsorbBuildFailure(Entry* entry, const Table& table,
   // caller's problem: no breaker, no degradation, just the error.
   if (!IsFaultError(error.code())) return error;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
     ++entry->consecutive_build_failures;
     ++entry->total_build_failures;
     entry->last_error = error;
@@ -219,7 +236,8 @@ StatisticsManager::AbsorbBuildFailure(Entry* entry, const Table& table,
   // kDegraded; a later successful build replaces it.
   auto snapshot = MakeFallbackSnapshot(table);
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
     entry->stats = snapshot;
     entry->model = snapshot->model;
     entry->serving_fallback = true;
@@ -232,13 +250,17 @@ Result<std::shared_ptr<const ColumnStatistics>>
 StatisticsManager::GetOrBuildShared(const std::string& column,
                                     const Table& table) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = entries_.find(column);
-    // A fallback snapshot doesn't satisfy GetOrBuild: fall through and try
-    // a real build (the breaker inside BuildAndPublish rate-limits it).
-    if (it != entries_.end() && it->second->stats != nullptr &&
-        !it->second->serving_fallback) {
-      return it->second->stats;
+    if (it != entries_.end()) {
+      const Entry& entry = *it->second;
+      entry.AssertReaderHeld();
+      // A fallback snapshot doesn't satisfy GetOrBuild: fall through and
+      // try a real build (the breaker inside BuildAndPublish rate-limits
+      // it).
+      if (entry.stats != nullptr && !entry.serving_fallback) {
+        return entry.stats;
+      }
     }
   }
   const std::shared_ptr<Entry> entry = GetEntry(column);
@@ -256,7 +278,7 @@ Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
 
 void StatisticsManager::RecordModifications(const std::string& column,
                                             std::uint64_t count) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it != entries_.end()) {
     it->second->modifications_since_build.fetch_add(
@@ -265,10 +287,12 @@ void StatisticsManager::RecordModifications(const std::string& column,
 }
 
 bool StatisticsManager::IsStale(const std::string& column) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
-  return IsStaleLocked(*it->second);
+  const Entry& entry = *it->second;
+  entry.AssertReaderHeld();
+  return IsStaleLocked(entry);
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
@@ -276,11 +300,15 @@ StatisticsManager::EnsureFreshInternal(const std::string& column,
                                        const Table& table,
                                        Status* build_error) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = entries_.find(column);
-    if (it != entries_.end() && it->second->stats != nullptr &&
-        !it->second->serving_fallback && !IsStaleLocked(*it->second)) {
-      return it->second->stats;
+    if (it != entries_.end()) {
+      const Entry& entry = *it->second;
+      entry.AssertReaderHeld();
+      if (entry.stats != nullptr && !entry.serving_fallback &&
+          !IsStaleLocked(entry)) {
+        return entry.stats;
+      }
     }
   }
   const std::shared_ptr<Entry> entry = GetEntry(column);
@@ -348,7 +376,12 @@ Status StatisticsManager::InstallSerializedStatistics(
     const std::string& column, std::span<const std::uint8_t> bytes) {
   const std::shared_ptr<Entry> entry = GetEntry(column);
   // Installs serialize against live builds of the same column.
-  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  MutexLock build_lock(entry->build_mu);
+  // Same race-free accounting as BuildAndPublish: the blob reflects DML
+  // up to (at most) this point, so only modifications already recorded
+  // may be cleared when it publishes.
+  const std::uint64_t modifications_at_capture =
+      entry->modifications_since_build.load(std::memory_order_relaxed);
   Result<ColumnStatistics> parsed = DeserializeColumnStatistics(bytes);
   if (parsed.ok() && parsed->model == nullptr) {
     parsed = Status::DataLoss("serialized statistics carry no histogram");
@@ -357,7 +390,8 @@ Status StatisticsManager::InstallSerializedStatistics(
     // Quarantine: reject the blob, record why, keep serving whatever was
     // published before. The flag clears on the next successful install or
     // live build.
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
     entry->quarantined = true;
     entry->last_error = parsed.status();
     return parsed.status();
@@ -365,7 +399,8 @@ Status StatisticsManager::InstallSerializedStatistics(
   auto snapshot =
       std::make_shared<const ColumnStatistics>(std::move(parsed).value());
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
     entry->stats = snapshot;
     entry->model = snapshot->model;
     entry->generation += 1;
@@ -375,17 +410,19 @@ Status StatisticsManager::InstallSerializedStatistics(
     entry->breaker_open_until = 0;
     entry->last_error = Status::OK();
     entry->published.fetch_add(1, std::memory_order_release);
+    entry->modifications_since_build.fetch_sub(modifications_at_capture,
+                                               std::memory_order_relaxed);
   }
-  entry->modifications_since_build.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
 ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
   ColumnHealthReport report;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return report;  // unknown: kDegraded, !exists
   const Entry& entry = *it->second;
+  entry.AssertReaderHeld();
   report.exists = true;
   report.serving_fallback = entry.serving_fallback;
   report.quarantined = entry.quarantined;
@@ -405,9 +442,10 @@ ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
 }
 
 bool StatisticsManager::Drop(const std::string& column) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
+  it->second->AssertWriterHeld();
   // A placeholder whose first build failed never became visible.
   const bool existed = it->second->stats != nullptr;
   // Invalidate every thread's serving cache: the bump makes any cached
@@ -443,15 +481,18 @@ Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
     std::shared_ptr<Entry> entry;
     CachedServing fresh;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(mu_);
       const auto it = entries_.find(column);
-      if (it != entries_.end() && it->second->stats != nullptr) {
-        entry = it->second;
-        // Counter and snapshot are mutually consistent here: publishes
-        // mutate both under the exclusive lock we are sharing against.
-        fresh.published = entry->published.load(std::memory_order_acquire);
-        fresh.stats = entry->stats;
-        fresh.model = entry->model;
+      if (it != entries_.end()) {
+        it->second->AssertReaderHeld();
+        if (it->second->stats != nullptr) {
+          entry = it->second;
+          // Counter and snapshot are mutually consistent here: publishes
+          // mutate both under the exclusive lock we are sharing against.
+          fresh.published = entry->published.load(std::memory_order_acquire);
+          fresh.stats = it->second->stats;
+          fresh.model = it->second->model;
+        }
       }
     }
     if (entry != nullptr) {
@@ -511,22 +552,25 @@ Status StatisticsManager::EstimateRanges(const std::string& column,
 }
 
 bool StatisticsManager::Has(const std::string& column) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
-  return it != entries_.end() && it->second->stats != nullptr;
+  if (it == entries_.end()) return false;
+  it->second->AssertReaderHeld();
+  return it->second->stats != nullptr;
 }
 
 std::size_t StatisticsManager::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::size_t count = 0;
   for (const auto& [name, entry] : entries_) {
+    entry->AssertReaderHeld();
     if (entry->stats != nullptr) ++count;
   }
   return count;
 }
 
 IoStats StatisticsManager::total_build_cost() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return total_build_cost_;
 }
 

@@ -6,13 +6,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include <mutex>  // std::once_flag
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
@@ -222,30 +223,47 @@ class StatisticsManager {
 
  private:
   struct Entry {
-    // Immutable snapshot, swapped atomically under mu_; null while the
+    // The manager's mu_: every non-atomic field below is guarded by it,
+    // and the annotation layer checks that on each Clang build. Entries
+    // never outlive their manager (the map and any in-flight build hold
+    // them through shared_ptr, and both are manager-scoped).
+    explicit Entry(SharedMutex* manager_mu) : mu(manager_mu) {}
+
+    // Zero-cost capability re-binding: callers hold the manager's mu_ —
+    // which IS *mu by construction — but the analysis cannot prove that
+    // alias, so code about to touch guarded fields through an Entry
+    // pointer calls one of these first (with the manager lock held in
+    // the matching mode). Compiles to nothing.
+    void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(*mu) {}
+    void AssertWriterHeld() const ASSERT_CAPABILITY(*mu) {}
+
+    SharedMutex* const mu;
+    // Immutable snapshot, swapped atomically under mu; null while the
     // first build is in flight.
-    std::shared_ptr<const ColumnStatistics> stats;
+    std::shared_ptr<const ColumnStatistics> stats GUARDED_BY(*mu);
     // The snapshot's servable histogram model (any backend family); set
-    // together with `stats` under mu_, built outside any lock.
-    HistogramModelPtr model;
+    // together with `stats` under mu, built outside any lock.
+    HistogramModelPtr model GUARDED_BY(*mu);
     std::atomic<std::uint64_t> modifications_since_build{0};
-    std::uint64_t generation = 0;  // # builds completed, guarded by mu_
-    std::mutex build_mu;           // serializes builds of this column
+    std::uint64_t generation GUARDED_BY(*mu) = 0;  // # builds completed
+    Mutex build_mu;  // serializes builds of this column
     // Publication counter for the lock-free serving path: bumped (under
-    // mu_) whenever `stats` changes and when the column is dropped. A
+    // mu) whenever `stats` changes and when the column is dropped. A
     // thread-cached snapshot is current iff this still equals the value
     // captured at caching time; monotone, so there is no ABA.
     std::atomic<std::uint64_t> published{0};
-    // -- Degraded-serving state (DESIGN.md §11), all guarded by mu_ and
-    // written only in slow paths — a failed rebuild never bumps
-    // `published`, so serving threads keep their cached snapshot at zero
-    // cost.
-    std::uint64_t consecutive_build_failures = 0;
-    std::uint64_t total_build_failures = 0;
-    std::uint64_t breaker_open_until = 0;  // clock micros; 0 = closed
-    bool serving_fallback = false;  // `stats` is the uniform fallback
-    bool quarantined = false;       // last installed blob failed to parse
-    Status last_error{};
+    // -- Degraded-serving state (DESIGN.md §11), written only in slow
+    // paths — a failed rebuild never bumps `published`, so serving
+    // threads keep their cached snapshot at zero cost.
+    std::uint64_t consecutive_build_failures GUARDED_BY(*mu) = 0;
+    std::uint64_t total_build_failures GUARDED_BY(*mu) = 0;
+    // Clock micros; 0 = closed.
+    std::uint64_t breaker_open_until GUARDED_BY(*mu) = 0;
+    // `stats` is the uniform fallback.
+    bool serving_fallback GUARDED_BY(*mu) = false;
+    // Last installed blob failed to parse.
+    bool quarantined GUARDED_BY(*mu) = false;
+    Status last_error GUARDED_BY(*mu){};
   };
 
   // One thread-local cache slot of the serving path: the shared_ptrs keep
@@ -273,17 +291,18 @@ class StatisticsManager {
   // reported through `build_error` (when non-null) and Health().
   Result<std::shared_ptr<const ColumnStatistics>> BuildAndPublish(
       const std::string& column, Entry* entry, const Table& table,
-      bool require_fresh, Status* build_error = nullptr);
+      bool require_fresh, Status* build_error = nullptr)
+      EXCLUDES(mu_, entry->build_mu);
   // The degrade path of a failed build: breaker bookkeeping plus
-  // stale-while-error / fallback-publish. Called with entry->build_mu
-  // held.
+  // stale-while-error / fallback-publish.
   Result<std::shared_ptr<const ColumnStatistics>> AbsorbBuildFailure(
-      Entry* entry, const Table& table, const Status& error);
+      Entry* entry, const Table& table, const Status& error)
+      REQUIRES(entry->build_mu) EXCLUDES(mu_);
   // EnsureFreshShared with the underlying build error surfaced even when
   // degradation absorbed it (the BuildAll aggregation hook).
   Result<std::shared_ptr<const ColumnStatistics>> EnsureFreshInternal(
       const std::string& column, const Table& table, Status* build_error);
-  bool IsStaleLocked(const Entry& entry) const;
+  bool IsStaleLocked(const Entry& entry) const REQUIRES_SHARED(*entry.mu);
   // The injectable monotonic clock (microseconds).
   std::uint64_t NowMicros() const;
   // Lazily created pool per options_.threads (null when sequential).
@@ -302,12 +321,12 @@ class StatisticsManager {
 
   const Options options_;
   const std::uint64_t manager_id_;  // process-unique, assigned at construction
-  mutable std::shared_mutex mu_;  // guards entries_ map + snapshot/gen fields
+  mutable SharedMutex mu_;  // guards entries_ map + snapshot/gen fields
   // shared_ptr nodes: an in-flight build keeps its Entry alive even if the
   // column is concurrently dropped, and Entry addresses stay stable so
   // per-entry mutexes can be held without the map lock.
-  std::map<std::string, std::shared_ptr<Entry>> entries_;
-  IoStats total_build_cost_{};  // guarded by mu_
+  std::map<std::string, std::shared_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  IoStats total_build_cost_ GUARDED_BY(mu_){};
   std::atomic<std::uint64_t> rebuilds_{0};
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;

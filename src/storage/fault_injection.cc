@@ -73,7 +73,7 @@ FaultKind FaultInjector::Decide(std::uint64_t page_id) {
   // Transient pages fail a bounded number of attempts, then heal. The
   // counter is per page, so retries of different pages never interact.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::uint32_t& failed = transient_failures_[page_id];
     if (failed >= spec_.transient_failures_per_page) return FaultKind::kNone;
     ++failed;
@@ -89,7 +89,7 @@ bool FaultInjector::InjectsLatency(std::uint64_t page_id) const {
 
 const Page* FaultInjector::CorruptedCopy(std::uint64_t page_id,
                                          const Page& page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = corrupted_.find(page_id);
   if (it == corrupted_.end()) {
     auto copy = std::make_unique<Page>(page);

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -124,9 +125,11 @@ class FaultInjector {
   std::unordered_set<std::uint64_t> lost_set_;
   std::unordered_set<std::uint64_t> corrupt_set_;
 
-  std::mutex mu_;  // guards the two maps below
-  std::unordered_map<std::uint64_t, std::uint32_t> transient_failures_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> corrupted_;
+  Mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint32_t> transient_failures_
+      GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> corrupted_
+      GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> transient_injected_{0};
   std::atomic<std::uint64_t> lost_injected_{0};

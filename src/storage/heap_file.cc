@@ -11,7 +11,14 @@ namespace equihist {
 
 HeapFile::HeapFile(const PageConfig& config)
     : config_(config), tuples_per_page_(config.TuplesPerPage()) {
-  assert(ValidatePageConfig(config).ok());
+  // Enforced in every build mode: under NDEBUG an assert would skip the
+  // check and let a zero-tuple geometry divide by zero later. Fallible
+  // callers validate first (Table::Create); reaching here with a bad
+  // config is direct constructor misuse.
+  const Status config_status = ValidatePageConfig(config);
+  if (!config_status.ok()) {
+    AbortOnStatus(config_status, "HeapFile: invalid PageConfig");
+  }
 }
 
 void HeapFile::Append(Value value) {

@@ -1,34 +1,24 @@
 #include "storage/scan.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace equihist {
-namespace {
-
-[[noreturn]] void AbortOnUnexpectedFault(const Status& status) {
-  // The infallible FullScan overloads are documented fault-free-only;
-  // reaching here means an injector fired under an API that cannot report
-  // it. Fail loudly rather than return silently truncated data.
-  std::fprintf(stderr,
-               "FullScan on faulty storage (use FullScanChecked): %s\n",
-               status.ToString().c_str());
-  std::abort();
-}
-
-}  // namespace
 
 std::vector<Value> FullScan(const Table& table, IoStats* stats) {
   Result<std::vector<Value>> values =
       FullScanChecked(table, stats, /*pool=*/nullptr);
-  if (!values.ok()) AbortOnUnexpectedFault(values.status());
+  if (!values.ok()) {
+    AbortOnStatus(values.status(),
+                  "FullScan on faulty storage (use FullScanChecked)");
+  }
   return std::move(values).value();
 }
 
 std::vector<Value> FullScan(const Table& table, IoStats* stats,
                             ThreadPool* pool) {
   Result<std::vector<Value>> values = FullScanChecked(table, stats, pool);
-  if (!values.ok()) AbortOnUnexpectedFault(values.status());
+  if (!values.ok()) {
+    AbortOnStatus(values.status(),
+                  "FullScan on faulty storage (use FullScanChecked)");
+  }
   return std::move(values).value();
 }
 
@@ -40,10 +30,10 @@ Result<std::vector<Value>> FullScanChecked(const Table& table, IoStats* stats,
     std::vector<Value> values;
     values.reserve(table.tuple_count());
     for (std::uint64_t page_id = 0; page_id < pages; ++page_id) {
-      Result<const Page*> page =
-          table.file().ReadPageRetrying(page_id, policy, stats);
-      if (!page.ok()) return page.status();
-      for (Value v : (*page)->values()) values.push_back(v);
+      EQUIHIST_ASSIGN_OR_RETURN(
+          const Page* page,
+          table.file().ReadPageRetrying(page_id, policy, stats));
+      for (Value v : page->values()) values.push_back(v);
     }
     return values;
   }

@@ -4,6 +4,7 @@
 
 #include "data/distribution.h"
 #include "data/value_set.h"
+#include "storage/fault_injection.h"
 #include "storage/table.h"
 
 namespace equihist {
@@ -80,6 +81,69 @@ TEST(OrderedIndexTest, NarrowRangeIsFarCheaperThanScan) {
   IoStats index_io;
   fx.index.RangeScan(fx.table, {100, 102}, &index_io);
   EXPECT_LT(index_io.pages_read, fx.table.page_count() / 4);
+}
+
+// Regression: Build and RangeScan used to check ReadPage results only
+// with assert(), so on faulty storage a release build dereferenced an
+// empty Result. Both now retry transient faults and propagate permanent
+// ones (RangeScan through RangeScanChecked).
+
+TEST(OrderedIndexFaultTest, BuildPropagatesLostPage) {
+  const auto freq = MakeAllDistinct(100);
+  Table table = Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom})
+                    .value();
+  FaultSpec spec;
+  spec.lost_pages = {3};
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+  const auto index = OrderedIndex::Build(table);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(OrderedIndexFaultTest, BuildRetriesTransientFaultsAndCharges) {
+  const auto freq = MakeAllDistinct(100);
+  Table table = Table::Create(*freq, kPage, {.kind = LayoutKind::kRandom})
+                    .value();
+  FaultSpec spec;
+  spec.transient_pages = {2};
+  spec.transient_failures_per_page = 2;  // heals within the default 3 tries
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+  IoStats stats;
+  const auto index = OrderedIndex::Build(table, &stats);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->entry_count(), table.tuple_count());
+  EXPECT_EQ(stats.transient_retries, 2u);
+}
+
+TEST(OrderedIndexFaultTest, RangeScanCheckedPropagatesLostPage) {
+  Fixture fx;
+  FaultSpec spec;
+  spec.lost_pages = {0};
+  FaultInjector injector(spec);
+  fx.table.set_fault_injector(&injector);
+  IoStats stats;
+  // The full-domain scan must fetch every page, page 0 included.
+  const Result<std::uint64_t> rows =
+      fx.index.RangeScanChecked(fx.table, {-5, 10000}, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(OrderedIndexFaultTest, RangeScanCheckedMatchesRangeScanWhenFaultFree) {
+  Fixture fx;
+  const RangeQuery q{100, 200};
+  IoStats unchecked_io;
+  const std::uint64_t unchecked = fx.index.RangeScan(fx.table, q,
+                                                     &unchecked_io);
+  IoStats checked_io;
+  const Result<std::uint64_t> checked =
+      fx.index.RangeScanChecked(fx.table, q, &checked_io);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(*checked, unchecked);
+  EXPECT_EQ(checked_io.pages_read, unchecked_io.pages_read);
+  EXPECT_EQ(checked_io.tuples_read, unchecked_io.tuples_read);
 }
 
 TEST(OrderedIndexTest, Validation) {

@@ -5,6 +5,7 @@
 #include "data/distribution.h"
 #include "data/value_set.h"
 #include "stats/column_statistics.h"
+#include "storage/fault_injection.h"
 #include "storage/table.h"
 
 namespace equihist {
@@ -109,6 +110,35 @@ TEST(PlannerTest, ExecuteFullScanCountsExactly) {
       ExecutePlan(fx.table, fx.index, q, AccessPath::kFullScan);
   EXPECT_EQ(result.rows, fx.truth.CountInRange(q.lo, q.hi));
   EXPECT_EQ(result.io.pages_read, fx.table.page_count());
+}
+
+TEST(PlannerTest, ExecutePlanCheckedMatchesExecutePlanWhenFaultFree) {
+  Fixture fx;
+  const RangeQuery q{500, 700};
+  for (const AccessPath path :
+       {AccessPath::kIndexRangeScan, AccessPath::kFullScan}) {
+    const auto unchecked = ExecutePlan(fx.table, fx.index, q, path);
+    const auto checked = ExecutePlanChecked(fx.table, fx.index, q, path);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(checked->rows, unchecked.rows);
+    EXPECT_EQ(checked->io.pages_read, unchecked.io.pages_read);
+  }
+}
+
+TEST(PlannerTest, ExecutePlanCheckedPropagatesLostPageOnBothArms) {
+  Fixture fx;
+  FaultSpec spec;
+  spec.lost_pages = {0};
+  FaultInjector injector(spec);
+  fx.table.set_fault_injector(&injector);
+  const RangeQuery everything{-5, 1000000};
+  for (const AccessPath path :
+       {AccessPath::kIndexRangeScan, AccessPath::kFullScan}) {
+    const auto result = ExecutePlanChecked(fx.table, fx.index, everything,
+                                           path);
+    ASSERT_FALSE(result.ok()) << AccessPathToString(path);
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST(PlannerTest, PathNames) {

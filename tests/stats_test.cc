@@ -183,5 +183,118 @@ TEST(StatisticsManagerTest, FullScanModeIsExact) {
   EXPECT_TRUE((*stats)->from_full_scan);
 }
 
+// -- Modification accounting across a build -----------------------------------
+//
+// A deterministic mid-build hook: an external backend (id from the >= 128
+// range) whose build step runs a test-settable callback before returning a
+// trivial model. Lets a single-threaded test interleave DML with a build
+// at an exact point.
+
+constexpr auto kMidBuildHookId = static_cast<HistogramBackendId>(201);
+
+std::function<void()>& MidBuildHook() {
+  static std::function<void()> hook;
+  return hook;
+}
+
+class MidBuildHookModel final : public HistogramModel {
+ public:
+  MidBuildHookModel(std::uint64_t total, Value lo, Value hi)
+      : total_(total), lo_(lo), hi_(hi) {}
+
+  HistogramBackendId backend_id() const override { return kMidBuildHookId; }
+  double EstimateRangeCount(const RangeQuery& query) const override {
+    return (query.hi > lo_ && query.lo < hi_) ? static_cast<double>(total_)
+                                              : 0.0;
+  }
+  std::uint64_t bucket_count() const override { return 1; }
+  std::uint64_t total() const override { return total_; }
+  Value lower_fence() const override { return lo_; }
+  Value upper_fence() const override { return hi_; }
+  std::size_t MemoryBytes() const override { return sizeof(*this); }
+  std::string Describe() const override { return "MidBuildHook"; }
+  void SerializePayload(std::vector<std::uint8_t>*) const override {}
+
+ private:
+  std::uint64_t total_;
+  Value lo_;
+  Value hi_;
+};
+
+void RegisterMidBuildHookBackendOnce() {
+  static const bool registered = [] {
+    HistogramBackendRegistry::Backend backend;
+    backend.name = "mid-build-hook";
+    backend.build_from_sample =
+        [](std::span<const Value> sample, std::uint64_t,
+           std::uint64_t population_size) -> Result<HistogramModelPtr> {
+      if (sample.empty()) {
+        return Status::InvalidArgument("mid-build hook needs a sample");
+      }
+      if (MidBuildHook()) MidBuildHook()();
+      return HistogramModelPtr(std::make_shared<MidBuildHookModel>(
+          population_size, sample.front() - 1, sample.back()));
+    };
+    backend.deserialize_payload =
+        [](std::span<const std::uint8_t>,
+           std::size_t* consumed) -> Result<HistogramModelPtr> {
+      *consumed = 0;
+      return HistogramModelPtr(std::make_shared<MidBuildHookModel>(0, 0, 1));
+    };
+    const Status status = HistogramBackendRegistry::Global().Register(
+        kMidBuildHookId, std::move(backend));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return true;
+  }();
+  (void)registered;
+}
+
+// Regression: publishing a build used to reset the modification counter to
+// zero wholesale — erasing DML recorded while the build was running, so a
+// column modified during its own rebuild looked fresh. The publish now
+// subtracts only the modifications the build actually observed at capture
+// time.
+TEST(StatisticsManagerTest, ModificationsDuringBuildSurviveThePublish) {
+  RegisterMidBuildHookBackendOnce();
+  Table table = SkewedTable();
+  StatisticsManager::Options options;
+  options.buckets = 16;
+  options.f = 0.2;
+  options.staleness_threshold = 0.2;
+  options.threads = 1;
+  options.column_backends["t.x"] = kMidBuildHookId;
+  StatisticsManager manager(options);
+  MidBuildHook() = [&manager, &table] {
+    manager.RecordModifications("t.x", table.tuple_count());
+  };
+  ASSERT_TRUE(manager.GetOrBuild("t.x", table).ok());
+  MidBuildHook() = nullptr;
+  // 100% of the rows changed while the build ran: the snapshot just
+  // published is already stale and the next EnsureFresh must rebuild.
+  EXPECT_TRUE(manager.IsStale("t.x"));
+  ASSERT_TRUE(manager.EnsureFresh("t.x", table).ok());
+  EXPECT_EQ(manager.rebuild_count(), 2u);
+  EXPECT_FALSE(manager.IsStale("t.x"));
+}
+
+// The complementary direction: modifications recorded *before* a build
+// starts are consumed by the publish (exactly those, no more).
+TEST(StatisticsManagerTest, PublishConsumesOnlyCapturedModifications) {
+  RegisterMidBuildHookBackendOnce();
+  Table table = SkewedTable();
+  StatisticsManager::Options options;
+  options.buckets = 16;
+  options.f = 0.2;
+  options.staleness_threshold = 0.2;
+  options.threads = 1;
+  options.column_backends["t.x"] = kMidBuildHookId;
+  StatisticsManager manager(options);
+  ASSERT_TRUE(manager.GetOrBuild("t.x", table).ok());
+  manager.RecordModifications("t.x", table.tuple_count());
+  ASSERT_TRUE(manager.IsStale("t.x"));
+  ASSERT_TRUE(manager.EnsureFresh("t.x", table).ok());
+  EXPECT_FALSE(manager.IsStale("t.x"));
+}
+
 }  // namespace
 }  // namespace equihist
