@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 
 namespace equihist::bench {
 
@@ -30,6 +32,39 @@ Scale GetScale(int argc, char** argv) {
     scale.n_sweep = {500000, 1000000, 1500000, 2000000};
   }
   return scale;
+}
+
+unsigned HostConcurrency() {
+  static const unsigned cores = []() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    const unsigned normalized = hc == 0 ? 1u : hc;
+    if (normalized <= 1) {
+      std::fprintf(
+          stderr,
+          "*************************************************************\n"
+          "* WARNING: this host reports hardware_concurrency=%u.       *\n"
+          "* Parallel-scaling and batch-QPS sections below measure     *\n"
+          "* scheduling overhead, NOT parallel speedup. Single-thread  *\n"
+          "* ns/query numbers remain meaningful.                       *\n"
+          "*************************************************************\n",
+          normalized);
+    }
+    return normalized;
+  }();
+  return cores;
+}
+
+void WriteBenchJson(const std::string& path, const std::string& json) {
+  if (json.find("\"hardware_concurrency\"") == std::string::npos) {
+    std::fprintf(stderr,
+                 "FATAL: %s does not record hardware_concurrency; the "
+                 "perf-regression gate cannot interpret it\n",
+                 path.c_str());
+    std::abort();
+  }
+  HostConcurrency();  // surface the single-core warning next to the write
+  std::ofstream out(path);
+  out << json;
 }
 
 void PrintBanner(const std::string& experiment_id, const std::string& title,

@@ -42,6 +42,19 @@ struct Scale {
 // GetScale() alone still reads the environment.
 Scale GetScale(int argc = 0, char** argv = nullptr);
 
+// The host's core count for bench JSON. Normalizes the "not computable"
+// zero from std::thread::hardware_concurrency() to 1, and prints a loud
+// one-time warning on single-core hosts, where parallel speedups and QPS
+// scaling sections measure scheduling overhead rather than parallelism.
+unsigned HostConcurrency();
+
+// Writes a bench's JSON artifact to `path`. Enforces the reporting
+// contract every throughput bench must honour: the JSON records the
+// host's hardware_concurrency (the perf-regression CI job and
+// EXPERIMENTS.md key off it) — a bench that omits it aborts here rather
+// than publishing an uninterpretable baseline.
+void WriteBenchJson(const std::string& path, const std::string& json);
+
 // Prints the standard experiment banner (experiment id, paper figure,
 // scale note).
 void PrintBanner(const std::string& experiment_id, const std::string& title,

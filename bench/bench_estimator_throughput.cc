@@ -65,6 +65,11 @@ struct SingleThreadRow {
   double reference_ns_per_query = 0.0;
   double speedup = 0.0;
   std::uint64_t reference_queries = 0;  // the O(k) loop runs a subset
+  // Per-kernel ns/query through the batch entry point with the kernel
+  // pinned (no pool): the vectorized serving core's breakdown.
+  double scalar_kernel_ns_per_query = 0.0;
+  double eytzinger_ns_per_query = 0.0;
+  double simd_ns_per_query = 0.0;  // 0 when the CPU lacks AVX2
 };
 
 struct BatchRow {
@@ -78,6 +83,16 @@ struct KReport {
   std::uint64_t actual_buckets = 0;
   std::vector<SingleThreadRow> single_thread;
   std::vector<BatchRow> batch;
+};
+
+// Multi-column batching: a predicate list interleaving several columns
+// answered by ONE StatisticsManager::EstimateBatch call vs the per-request
+// EstimateRange loop it replaces.
+struct MultiColumnRow {
+  std::uint64_t batch_size = 0;
+  double batch_ns_per_query = 0.0;
+  double per_request_ns_per_query = 0.0;
+  double speedup = 0.0;
 };
 
 // The §11 serving guard: raw model path vs manager fast path, healthy and
@@ -153,6 +168,7 @@ bool Verified(const Histogram& histogram, const CompiledEstimator& compiled,
 }
 
 std::string ToJson(const std::vector<KReport>& reports,
+                   const std::vector<MultiColumnRow>& multi_column,
                    const ManagerServingReport& serving, std::uint64_t n,
                    std::size_t queries_per_class) {
   std::ostringstream os;
@@ -160,8 +176,20 @@ std::string ToJson(const std::vector<KReport>& reports,
   os << "  \"bench\": \"estimator_throughput\",\n";
   os << "  \"n\": " << n << ",\n";
   os << "  \"queries_per_class\": " << queries_per_class << ",\n";
-  os << "  \"host\": {\"hardware_concurrency\": "
-     << std::thread::hardware_concurrency() << "},\n";
+  os << "  \"host\": {\"hardware_concurrency\": " << bench::HostConcurrency()
+     << "},\n";
+  os << "  \"simd_available\": "
+     << (CompiledEstimator::SimdAvailable() ? "true" : "false") << ",\n";
+  os << "  \"batch_multi_column\": [\n";
+  for (std::size_t i = 0; i < multi_column.size(); ++i) {
+    const MultiColumnRow& row = multi_column[i];
+    os << "    {\"batch_size\": " << row.batch_size
+       << ", \"batch_ns_per_query\": " << row.batch_ns_per_query
+       << ", \"per_request_ns_per_query\": " << row.per_request_ns_per_query
+       << ", \"speedup\": " << row.speedup << "}"
+       << (i + 1 < multi_column.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
   os << "  \"manager_serving\": {\n";
   os << "    \"n\": " << serving.n << ", \"buckets\": " << serving.buckets
      << ", \"queries\": " << serving.queries << ",\n";
@@ -192,7 +220,11 @@ std::string ToJson(const std::vector<KReport>& reports,
          << "\", \"compiled_ns_per_query\": " << row.compiled_ns_per_query
          << ", \"reference_ns_per_query\": " << row.reference_ns_per_query
          << ", \"reference_queries\": " << row.reference_queries
-         << ", \"speedup\": " << row.speedup << "}"
+         << ", \"speedup\": " << row.speedup << ",\n"
+         << "       \"kernels\": {\"scalar_ns_per_query\": "
+         << row.scalar_kernel_ns_per_query
+         << ", \"eytzinger_ns_per_query\": " << row.eytzinger_ns_per_query
+         << ", \"simd_ns_per_query\": " << row.simd_ns_per_query << "}}"
          << (i + 1 < report.single_thread.size() ? "," : "") << "\n";
     }
     os << "    ], \"batch\": [\n";
@@ -301,11 +333,35 @@ int main(int argc, char** argv) {
       row.speedup = row.compiled_ns_per_query > 0.0
                         ? row.reference_ns_per_query / row.compiled_ns_per_query
                         : 0.0;
+      // Per-kernel breakdown: the same queries through the batch entry
+      // point with the kernel pinned. All three produce bitwise-identical
+      // estimates (the differential test suite's guarantee); this records
+      // what each layout/instruction set buys.
+      std::vector<double> kernel_out(qc.queries.size());
+      const double count = static_cast<double>(qc.queries.size());
+      const auto kernel_ns = [&](EstimatorKernel kernel) {
+        return BestNs(
+                   [&]() {
+                     compiled.EstimateRangeCounts(qc.queries, kernel_out,
+                                                  nullptr, kernel);
+                     return kernel_out[0];
+                   },
+                   &sink) /
+               count;
+      };
+      row.scalar_kernel_ns_per_query = kernel_ns(EstimatorKernel::kScalar);
+      row.eytzinger_ns_per_query = kernel_ns(EstimatorKernel::kEytzinger);
+      row.simd_ns_per_query = CompiledEstimator::SimdAvailable()
+                                  ? kernel_ns(EstimatorKernel::kSimd)
+                                  : 0.0;
       report.single_thread.push_back(row);
       std::cerr << "  k=" << k << " " << row.query_class
                 << ": compiled=" << row.compiled_ns_per_query
                 << " ns/q, reference=" << row.reference_ns_per_query
-                << " ns/q, speedup=" << row.speedup << "x\n";
+                << " ns/q, speedup=" << row.speedup
+                << "x | kernels scalar=" << row.scalar_kernel_ns_per_query
+                << " eytzinger=" << row.eytzinger_ns_per_query
+                << " simd=" << row.simd_ns_per_query << " ns/q\n";
     }
 
     // -- batch QPS scaling ------------------------------------------------
@@ -331,6 +387,101 @@ int main(int argc, char** argv) {
                 << ")\n";
     }
     reports.push_back(std::move(report));
+  }
+
+  // -- multi-column batch estimation ----------------------------------------
+  //
+  // A planner estimating a predicate list touches several columns at once.
+  // EstimateBatch groups the interleaved requests per column, resolves each
+  // serving slot once, and runs every group through the vectorized batch
+  // kernel — vs the per-request loop that re-enters the manager (slot
+  // lookup, staleness check) for every single predicate.
+  std::vector<MultiColumnRow> multi_column;
+  {
+    const std::uint64_t mc_n = std::min<std::uint64_t>(scale.default_n,
+                                                       200000);
+    bench::Dataset dataset =
+        bench::MakeZipfDataset(mc_n, 1.0, LayoutKind::kRandom, 64, 1337);
+    StatisticsManager::Options options;
+    options.buckets = scale.k;
+    options.seed = 23;
+    options.threads = 1;
+    options.column_backends["col2"] = HistogramBackendId::kEquiWidth;
+    StatisticsManager manager(options);
+    const std::vector<std::string> columns = {"col0", "col1", "col2"};
+    // Warm every column so both timings measure pure serving.
+    for (const std::string& column : columns) {
+      const auto built = manager.GetOrBuildShared(column, dataset.table);
+      if (!built.ok()) {
+        std::cerr << "multi-column build failed: "
+                  << built.status().ToString() << "\n";
+        return 1;
+      }
+    }
+    const Value lf = dataset.truth.min();
+    const Value uf = dataset.truth.max();
+    const auto domain =
+        static_cast<std::uint64_t>(static_cast<double>(uf - lf));
+    Rng rng(4242);
+    for (const std::uint64_t batch_size : {8u, 64u, 1024u}) {
+      std::vector<BatchEstimateRequest> requests;
+      requests.reserve(batch_size);
+      const auto widths = std::vector<std::uint64_t>{
+          1, std::max<std::uint64_t>(domain / 1000, 2), domain / 2};
+      for (std::uint64_t i = 0; i < batch_size; ++i) {
+        const Value lo = rng.NextInRange(lf, uf - 1);
+        const std::uint64_t width = widths[i % widths.size()];
+        const Value hi = (uf - lo > static_cast<Value>(width))
+                             ? lo + static_cast<Value>(width)
+                             : uf;
+        requests.push_back({columns[i % columns.size()], {lo, hi}});
+      }
+      // Amortize timer resolution: many calls per rep for small batches.
+      const std::uint64_t iters =
+          std::max<std::uint64_t>(1, (scale.smoke ? 2000 : 20000) / batch_size);
+      const double total =
+          static_cast<double>(iters) * static_cast<double>(batch_size);
+      BatchEstimateResult result;
+      const double batch_ns = BestNs(
+          [&]() {
+            double acc = 0.0;
+            for (std::uint64_t it = 0; it < iters; ++it) {
+              if (!manager.EstimateBatch(dataset.table, requests, &result)
+                       .ok()) {
+                std::cerr << "EstimateBatch failed\n";
+                std::exit(1);
+              }
+              acc += result.estimates[0];
+            }
+            return acc;
+          },
+          &sink);
+      const double per_request_ns = BestNs(
+          [&]() {
+            double acc = 0.0;
+            for (std::uint64_t it = 0; it < iters; ++it) {
+              for (const BatchEstimateRequest& request : requests) {
+                const auto est = manager.EstimateRange(
+                    request.column, dataset.table, request.query);
+                acc += est.ok() ? *est : 0.0;
+              }
+            }
+            return acc;
+          },
+          &sink);
+      MultiColumnRow row;
+      row.batch_size = batch_size;
+      row.batch_ns_per_query = batch_ns / total;
+      row.per_request_ns_per_query = per_request_ns / total;
+      row.speedup = row.batch_ns_per_query > 0.0
+                        ? row.per_request_ns_per_query / row.batch_ns_per_query
+                        : 0.0;
+      multi_column.push_back(row);
+      std::cerr << "  multi-column batch_size=" << batch_size
+                << ": batch=" << row.batch_ns_per_query
+                << " ns/q, per-request=" << row.per_request_ns_per_query
+                << " ns/q, speedup=" << row.speedup << "x\n";
+    }
   }
 
   // -- manager serving overhead (the DESIGN.md §11 robustness guard) -------
@@ -461,11 +612,10 @@ int main(int argc, char** argv) {
               << serving.degraded_vs_healthy << " vs healthy)\n";
   }
 
-  const std::string json =
-      ToJson(reports, serving, scale.default_n, queries_per_class);
+  const std::string json = ToJson(reports, multi_column, serving,
+                                  scale.default_n, queries_per_class);
   std::cout << json;
-  std::ofstream file("BENCH_estimator_throughput.json");
-  file << json;
+  bench::WriteBenchJson("BENCH_estimator_throughput.json", json);
   if (sink == 42.0) std::cerr << " ";  // keep the checksum alive
   std::cerr << (all_verified
                     ? "compiled and reference estimates agree on all samples\n"

@@ -95,8 +95,8 @@ std::string ToJson(const std::vector<WorkloadReport>& workloads,
   os << "  \"full_scale\": " << (scale.full ? "true" : "false") << ",\n";
   os << "  \"n\": " << scale.default_n << ",\n";
   os << "  \"buckets\": " << scale.k << ",\n";
-  os << "  \"host\": {\"hardware_concurrency\": "
-     << std::thread::hardware_concurrency() << "},\n";
+  os << "  \"host\": {\"hardware_concurrency\": " << bench::HostConcurrency()
+     << "},\n";
   os << "  \"workloads\": [\n";
   for (std::size_t w = 0; w < workloads.size(); ++w) {
     const WorkloadReport& report = workloads[w];
@@ -169,8 +169,7 @@ int main() {
 
   const std::string json = ToJson(workloads, scale);
   std::cout << json;
-  std::ofstream out("BENCH_parallel_scaling.json");
-  out << json;
+  bench::WriteBenchJson("BENCH_parallel_scaling.json", json);
   std::cerr << (all_identical
                     ? "all thread counts produced bit-identical histograms\n"
                     : "ERROR: histogram mismatch across thread counts\n");

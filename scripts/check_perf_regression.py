@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the estimator-throughput bench.
+
+Compares a fresh (usually --smoke) BENCH_estimator_throughput.json against
+the checked-in baseline and fails when any serving-path ns/query metric
+regresses beyond the tolerance band. Cross-machine absolute timings are
+noisy, so the band is wide by design: this gate catches "the serving core
+got 2x slower" (an accidental O(k) loop, a dropped fast path), not 5%
+drift.
+
+Skips (exit 0, reason recorded) when the runner reports fewer cores than
+--min-cores: single-core CI runners are typically shared/throttled enough
+that even the wide band false-positives, and the parallel sections are
+meaningless there.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def single_thread_metrics(doc):
+    """Flattens per-k, per-class ns/query metrics to {name: value}."""
+    metrics = {}
+    for config in doc.get("configurations", []):
+        k = config.get("k")
+        for row in config.get("single_thread", []):
+            base = f"k={k}/{row.get('class')}"
+            if "compiled_ns_per_query" in row:
+                metrics[f"{base}/compiled"] = row["compiled_ns_per_query"]
+            kernels = row.get("kernels", {})
+            for kernel in ("scalar", "eytzinger", "simd"):
+                value = kernels.get(f"{kernel}_ns_per_query")
+                # simd reports 0 when the CPU lacks AVX2; a 0 on either
+                # side makes the ratio meaningless, so callers filter.
+                if value:
+                    metrics[f"{base}/{kernel}"] = value
+        for row in config.get("batch", []):
+            if row.get("threads") == 1 and row.get("qps"):
+                # Stored inverted (ns/query) so "bigger is worse" holds
+                # uniformly for every metric.
+                metrics[f"k={k}/batch1_ns_per_query"] = 1e9 / row["qps"]
+    return metrics
+
+
+def record(message):
+    print(message)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(message + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH json")
+    parser.add_argument("candidate", help="freshly measured BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when candidate/baseline ns/query exceeds this ratio",
+    )
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=2,
+        help="skip the gate when the runner reports fewer cores",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    cores = candidate.get("host", {}).get("hardware_concurrency", 0)
+    if cores < args.min_cores:
+        record(
+            f"PERF GATE SKIPPED: runner reports hardware_concurrency={cores} "
+            f"(< {args.min_cores}); shared single-core runners are too noisy "
+            "for even the wide tolerance band. No comparison performed."
+        )
+        return 0
+
+    base_metrics = single_thread_metrics(baseline)
+    cand_metrics = single_thread_metrics(candidate)
+    shared = sorted(set(base_metrics) & set(cand_metrics))
+    if not shared:
+        record("PERF GATE ERROR: no comparable metrics between the reports")
+        return 1
+
+    regressions = []
+    print(f"{'metric':40s} {'baseline':>10s} {'candidate':>10s} {'ratio':>7s}")
+    for name in shared:
+        base_value = base_metrics[name]
+        cand_value = cand_metrics[name]
+        ratio = cand_value / base_value if base_value > 0 else float("inf")
+        flag = " REGRESSION" if ratio > args.tolerance else ""
+        print(
+            f"{name:40s} {base_value:10.2f} {cand_value:10.2f} "
+            f"{ratio:6.2f}x{flag}"
+        )
+        if ratio > args.tolerance:
+            regressions.append((name, ratio))
+
+    if regressions:
+        record(
+            f"PERF GATE FAILED: {len(regressions)} metric(s) beyond "
+            f"{args.tolerance:.1f}x tolerance: "
+            + ", ".join(f"{n} ({r:.2f}x)" for n, r in regressions)
+        )
+        return 1
+    record(
+        f"PERF GATE OK: {len(shared)} metrics within {args.tolerance:.1f}x "
+        f"of baseline (runner cores: {cores})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+// The AVX2 batch kernel behind CompiledEstimator::EstimateRangeCounts
+// (DESIGN.md section 14). This translation unit compiles on every
+// architecture: on x86 the kernel body is compiled with
+// __attribute__((target("avx2"))) — no global -mavx2 flag, so the rest of
+// the binary stays baseline — and is only ever entered after a runtime
+// __builtin_cpu_supports("avx2") check; everywhere else (aarch64/NEON
+// etc.) the entry points compile to the guarded scalar fallback ("process
+// nothing"), which callers already handle by finishing on the Eytzinger
+// path.
+//
+// Identity contract: every step mirrors the scalar path operation for
+// operation. The lane-parallel binary search performs the same comparison
+// sequence as BranchlessBound<false> (len halves identically in all lanes,
+// so one scalar `len` drives four vector lanes); the interpolation
+// evaluates cum + counts * (dist * inv_width) as explicit mul/mul/add
+// (matching the scalar TU, which disables FP contraction so the compiler
+// cannot fuse it into FMA); and the u64->double conversion is exact up to
+// one final rounding, the same as a scalar static_cast. The differential
+// tests in tests/core_vectorized_estimator_test.cc enforce bitwise
+// equality over the Section-5 spike/fence corpus.
+
+#include "core/compiled_estimator.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace equihist {
+namespace internal {
+
+// The kernel loads RangeQuery pairs straight from memory with vector
+// loads, so pin down the layout it assumes.
+static_assert(sizeof(Value) == 8, "SIMD kernel assumes 64-bit values");
+static_assert(sizeof(RangeQuery) == 16 && offsetof(RangeQuery, lo) == 0 &&
+                  offsetof(RangeQuery, hi) == 8,
+              "SIMD kernel assumes RangeQuery is a packed {lo, hi} pair");
+static_assert(std::is_trivially_copyable_v<RangeQuery>,
+              "SIMD kernel loads RangeQuery bytes directly");
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+constexpr std::size_t kLanes = 8;  // queries per pass: two 4-wide groups
+
+// Exact u64 -> f64 conversion (only the final add rounds, so the result
+// equals scalar static_cast<double>(std::uint64_t) bit for bit): split x
+// into high and low 32-bit halves, plant each in the mantissa of a magic
+// exponent (2^84 for the high half, 2^52 for the low), then cancel the
+// magics. f = (2^84 + hi*2^32) - (2^84 + 2^52) = hi*2^32 - 2^52 exactly,
+// and f + (2^52 + lo) = hi*2^32 + lo with a single rounding.
+__attribute__((target("avx2"))) inline __m256d Uint64ToDouble(__m256i x) {
+  const __m256i k84_bits = _mm256_set1_epi64x(0x4530000000000000LL);
+  const __m256i k52_bits = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256d k84_plus_52 =
+      _mm256_set1_pd(19342813118337666422669312.0);  // 2^84 + 2^52
+  const __m256i x_hi = _mm256_or_si256(_mm256_srli_epi64(x, 32), k84_bits);
+  // Blend mask 0xcc: within each 64-bit element, keep x's low 32 bits and
+  // take the 2^52 exponent pattern for the high 32.
+  const __m256i x_lo = _mm256_blend_epi16(x, k52_bits, 0xcc);
+  const __m256d f =
+      _mm256_sub_pd(_mm256_castsi256_pd(x_hi), k84_plus_52);
+  return _mm256_add_pd(f, _mm256_castsi256_pd(x_lo));
+}
+
+// Four-lane BranchlessBound<false>: index of the first separator > x per
+// lane. `len` narrows identically in every lane (the scalar loop's len
+// update is comparison-independent), so one scalar len drives the whole
+// group; only `base` is per-lane.
+__attribute__((target("avx2"))) inline __m256i UpperBound4(
+    const long long* separators, std::size_t separator_count, __m256i x) {
+  __m256i base = _mm256_setzero_si256();
+  std::size_t len = separator_count;
+  while (len > 1) {
+    const std::size_t half = len >> 1;
+    const __m256i idx = _mm256_add_epi64(
+        base, _mm256_set1_epi64x(static_cast<long long>(half - 1)));
+    const __m256i probe = _mm256_i64gather_epi64(separators, idx, 8);
+    // Scalar: base += (probe <= x) ? half : 0. andnot(probe > x, half)
+    // is `half` exactly in the lanes where probe <= x.
+    const __m256i gt = _mm256_cmpgt_epi64(probe, x);
+    base = _mm256_add_epi64(
+        base, _mm256_andnot_si256(
+                  gt, _mm256_set1_epi64x(static_cast<long long>(half))));
+    len -= half;
+  }
+  if (separator_count != 0) {
+    const __m256i probe = _mm256_i64gather_epi64(separators, base, 8);
+    const __m256i gt = _mm256_cmpgt_epi64(probe, x);
+    base = _mm256_add_epi64(base,
+                            _mm256_andnot_si256(gt, _mm256_set1_epi64x(1)));
+  }
+  return base;
+}
+
+// Four-lane Cdf: gather the partially covered bucket's SoA row at the
+// upper-bound index and interpolate; lanes at or above the upper fence
+// take `total` instead (the scalar early return, as a blend). Gathered
+// indices stay in bounds even for those lanes (ub <= separator_count
+// always indexes valid rows), so the wasted interpolation is safe.
+__attribute__((target("avx2"))) inline __m256d Cdf4(const EstimatorSoA& soa,
+                                                    __m256i x) {
+  const __m256i j = UpperBound4(
+      reinterpret_cast<const long long*>(soa.separators),
+      soa.separator_count, x);
+  const __m256d cum = _mm256_i64gather_pd(soa.cum, j, 8);
+  const __m256d counts = _mm256_i64gather_pd(soa.counts, j, 8);
+  const __m256d inv_width = _mm256_i64gather_pd(soa.inv_width, j, 8);
+  const __m256i bucket_lo = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(soa.bucket_lo), j, 8);
+  // ValueDistance: unsigned wraparound subtraction, then exact u64->f64.
+  const __m256d dist = Uint64ToDouble(_mm256_sub_epi64(x, bucket_lo));
+  // cum + counts * (dist * inv_width): explicit mul/mul/add, matching the
+  // contraction-disabled scalar InterpolateCdf.
+  const __m256d val = _mm256_add_pd(
+      cum, _mm256_mul_pd(counts, _mm256_mul_pd(dist, inv_width)));
+  const __m256i below_fence =
+      _mm256_cmpgt_epi64(_mm256_set1_epi64x(soa.upper_fence), x);
+  return _mm256_blendv_pd(_mm256_set1_pd(soa.total), val,
+                          _mm256_castsi256_pd(below_fence));
+}
+
+// Four-lane EstimateRangeCount: clamp to the fences (AVX2 has no 64-bit
+// min/max, so emulate with cmpgt + blend), Cdf both ends, clamp the
+// difference at zero, and zero the lanes whose clamped range is empty
+// (the scalar early return 0.0).
+//
+// Bitwise-identity notes for the tail: on valid lanes the difference of
+// two in-order Cdf evaluations is never NaN (both finite) and never -0.0
+// (both Cdfs are >= +0.0 and round-to-nearest gives x - x = +0.0), so
+// max_pd(diff, 0) matches std::max(diff, 0.0) exactly. Invalid lanes may
+// compute garbage (even NaN); the final and_pd zeroes their sign,
+// exponent and mantissa outright, producing the scalar's +0.0.
+__attribute__((target("avx2"))) inline __m256d Estimate4(
+    const EstimatorSoA& soa, __m256i query_lo, __m256i query_hi) {
+  const __m256i lf = _mm256_set1_epi64x(soa.lower_fence);
+  const __m256i uf = _mm256_set1_epi64x(soa.upper_fence);
+  const __m256i lo = _mm256_blendv_epi8(
+      lf, query_lo, _mm256_cmpgt_epi64(query_lo, lf));  // max(q.lo, lf)
+  const __m256i hi = _mm256_blendv_epi8(
+      uf, query_hi, _mm256_cmpgt_epi64(uf, query_hi));  // min(q.hi, uf)
+  const __m256i valid = _mm256_cmpgt_epi64(hi, lo);
+  const __m256d diff = _mm256_sub_pd(Cdf4(soa, hi), Cdf4(soa, lo));
+  const __m256d clamped = _mm256_max_pd(diff, _mm256_setzero_pd());
+  return _mm256_and_pd(clamped, _mm256_castsi256_pd(valid));
+}
+
+// De-interleave four adjacent {lo, hi} pairs into a lo vector and a hi
+// vector: two unpacks give [v0 v2 v1 v3] order per field, one cross-lane
+// permute restores query order.
+__attribute__((target("avx2"))) inline void LoadQueries4(
+    const RangeQuery* queries, __m256i* lo, __m256i* hi) {
+  const __m256i q01 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(queries));
+  const __m256i q23 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(queries + 2));
+  const __m256i lo_scrambled = _mm256_unpacklo_epi64(q01, q23);
+  const __m256i hi_scrambled = _mm256_unpackhi_epi64(q01, q23);
+  *lo = _mm256_permute4x64_epi64(lo_scrambled, _MM_SHUFFLE(3, 1, 2, 0));
+  *hi = _mm256_permute4x64_epi64(hi_scrambled, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+__attribute__((target("avx2"))) void EstimateBatchAvx2(
+    const EstimatorSoA& soa, const RangeQuery* queries, double* out,
+    std::size_t groups) {
+  for (std::size_t g = 0; g < groups; ++g) {
+    const RangeQuery* q = queries + g * kLanes;
+    __m256i lo0, hi0, lo1, hi1;
+    LoadQueries4(q, &lo0, &hi0);
+    LoadQueries4(q + 4, &lo1, &hi1);
+    _mm256_storeu_pd(out + g * kLanes, Estimate4(soa, lo0, hi0));
+    _mm256_storeu_pd(out + g * kLanes + 4, Estimate4(soa, lo1, hi1));
+  }
+}
+
+}  // namespace
+
+bool SimdKernelAvailable() {
+  static const bool available = __builtin_cpu_supports("avx2") != 0;
+  return available;
+}
+
+std::size_t EstimateRangeCountsSimd(const EstimatorSoA& soa,
+                                    const RangeQuery* queries, double* out,
+                                    std::size_t n) {
+  if (!SimdKernelAvailable()) return 0;
+  const std::size_t groups = n / kLanes;
+  if (groups == 0) return 0;
+  EstimateBatchAvx2(soa, queries, out, groups);
+  return groups * kLanes;
+}
+
+#else  // !x86: the guarded scalar fallback — report the kernel absent and
+       // process nothing; callers finish on the Eytzinger path. A NEON
+       // kernel would slot in here behind the same two entry points.
+
+bool SimdKernelAvailable() { return false; }
+
+std::size_t EstimateRangeCountsSimd(const EstimatorSoA& /*soa*/,
+                                    const RangeQuery* /*queries*/,
+                                    double* /*out*/, std::size_t /*n*/) {
+  return 0;
+}
+
+#endif
+
+}  // namespace internal
+}  // namespace equihist

@@ -1,5 +1,6 @@
 #include "query/planner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -82,6 +83,45 @@ PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
                             cost_model);
 }
 
+std::vector<PlanChoice> ChooseAccessPaths(const HistogramModel& model,
+                                          std::span<const RangeQuery> queries,
+                                          std::uint64_t table_pages,
+                                          std::uint32_t tuples_per_page,
+                                          std::uint32_t index_entries_per_leaf,
+                                          const CostModel& cost_model,
+                                          ThreadPool* pool) {
+  // One batch call produces every estimate (bitwise what the per-query
+  // path computes), then costing is pure arithmetic per predicate.
+  std::vector<double> estimates(queries.size());
+  model.EstimateRangeCounts(queries, estimates, pool);
+  std::vector<PlanChoice> choices;
+  choices.reserve(queries.size());
+  for (const double estimate : estimates) {
+    choices.push_back(ChooseFromEstimate(estimate, table_pages,
+                                         tuples_per_page,
+                                         index_entries_per_leaf, cost_model));
+  }
+  return choices;
+}
+
+Result<std::vector<PlanChoice>> ChooseAccessPaths(
+    StatisticsManager& manager, const Table& table,
+    std::span<const BatchEstimateRequest> requests,
+    std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf,
+    const CostModel& cost_model, bool use_pool) {
+  BatchEstimateResult estimates;
+  EQUIHIST_RETURN_IF_ERROR(
+      manager.EstimateBatch(table, requests, &estimates, use_pool));
+  std::vector<PlanChoice> choices;
+  choices.reserve(requests.size());
+  for (const double estimate : estimates.estimates) {
+    choices.push_back(ChooseFromEstimate(estimate, table.page_count(),
+                                         tuples_per_page,
+                                         index_entries_per_leaf, cost_model));
+  }
+  return choices;
+}
+
 ExecutionResult ExecutePlan(const Table& table, const OrderedIndex& index,
                             const RangeQuery& query, AccessPath path,
                             ThreadPool* pool) {
@@ -99,20 +139,64 @@ Result<ExecutionResult> ExecutePlanChecked(const Table& table,
                                            const RangeQuery& query,
                                            AccessPath path, ThreadPool* pool,
                                            const RetryPolicy& policy) {
+  // The single-query form is the batch of one; the batch full-scan arm
+  // answers it with the same one-pass count the dedicated loop used to.
+  EQUIHIST_ASSIGN_OR_RETURN(
+      BatchExecutionResult batch,
+      ExecutePlansChecked(table, index, std::span<const RangeQuery>(&query, 1),
+                          path, pool, policy));
   ExecutionResult result;
+  result.path = batch.path;
+  result.rows = batch.rows.front();
+  result.io = batch.io;
+  return result;
+}
+
+Result<BatchExecutionResult> ExecutePlansChecked(
+    const Table& table, const OrderedIndex& index,
+    std::span<const RangeQuery> queries, AccessPath path, ThreadPool* pool,
+    const RetryPolicy& policy) {
+  BatchExecutionResult result;
   result.path = path;
+  result.rows.assign(queries.size(), 0);
+  if (queries.empty()) return result;
   if (path == AccessPath::kIndexRangeScan) {
-    EQUIHIST_ASSIGN_OR_RETURN(
-        result.rows, index.RangeScanChecked(table, query, &result.io, policy));
+    // One index descent per query; the I/O bill accumulates across the
+    // batch just as q separate scans would have charged.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EQUIHIST_ASSIGN_OR_RETURN(
+          result.rows[i],
+          index.RangeScanChecked(table, queries[i], &result.io, policy));
+    }
     return result;
   }
-  // Full scan through the shared storage primitive (parallel page reads
-  // with a pool, identical I/O bill either way), then count matches.
-  EQUIHIST_ASSIGN_OR_RETURN(
-      const std::vector<Value> values,
-      FullScanChecked(table, &result.io, pool, policy));
-  for (Value v : values) {
-    if (query.lo < v && v <= query.hi) ++result.rows;
+  // Full-scan arm: ONE scan through the shared storage primitive funds the
+  // entire batch (parallel page reads with a pool, identical I/O bill
+  // either way). A lone query counts matches in the unsorted scan output;
+  // a genuine batch sorts the scan once and answers every "lo < X <= hi"
+  // as a difference of two upper bounds — q queries cost one scan plus
+  // q * O(log n) instead of q scans.
+  EQUIHIST_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            FullScanChecked(table, &result.io, pool, policy));
+  if (queries.size() == 1) {
+    const RangeQuery& query = queries.front();
+    std::uint64_t rows = 0;
+    for (const Value v : values) {
+      if (query.lo < v && v <= query.hi) ++rows;
+    }
+    result.rows[0] = rows;
+    return result;
+  }
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto begin =
+        std::upper_bound(values.begin(), values.end(), queries[i].lo);
+    const auto end =
+        std::upper_bound(values.begin(), values.end(), queries[i].hi);
+    // Reversed/empty ranges give end <= begin — zero rows, exactly like
+    // the predicate lo < v && v <= hi.
+    result.rows[i] =
+        end > begin ? static_cast<std::uint64_t>(end - begin) : 0;
   }
   return result;
 }

@@ -2,7 +2,9 @@
 #define EQUIHIST_QUERY_PLANNER_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/retry.h"
@@ -10,6 +12,7 @@
 #include "data/workload.h"
 #include "query/index.h"
 #include "stats/column_statistics.h"
+#include "stats/statistics_manager.h"
 #include "storage/table.h"
 
 namespace equihist {
@@ -69,6 +72,26 @@ PlanChoice ChooseAccessPath(const ColumnStatistics& stats,
                             std::uint32_t index_entries_per_leaf = 512,
                             const CostModel& cost_model = CostModel{});
 
+// Batch plan choice: one PlanChoice per query, with all the estimates
+// produced by a single call into the model's batch path (the vectorized
+// serving core on equi-height; `pool` shards large batches). Choices are
+// bitwise what per-query ChooseAccessPath would pick.
+std::vector<PlanChoice> ChooseAccessPaths(
+    const HistogramModel& model, std::span<const RangeQuery> queries,
+    std::uint64_t table_pages, std::uint32_t tuples_per_page,
+    std::uint32_t index_entries_per_leaf = 512,
+    const CostModel& cost_model = CostModel{}, ThreadPool* pool = nullptr);
+
+// Multi-column batch plan choice: the whole predicate list estimates in
+// ONE StatisticsManager::EstimateBatch call through the lock-free
+// snapshot-cache fast path, then costs per predicate. Errors (an
+// unbuildable column) propagate from the batch estimate.
+Result<std::vector<PlanChoice>> ChooseAccessPaths(
+    StatisticsManager& manager, const Table& table,
+    std::span<const BatchEstimateRequest> requests,
+    std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf = 512,
+    const CostModel& cost_model = CostModel{}, bool use_pool = false);
+
 struct ExecutionResult {
   AccessPath path = AccessPath::kFullScan;
   std::uint64_t rows = 0;
@@ -97,6 +120,26 @@ Result<ExecutionResult> ExecutePlanChecked(const Table& table,
                                            AccessPath path,
                                            ThreadPool* pool = nullptr,
                                            const RetryPolicy& policy = {});
+
+// Batch execution of a range-query list over one chosen access path.
+struct BatchExecutionResult {
+  AccessPath path = AccessPath::kFullScan;
+  std::vector<std::uint64_t> rows;  // rows[i] answers queries[i]
+  IoStats io{};                     // the batch's total I/O bill
+};
+
+// Executes every query of the batch and returns the true row counts and
+// the combined I/O bill. The full-scan arm reads the table ONCE for the
+// whole batch — scan, sort, then answer each "lo < X <= hi" with two
+// binary searches — so q queries cost one scan instead of q (the
+// single-query ExecutePlan* entry points are thin wrappers over this).
+// The index arm runs one range scan per query. Transient faults retry per
+// `policy`; a permanently unreadable page fails the whole batch with that
+// page's status.
+Result<BatchExecutionResult> ExecutePlansChecked(
+    const Table& table, const OrderedIndex& index,
+    std::span<const RangeQuery> queries, AccessPath path,
+    ThreadPool* pool = nullptr, const RetryPolicy& policy = {});
 
 }  // namespace equihist
 

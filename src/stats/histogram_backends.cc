@@ -55,13 +55,10 @@ Value EquiHeightModel::upper_fence() const { return histogram_.upper_fence(); }
 
 std::size_t EquiHeightModel::MemoryBytes() const {
   const std::size_t k = histogram_.bucket_count();
-  // Histogram: k-1 separators + k counts. Compiled read path
-  // (structure-of-arrays, core/compiled_estimator.h): separators,
-  // bucket_lo, counts, inv_width, cum, and the two run tables.
+  // Histogram: k-1 separators + k counts. The compiled read path reports
+  // its own arrays (SoA, run tables, and the Eytzinger serving layout).
   const std::size_t histogram_bytes = (2 * k - 1) * sizeof(std::uint64_t);
-  const std::size_t compiled_bytes =
-      ((k - 1) + 3 * k + (k + 1) + 2 * (k - 1)) * sizeof(std::uint64_t);
-  return sizeof(*this) + histogram_bytes + compiled_bytes;
+  return sizeof(*this) + histogram_bytes + compiled_.MemoryBytes();
 }
 
 std::string EquiHeightModel::Describe() const {

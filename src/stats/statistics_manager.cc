@@ -1,5 +1,6 @@
 #include "stats/statistics_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -548,6 +549,94 @@ Status StatisticsManager::EstimateRanges(const std::string& column,
   }
   slot->model->EstimateRangeCounts(queries, out,
                                    use_pool ? pool() : nullptr);
+  return Status::OK();
+}
+
+Status StatisticsManager::EstimateBatch(
+    const Table& table, std::span<const BatchEstimateRequest> requests,
+    BatchEstimateResult* result, bool use_pool) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("null batch result");
+  }
+  const std::size_t n = requests.size();
+  result->estimates.assign(n, 0.0);
+  if (n == 0) return Status::OK();
+  // Group the interleaved requests by column, resolving each distinct
+  // column's serving snapshot exactly once through the lock-free cache.
+  // The model shared_ptr is copied out of the thread-local slot right
+  // away: resolving the *next* column can evict or reallocate slots and
+  // invalidate the pointer (the copy also pins the snapshot for the rest
+  // of the batch, so a concurrent rebuild cannot pull it out from under
+  // the later estimation pass).
+  //
+  // A predicate list names a handful of columns, so the group table is a
+  // flat linear-scanned vector, and the per-group query lists live in one
+  // shared gather buffer (counting-sort layout) — the whole batch costs a
+  // fixed number of allocations regardless of column interleaving.
+  struct ColumnGroup {
+    const std::string* column = nullptr;  // borrowed from requests[]
+    HistogramModelPtr model;
+    std::size_t count = 0;
+    std::size_t offset = 0;
+  };
+  std::vector<ColumnGroup> groups;
+  std::vector<std::size_t> group_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t g = 0;
+    while (g < groups.size() && *groups[g].column != requests[i].column) ++g;
+    if (g == groups.size()) {
+      CachedServing* slot = FindCachedServing(requests[i].column);
+      if (slot == nullptr ||
+          slot->entry->published.load(std::memory_order_acquire) !=
+              slot->published) {
+        EQUIHIST_ASSIGN_OR_RETURN(slot,
+                                  RefreshServing(requests[i].column, table));
+      }
+      groups.push_back(ColumnGroup{&requests[i].column, slot->model, 0, 0});
+    }
+    ++groups[g].count;
+    group_of[i] = g;
+  }
+  ThreadPool* fan_out = use_pool ? pool() : nullptr;
+  // Single-column batch (the common planner case): the grouped layout is
+  // the request order, so estimate straight into the result.
+  if (groups.size() == 1) {
+    std::vector<RangeQuery> queries(n);
+    for (std::size_t i = 0; i < n; ++i) queries[i] = requests[i].query;
+    groups[0].model->EstimateRangeCounts(
+        queries, std::span<double>(result->estimates), fan_out);
+    return Status::OK();
+  }
+  // Multi-column: stable counting sort of the queries into per-group runs
+  // of one shared buffer, one batch estimation per run (all snapshots
+  // pinned above, so the answers are a consistent cut across columns),
+  // then one scatter back to request order.
+  std::size_t offset = 0;
+  for (ColumnGroup& group : groups) {
+    group.offset = offset;
+    offset += group.count;
+  }
+  std::vector<RangeQuery> queries(n);
+  std::vector<std::size_t> cursor(groups.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries[groups[group_of[i]].offset + cursor[group_of[i]]++] =
+        requests[i].query;
+  }
+  std::vector<double> scratch(n);
+  for (const ColumnGroup& group : groups) {
+    group.model->EstimateRangeCounts(
+        std::span<const RangeQuery>(queries.data() + group.offset,
+                                    group.count),
+        std::span<double>(scratch.data() + group.offset, group.count),
+        fan_out);
+  }
+  // Replaying the cursor walk inverts the counting sort without a
+  // positions side table.
+  std::fill(cursor.begin(), cursor.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    result->estimates[i] =
+        scratch[groups[group_of[i]].offset + cursor[group_of[i]]++];
+  }
   return Status::OK();
 }
 

@@ -23,6 +23,20 @@
 
 namespace equihist {
 
+// -- Multi-column batch estimation (DESIGN.md §14) ---------------------------
+
+// One predicate of a multi-column batch estimate: "lo < column <= hi".
+// Requests may interleave columns freely — the manager groups them.
+struct BatchEstimateRequest {
+  std::string column;
+  RangeQuery query{};
+};
+
+// The batch's answers: estimates[i] answers requests[i].
+struct BatchEstimateResult {
+  std::vector<double> estimates;
+};
+
 // Serving health of one column — the DESIGN.md §11 state machine.
 enum class ColumnHealth : std::uint8_t {
   kFresh = 0,     // current snapshot, last build succeeded
@@ -170,6 +184,20 @@ class StatisticsManager {
   Status EstimateRanges(const std::string& column, const Table& table,
                         std::span<const RangeQuery> queries,
                         std::span<double> out, bool use_pool = false);
+
+  // Multi-column batch variant: the planner hands over an entire predicate
+  // list — columns freely interleaved — and gets every estimate back in
+  // one call. Each distinct column's snapshot resolves once through the
+  // lock-free serving cache (first access may build, exactly like
+  // EstimateRange); its queries then run through the backend's batch path,
+  // the vectorized serving core on equi-height. With use_pool, per-column
+  // sub-batches shard across the manager's pool; results are
+  // bitwise-identical at any thread count. On error (an unbuildable
+  // column), estimates already computed are unspecified and the first
+  // failure is returned.
+  Status EstimateBatch(const Table& table,
+                       std::span<const BatchEstimateRequest> requests,
+                       BatchEstimateResult* result, bool use_pool = false);
 
   // Per-column outcome aggregation of a BuildAll sweep: every column that
   // could be built was; the rest are reported here instead of aborting the

@@ -1,0 +1,357 @@
+// Differential property tests for the vectorized serving core (DESIGN.md
+// section 14): the Eytzinger and SIMD kernels must agree *bitwise* — not
+// within a tolerance — with the scalar compiled estimator, over the
+// Section-5 corpus of spike-heavy histograms, extreme fences, and
+// degenerate shapes, at every batch layout (single query, sequential
+// batch, pool-sharded batch, every explicit kernel). The backend sweep at
+// the bottom extends the same bitwise batch-vs-loop contract to every
+// registered histogram family.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/compiled_estimator.h"
+#include "core/histogram.h"
+#include "core/histogram_builder.h"
+#include "data/distribution.h"
+#include "data/value_set.h"
+#include "data/workload.h"
+#include "stats/histogram_model.h"
+
+namespace equihist {
+namespace {
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+constexpr Value kValueMax = std::numeric_limits<Value>::max();
+
+// Bit-level comparison: catches sign-of-zero and NaN-payload divergence
+// that operator== would wave through.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " (0x" << std::hex << std::bit_cast<std::uint64_t>(a)
+         << ") != " << std::dec << b << " (0x" << std::hex
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+// Same generator family as core_compiled_estimator_test: random
+// non-decreasing separators with duplicated runs (probability `dup_prob`)
+// between the given fences, random counts (zeros allowed).
+Histogram RandomHistogram(Rng& rng, std::uint64_t k, Value lower, Value upper,
+                          double dup_prob) {
+  std::vector<Value> separators;
+  separators.reserve(k - 1);
+  Value prev = lower;
+  for (std::uint64_t j = 0; j + 1 < k; ++j) {
+    if (!separators.empty() && rng.NextDouble() < dup_prob) {
+      separators.push_back(prev);
+      continue;
+    }
+    const Value lo = prev;
+    const Value hi = upper - 1;
+    separators.push_back(lo >= hi ? lo : rng.NextInRange(lo, hi));
+    prev = separators.back();
+  }
+  std::vector<std::uint64_t> counts;
+  counts.reserve(k);
+  for (std::uint64_t j = 0; j < k; ++j) {
+    counts.push_back(static_cast<std::uint64_t>(rng.NextInRange(0, 5000)));
+  }
+  if (std::all_of(counts.begin(), counts.end(),
+                  [](std::uint64_t c) { return c == 0; })) {
+    counts[0] = 1;
+  }
+  return Histogram::Create(std::move(separators), std::move(counts), lower,
+                           upper)
+      .value();
+}
+
+// In-domain, separator-aligned, fence-overshooting, empty, reversed and
+// out-of-domain queries — the full mix every kernel must agree on.
+RangeQuery RandomQuery(Rng& rng, Value lf, Value uf,
+                       const std::vector<Value>& seps) {
+  switch (rng.NextInRange(0, 5)) {
+    case 0: {
+      if (!seps.empty()) {
+        const Value a = seps[static_cast<std::size_t>(
+            rng.NextInRange(0, static_cast<std::int64_t>(seps.size()) - 1))];
+        const Value b = seps[static_cast<std::size_t>(
+            rng.NextInRange(0, static_cast<std::int64_t>(seps.size()) - 1))];
+        return {std::min(a, b), std::max(a, b)};
+      }
+      return {lf, uf};
+    }
+    case 1:
+      return {lf == kValueMin ? kValueMin : lf - 1,
+              uf == kValueMax ? kValueMax : uf + 1};
+    case 2: {
+      const Value v = rng.NextInRange(lf, uf);
+      return rng.NextDouble() < 0.5
+                 ? RangeQuery{v, v}
+                 : RangeQuery{std::max(v, lf + 1), std::max(v, lf + 1) - 1};
+    }
+    case 3: {
+      return rng.NextDouble() < 0.5
+                 ? RangeQuery{uf, uf == kValueMax ? kValueMax : uf + 100}
+                 : RangeQuery{lf == kValueMin ? kValueMin : lf - 100, lf};
+    }
+    default: {
+      const Value a = rng.NextInRange(lf, uf);
+      const Value b = rng.NextInRange(lf, uf);
+      return {std::min(a, b), std::max(a, b)};
+    }
+  }
+}
+
+std::vector<RangeQuery> MakeQueries(Rng& rng, const Histogram& histogram,
+                                    std::size_t n) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries.push_back(RandomQuery(rng, histogram.lower_fence(),
+                                  histogram.upper_fence(),
+                                  histogram.separators()));
+  }
+  return queries;
+}
+
+// The core assertion: every kernel, every call shape, one bit pattern.
+void ExpectKernelsBitwiseIdentical(const CompiledEstimator& compiled,
+                                   std::span<const RangeQuery> queries,
+                                   ThreadPool* pool) {
+  const std::size_t n = queries.size();
+  std::vector<double> scalar(n), eytzinger(n), simd(n), automatic(n),
+      sharded(n);
+  compiled.EstimateRangeCounts(queries, scalar, nullptr,
+                               EstimatorKernel::kScalar);
+  compiled.EstimateRangeCounts(queries, eytzinger, nullptr,
+                               EstimatorKernel::kEytzinger);
+  compiled.EstimateRangeCounts(queries, simd, nullptr, EstimatorKernel::kSimd);
+  compiled.EstimateRangeCounts(queries, automatic, nullptr,
+                               EstimatorKernel::kAuto);
+  compiled.EstimateRangeCounts(queries, sharded, pool, EstimatorKernel::kAuto);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double single = compiled.EstimateRangeCount(queries[i]);
+    ASSERT_TRUE(BitEqual(scalar[i], single))
+        << "batch kScalar vs single-query at " << i;
+    ASSERT_TRUE(BitEqual(eytzinger[i], single))
+        << "kEytzinger vs scalar at " << i << " query (" << queries[i].lo
+        << ", " << queries[i].hi << "]";
+    ASSERT_TRUE(
+        BitEqual(compiled.EstimateRangeCountEytzinger(queries[i]), single))
+        << "single-query Eytzinger vs scalar at " << i;
+    ASSERT_TRUE(BitEqual(simd[i], single))
+        << "kSimd vs scalar at " << i << " query (" << queries[i].lo << ", "
+        << queries[i].hi << "]";
+    ASSERT_TRUE(BitEqual(automatic[i], single)) << "kAuto vs scalar at " << i;
+    ASSERT_TRUE(BitEqual(sharded[i], single))
+        << "pool-sharded vs scalar at " << i;
+  }
+}
+
+TEST(VectorizedEstimatorTest, KernelsBitwiseIdenticalOnRandomHistograms) {
+  Rng rng(20260808);
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Log-spread k up to the full 10000 so both cache-resident and
+    // cache-busting separator arrays are exercised.
+    const double log_k = rng.NextDouble() * 4.0;  // 10^0 .. 10^4
+    const std::uint64_t k = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::pow(10.0, log_k)));
+    const Value lower = rng.NextInRange(-1000000, 999999);
+    const Value upper = rng.NextInRange(lower + 1, 1000000);
+    const double dup_prob = (trial % 3 == 0) ? 0.4 : 0.0;
+    const Histogram histogram =
+        RandomHistogram(rng, k, lower, upper, dup_prob);
+    const CompiledEstimator compiled(histogram);
+    // 600 queries crosses the pool-sharding threshold, so the sharded run
+    // above genuinely fans out.
+    const std::vector<RangeQuery> queries = MakeQueries(rng, histogram, 600);
+    ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+  }
+}
+
+TEST(VectorizedEstimatorTest, KernelsBitwiseIdenticalWithExtremeFences) {
+  Rng rng(71);
+  ThreadPool pool(3);
+  // Fences at the int64 extremes: bucket widths beyond 2^63 exercise the
+  // unsigned-wraparound distance and the exact u64->f64 conversion.
+  for (const auto& [lower, upper] :
+       std::vector<std::pair<Value, Value>>{{kValueMin, kValueMax},
+                                            {kValueMin, kValueMin + 2},
+                                            {kValueMax - 2, kValueMax},
+                                            {-1, 1}}) {
+    for (const std::uint64_t k : {std::uint64_t{1}, std::uint64_t{2},
+                                  std::uint64_t{17}, std::uint64_t{257}}) {
+      const std::uint64_t usable = std::min<std::uint64_t>(
+          k, static_cast<std::uint64_t>(ValueDistance(lower, upper)) + 1);
+      const Histogram histogram =
+          RandomHistogram(rng, usable, lower, upper, 0.25);
+      const CompiledEstimator compiled(histogram);
+      const std::vector<RangeQuery> queries =
+          MakeQueries(rng, histogram, 640);
+      ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+    }
+  }
+}
+
+TEST(VectorizedEstimatorTest, KernelsBitwiseIdenticalOnDegenerateShapes) {
+  ThreadPool pool(2);
+  Rng rng(9001);
+  // Single bucket (no separators at all) — the Eytzinger descent's empty
+  // tree and the SIMD search's zero-length loop.
+  {
+    const Histogram histogram =
+        Histogram::Create({}, {5}, -10, 10).value();
+    const CompiledEstimator compiled(histogram);
+    const std::vector<RangeQuery> queries = MakeQueries(rng, histogram, 64);
+    ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+  }
+  // All separators duplicated at one value: one giant spike run.
+  {
+    const Histogram histogram =
+        Histogram::Create({0, 0, 0, 0, 0, 0, 0}, {1, 9, 9, 9, 9, 9, 9, 3},
+                          -100, 100)
+            .value();
+    const CompiledEstimator compiled(histogram);
+    const std::vector<RangeQuery> queries = MakeQueries(rng, histogram, 64);
+    ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+  }
+  // Minimal domain: every bucket is a spike or width-1.
+  {
+    const Histogram histogram =
+        Histogram::Create({1, 1, 2}, {4, 7, 0, 2}, 0, 2).value();
+    const CompiledEstimator compiled(histogram);
+    const std::vector<RangeQuery> queries = MakeQueries(rng, histogram, 64);
+    ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+  }
+  // Zero-mass buckets everywhere except one.
+  {
+    const Histogram histogram =
+        Histogram::Create({10, 20, 30}, {0, 0, 11, 0}, 0, 40).value();
+    const CompiledEstimator compiled(histogram);
+    const std::vector<RangeQuery> queries = MakeQueries(rng, histogram, 64);
+    ExpectKernelsBitwiseIdentical(compiled, queries, &pool);
+  }
+}
+
+TEST(VectorizedEstimatorTest, TailAndSeamLayoutsAreInvariant) {
+  // Batch sizes around the SIMD group width: 0..17 covers "all tail",
+  // "one full group", and "group + ragged tail" seams.
+  Rng rng(424242);
+  const Histogram histogram = RandomHistogram(rng, 100, -5000, 5000, 0.3);
+  const CompiledEstimator compiled(histogram);
+  const std::vector<RangeQuery> all = MakeQueries(rng, histogram, 17);
+  for (std::size_t n = 0; n <= all.size(); ++n) {
+    const std::span<const RangeQuery> queries(all.data(), n);
+    std::vector<double> simd(n, -1.0), scalar(n, -1.0);
+    compiled.EstimateRangeCounts(queries, simd, nullptr,
+                                 EstimatorKernel::kSimd);
+    compiled.EstimateRangeCounts(queries, scalar, nullptr,
+                                 EstimatorKernel::kScalar);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEqual(simd[i], scalar[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(VectorizedEstimatorTest, KernelResolutionDegradesGracefully) {
+  Rng rng(31);
+  const Histogram histogram = RandomHistogram(rng, 64, -5000, 5000, 0.2);
+  const CompiledEstimator small(histogram);
+  EXPECT_EQ(small.ResolveKernel(EstimatorKernel::kScalar),
+            EstimatorKernel::kScalar);
+  EXPECT_EQ(small.ResolveKernel(EstimatorKernel::kEytzinger),
+            EstimatorKernel::kEytzinger);
+  // A cache-resident separator array auto-dispatches to the flat scalar
+  // search — the measured winner below kAutoVectorThreshold.
+  EXPECT_EQ(small.ResolveKernel(EstimatorKernel::kAuto),
+            EstimatorKernel::kScalar);
+  if (CompiledEstimator::SimdAvailable()) {
+    EXPECT_EQ(small.ResolveKernel(EstimatorKernel::kSimd),
+              EstimatorKernel::kSimd);
+  } else {
+    // No AVX2: an explicit SIMD request falls back to the Eytzinger
+    // layout instead of failing.
+    EXPECT_EQ(small.ResolveKernel(EstimatorKernel::kSimd),
+              EstimatorKernel::kEytzinger);
+  }
+}
+
+TEST(VectorizedEstimatorTest, AutoDispatchGoesVectorizedPastThreshold) {
+  // Past kAutoVectorThreshold separators the array has spilled L2 and
+  // kAuto switches to the cache-optimal kernels: SIMD with AVX2, the
+  // Eytzinger layout without.
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(CompiledEstimator::kAutoVectorThreshold) + 64;
+  const auto freq = MakeAllDistinct(2 * n);
+  ASSERT_TRUE(freq.ok());
+  const ValueSet data = ValueSet::FromFrequencies(*freq);
+  const auto histogram = BuildPerfectHistogram(data, n);
+  ASSERT_TRUE(histogram.ok());
+  const CompiledEstimator large(*histogram);
+  const EstimatorKernel resolved = large.ResolveKernel(EstimatorKernel::kAuto);
+  if (CompiledEstimator::SimdAvailable()) {
+    EXPECT_EQ(resolved, EstimatorKernel::kSimd);
+  } else {
+    EXPECT_EQ(resolved, EstimatorKernel::kEytzinger);
+  }
+  // And the dispatch stays bitwise-invisible: spot-check the large
+  // estimator's kernels against each other.
+  Rng rng(77);
+  const std::vector<RangeQuery> queries = MakeQueries(rng, *histogram, 512);
+  ExpectKernelsBitwiseIdentical(large, queries, nullptr);
+}
+
+// Every registered backend (built-ins and whatever else the process added)
+// honours the batch contract bitwise: EstimateRangeCounts over any pool
+// equals the per-query loop. Non-equi-height families run the scalar
+// batched form; equi-height runs the vectorized core.
+TEST(VectorizedEstimatorTest, AllBackendsBatchBitwiseEqualsLoop) {
+  Rng rng(1337);
+  ThreadPool pool(3);
+  std::vector<Value> sample;
+  for (int i = 0; i < 4000; ++i) {
+    sample.push_back(rng.NextInRange(-100000, 100000));
+  }
+  // A heavy duplicated run so the compressed backend has a singleton.
+  for (int i = 0; i < 800; ++i) sample.push_back(777);
+  std::sort(sample.begin(), sample.end());
+
+  for (const HistogramBackendId id : HistogramBackendRegistry::Global().Ids()) {
+    const auto backend = HistogramBackendRegistry::Global().Find(id).value();
+    const auto built = backend.build_from_sample(sample, 50, 48000);
+    ASSERT_TRUE(built.ok()) << backend.name << ": " << built.status();
+    const HistogramModelPtr model = built.value();
+    std::vector<RangeQuery> queries;
+    for (int i = 0; i < 600; ++i) {
+      queries.push_back(RandomQuery(rng, model->lower_fence(),
+                                    model->upper_fence(), {}));
+    }
+    std::vector<double> batch(queries.size()), pooled(queries.size());
+    model->EstimateRangeCounts(queries, batch, nullptr);
+    model->EstimateRangeCounts(queries, pooled, &pool);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const double single = model->EstimateRangeCount(queries[i]);
+      ASSERT_TRUE(BitEqual(batch[i], single))
+          << backend.name << " batch vs loop at " << i;
+      ASSERT_TRUE(BitEqual(pooled[i], single))
+          << backend.name << " pooled batch vs loop at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace equihist

@@ -1,5 +1,8 @@
 #include "query/planner.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "data/distribution.h"
@@ -139,6 +142,96 @@ TEST(PlannerTest, ExecutePlanCheckedPropagatesLostPageOnBothArms) {
     ASSERT_FALSE(result.ok()) << AccessPathToString(path);
     EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   }
+}
+
+TEST(PlannerTest, BatchChoicesMatchPerQueryChoices) {
+  // The batch planner is the per-query planner, fused: every PlanChoice
+  // field (including the costs, which feed the decision) is bitwise what
+  // the scalar entry point computes.
+  Fixture fx;
+  std::vector<RangeQuery> queries;
+  for (std::uint64_t width : {10u, 100u, 1000u, 20000u, 90000u}) {
+    for (Value lo : {0, 5000, 50000}) {
+      queries.push_back({lo, lo + static_cast<Value>(width)});
+    }
+  }
+  const auto batch =
+      ChooseAccessPaths(*fx.stats.model, queries, fx.table.page_count(),
+                        fx.table.tuples_per_page());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto single =
+        ChooseAccessPath(*fx.stats.model, queries[i], fx.table.page_count(),
+                         fx.table.tuples_per_page());
+    EXPECT_EQ(batch[i].path, single.path) << "query " << i;
+    EXPECT_EQ(batch[i].estimated_rows, single.estimated_rows);
+    EXPECT_EQ(batch[i].full_scan_cost, single.full_scan_cost);
+    EXPECT_EQ(batch[i].index_scan_cost, single.index_scan_cost);
+  }
+}
+
+TEST(PlannerTest, ManagerBatchPlansWholePredicateList) {
+  // Multi-column planning goes through StatisticsManager::EstimateBatch:
+  // one call costs the whole predicate list, and the decisions land where
+  // the per-query planner would put them (narrow -> index, wide -> scan).
+  Fixture fx;
+  StatisticsManager manager({.buckets = 100, .f = 0.1});
+  std::vector<BatchEstimateRequest> requests = {
+      {"x", {100, 200}},    // narrow
+      {"x", {0, 90000}},    // wide
+      {"x", {5000, 5100}},  // narrow
+  };
+  const auto choices =
+      ChooseAccessPaths(manager, fx.table, requests,
+                        fx.table.tuples_per_page());
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices->size(), requests.size());
+  EXPECT_EQ((*choices)[0].path, AccessPath::kIndexRangeScan);
+  EXPECT_EQ((*choices)[1].path, AccessPath::kFullScan);
+  EXPECT_EQ((*choices)[2].path, AccessPath::kIndexRangeScan);
+}
+
+TEST(PlannerTest, BatchFullScanAnswersAllQueriesWithOneScan) {
+  // The batch full-scan arm reads the table exactly once and still
+  // returns every query's true row count — including reversed and empty
+  // ranges, which count zero rows.
+  Fixture fx;
+  const std::vector<RangeQuery> queries = {
+      {500, 700}, {0, 90000}, {99999, 200000}, {700, 500}, {42, 42}};
+  const auto batch = ExecutePlansChecked(fx.table, fx.index, queries,
+                                         AccessPath::kFullScan);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->rows.size(), queries.size());
+  EXPECT_EQ(batch->io.pages_read, fx.table.page_count());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch->rows[i],
+              fx.truth.CountInRange(queries[i].lo, queries[i].hi))
+        << "query " << i;
+    const auto single = ExecutePlanChecked(fx.table, fx.index, queries[i],
+                                           AccessPath::kFullScan);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch->rows[i], single->rows);
+  }
+}
+
+TEST(PlannerTest, BatchIndexArmMatchesPerQueryScans) {
+  Fixture fx;
+  const std::vector<RangeQuery> queries = {{100, 200}, {5000, 5400},
+                                           {800, 1600}};
+  const auto batch = ExecutePlansChecked(fx.table, fx.index, queries,
+                                         AccessPath::kIndexRangeScan);
+  ASSERT_TRUE(batch.ok());
+  std::uint64_t per_query_pages = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto single = ExecutePlanChecked(fx.table, fx.index, queries[i],
+                                           AccessPath::kIndexRangeScan);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch->rows[i], single->rows) << "query " << i;
+    per_query_pages += single->io.pages_read;
+  }
+  // The batch I/O bill is the sum of the individual scans — no hidden
+  // discount on the index arm.
+  EXPECT_EQ(batch->io.pages_read, per_query_pages);
 }
 
 TEST(PlannerTest, PathNames) {
