@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate over the estimator-throughput bench.
+"""CI perf-regression gate over the timing benches.
 
-Compares a fresh (usually --smoke) BENCH_estimator_throughput.json against
-the checked-in baseline and fails when any serving-path ns/query metric
-regresses beyond the tolerance band. Cross-machine absolute timings are
-noisy, so the band is wide by design: this gate catches "the serving core
-got 2x slower" (an accidental O(k) loop, a dropped fast path), not 5%
-drift.
+Compares a fresh (usually --smoke) BENCH json against the checked-in
+baseline of the same bench and fails when any ns metric regresses beyond
+the tolerance band. The extractor dispatches on the report's "bench" tag:
+estimator-throughput reports gate serving-path ns/query, incremental-
+maintenance reports gate the O(Δ) refresh cost. Cross-machine absolute
+timings are noisy, so the band is wide by design: this gate catches "the
+serving core got 2x slower" (an accidental O(k) loop, a dropped fast
+path), not 5% drift.
 
 Skips (exit 0, reason recorded) when the runner reports fewer cores than
 --min-cores: single-core CI runners are typically shared/throttled enough
@@ -49,6 +51,32 @@ def single_thread_metrics(doc):
     return metrics
 
 
+def incremental_maintenance_metrics(doc):
+    """Per-(pattern, churn) refresh cost in ns, incremental runs only.
+
+    The refresh repairs a fixed-capacity reservoir (4096 slots regardless
+    of bench scale), so its absolute cost is comparable between a --smoke
+    candidate and the checked-in fast-scale baseline. Fallback rows are a
+    full rebuild — their cost scales with n, so they are excluded; per-Δ-row
+    and speedup metrics are likewise scale-dependent and not gated.
+    """
+    metrics = {}
+    for row in doc.get("runs", []):
+        if not row.get("incremental"):
+            continue
+        refresh_ms = row.get("refresh_ms")
+        if refresh_ms:
+            name = f"{row.get('pattern')}/churn={row.get('churn')}/refresh_ns"
+            metrics[name] = refresh_ms * 1e6
+    return metrics
+
+
+def extract_metrics(doc):
+    if doc.get("bench") == "incremental_maintenance":
+        return incremental_maintenance_metrics(doc)
+    return single_thread_metrics(doc)
+
+
 def record(message):
     print(message)
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -87,8 +115,8 @@ def main():
         )
         return 0
 
-    base_metrics = single_thread_metrics(baseline)
-    cand_metrics = single_thread_metrics(candidate)
+    base_metrics = extract_metrics(baseline)
+    cand_metrics = extract_metrics(candidate)
     shared = sorted(set(base_metrics) & set(cand_metrics))
     if not shared:
         record("PERF GATE ERROR: no comparable metrics between the reports")

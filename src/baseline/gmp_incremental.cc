@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
 #include "core/histogram_builder.h"
 
 namespace equihist {
+namespace {
 
-Result<IncrementalEquiDepth> IncrementalEquiDepth::Create(
-    const GmpOptions& options) {
+Status ValidateGmpOptions(const GmpOptions& options) {
   if (options.buckets == 0) {
     return Status::InvalidArgument("buckets must be positive");
   }
@@ -20,12 +21,45 @@ Result<IncrementalEquiDepth> IncrementalEquiDepth::Create(
     return Status::InvalidArgument(
         "reservoir must hold at least one value per bucket");
   }
-  return IncrementalEquiDepth(options);
+  return Status::OK();
 }
 
-IncrementalEquiDepth::IncrementalEquiDepth(const GmpOptions& options)
-    : options_(options),
-      reservoir_(options.reservoir_capacity, options.seed) {}
+}  // namespace
+
+Result<IncrementalEquiDepth> IncrementalEquiDepth::Create(
+    const GmpOptions& options) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateGmpOptions(options));
+  EQUIHIST_ASSIGN_OR_RETURN(
+      BackingReservoir reservoir,
+      BackingReservoir::Create(options.reservoir_capacity, options.seed));
+  return IncrementalEquiDepth(options, std::move(reservoir));
+}
+
+Result<IncrementalEquiDepth> IncrementalEquiDepth::FromState(
+    const GmpOptions& options, const Histogram& histogram,
+    BackingReservoir reservoir) {
+  EQUIHIST_RETURN_IF_ERROR(ValidateGmpOptions(options));
+  if (histogram.bucket_count() != options.buckets) {
+    return Status::InvalidArgument(
+        "histogram bucket count disagrees with the maintenance options");
+  }
+  if (reservoir.capacity() < options.buckets) {
+    return Status::InvalidArgument(
+        "reservoir must hold at least one value per bucket");
+  }
+  IncrementalEquiDepth maintained(options, std::move(reservoir));
+  maintained.n_ = histogram.total();
+  maintained.min_value_ = histogram.lower_fence() + 1;
+  maintained.max_value_ = histogram.upper_fence();
+  maintained.separators_ = histogram.separators();
+  maintained.counts_ = histogram.counts();
+  maintained.initialized_ = true;
+  return maintained;
+}
+
+IncrementalEquiDepth::IncrementalEquiDepth(const GmpOptions& options,
+                                           BackingReservoir reservoir)
+    : options_(options), reservoir_(std::move(reservoir)) {}
 
 double IncrementalEquiDepth::Threshold() const {
   return (2.0 + options_.gamma) * static_cast<double>(n_) /
@@ -38,9 +72,24 @@ std::uint64_t IncrementalEquiDepth::BucketIndexForValue(Value value) const {
   return static_cast<std::uint64_t>(it - separators_.begin());
 }
 
+bool IncrementalEquiDepth::MaintenanceDue() {
+  // Maintenance is rate-limited to once per ~1% table growth: a value
+  // heavier than the threshold keeps its bucket permanently over T (no
+  // split can divide one value, and a recompute cannot cure it), and
+  // without the cooldown every touch of that bucket would scan the
+  // reservoir and recompute. The original algorithm assumes per-value
+  // masses below T; the cooldown keeps maintenance O(1) amortized outside
+  // that assumption at no accuracy cost.
+  if (maintenance_ops_ < maintenance_cooldown_until_) return false;
+  maintenance_cooldown_until_ =
+      maintenance_ops_ + std::max<std::uint64_t>(n_ / 100, 16);
+  return true;
+}
+
 void IncrementalEquiDepth::Insert(Value value) {
   reservoir_.Add(value);
   ++n_;
+  ++maintenance_ops_;
   if (!initialized_) {
     min_value_ = value;
     max_value_ = value;
@@ -59,16 +108,43 @@ void IncrementalEquiDepth::Insert(Value value) {
 
   // Split, funding the extra bucket by merging the lightest adjacent pair;
   // recompute from the backing sample when either step is impossible.
-  // Maintenance is rate-limited to once per ~1% table growth: a value
-  // heavier than the threshold keeps its bucket permanently over T (no
-  // split can divide one value, and a recompute cannot cure it), and
-  // without the cooldown every insert into that bucket would scan the
-  // reservoir and recompute. The original algorithm assumes per-value
-  // masses below T; the cooldown keeps maintenance O(1) amortized outside
-  // that assumption at no accuracy cost.
-  if (n_ < maintenance_cooldown_until_) return;
-  maintenance_cooldown_until_ = n_ + std::max<std::uint64_t>(n_ / 100, 16);
+  if (!MaintenanceDue()) return;
   if (!TrySplit(j) || !TryMergeLightestPair()) {
+    RecomputeFromSample();
+  }
+}
+
+void IncrementalEquiDepth::Delete(Value value) {
+  if (!initialized_ || n_ == 0) return;
+  reservoir_.Delete(value);
+  --n_;
+  ++maintenance_ops_;
+  const std::uint64_t j = BucketIndexForValue(value);
+  if (counts_[j] > 0) --counts_[j];
+  if (n_ == 0 || counts_.size() < 2) return;
+
+  // Low-water check, the mirror image of the split threshold: a bucket
+  // holding less than N / (B * (2 + gamma)) stops paying for its
+  // separator, so fold it into its lighter neighbor and recover the B-th
+  // bucket by splitting the heaviest one.
+  const double low_water =
+      static_cast<double>(n_) /
+      (static_cast<double>(options_.buckets) * (2.0 + options_.gamma));
+  if (static_cast<double>(counts_[j]) >= low_water) return;
+  if (!MaintenanceDue()) return;
+
+  const std::size_t left = (j == 0) ? 0 : j - 1;
+  const bool merge_left =
+      j > 0 && (j + 1 >= counts_.size() || counts_[j - 1] <= counts_[j + 1]);
+  const std::size_t pair = merge_left ? left : j;
+  counts_[pair] += counts_[pair + 1];
+  counts_.erase(counts_.begin() + static_cast<std::ptrdiff_t>(pair) + 1);
+  separators_.erase(separators_.begin() + static_cast<std::ptrdiff_t>(pair));
+  ++merges_;
+
+  const std::size_t heaviest = static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+  if (!TrySplit(heaviest)) {
     RecomputeFromSample();
   }
 }
@@ -136,14 +212,19 @@ bool IncrementalEquiDepth::TryMergeLightestPair() {
 }
 
 void IncrementalEquiDepth::RecomputeFromSample() {
+  if (reservoir_.size() == 0) {
+    // Counted-replacement deletes can drain the reservoir entirely; with
+    // nothing to recompute from, keep serving the current (possibly
+    // off-width) buckets — the owning manager's fill-fraction budget is
+    // what forces the full rebuild in that regime.
+    return;
+  }
   ++recomputes_;
-  std::vector<Value> sample = reservoir_.sample();
-  std::sort(sample.begin(), sample.end());
+  const std::vector<Value> sample = reservoir_.SortedSample();
   auto histogram = BuildHistogramFromSample(sample, options_.buckets, n_);
   if (!histogram.ok()) {
-    // Unreachable for a reservoir the insert path has populated; an
-    // NDEBUG-blind assert here would turn a failed build into a read of
-    // an empty Result.
+    // Unreachable for a non-empty reservoir; an NDEBUG-blind assert here
+    // would turn a failed build into a read of an empty Result.
     AbortOnStatus(histogram.status(), "IncrementalEquiDepth recompute");
   }
   separators_ = histogram->separators();

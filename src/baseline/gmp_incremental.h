@@ -6,24 +6,29 @@
 
 #include "common/result.h"
 #include "core/histogram.h"
-#include "sampling/row_sampler.h"
+#include "sampling/reservoir.h"
 
 namespace equihist {
 
 // The Gibbons-Matias-Poosala incremental equi-depth histogram (VLDB 1997)
 // — the prior work the paper compares its bounds against in Section 3.4,
-// implemented here as the baseline *maintenance* strategy:
+// implemented here as the *maintenance* strategy behind the
+// incremental-equi-depth backend (DESIGN.md §15):
 //
-//   * a backing random sample of the stream is kept in a reservoir;
+//   * a backing random sample of the stream is kept (BackingReservoir);
 //   * every insert increments the count of the bucket holding the value;
 //   * when a bucket exceeds the threshold T = (2 + gamma) * N / B, it is
 //     split at its approximate median (taken from the backing sample), and
 //     the lightest adjacent bucket pair is merged to keep B buckets;
-//   * if no adjacent pair is light enough to merge, the whole histogram is
+//   * every delete decrements its bucket; when a bucket drains below the
+//     low-water mark N / (B * (2 + gamma)), it is merged into its lighter
+//     neighbor and the heaviest bucket is split to restore B buckets;
+//   * if a split/merge cannot be arranged, the whole histogram is
 //     recomputed from the backing sample.
 //
 // The paper's alternative is to simply *recompute from a bounded sample*
-// with the Theorem 4 budget; bench_baseline_comparison races the two.
+// with the Theorem 4 budget; bench_baseline_comparison races the two and
+// bench_incremental_maintenance measures the refresh-vs-rebuild crossover.
 struct GmpOptions {
   std::uint64_t buckets = 100;          // B
   double gamma = 0.5;                   // threshold slack, T = (2+gamma)N/B
@@ -37,9 +42,22 @@ class IncrementalEquiDepth {
   // smaller than the bucket count.
   static Result<IncrementalEquiDepth> Create(const GmpOptions& options);
 
+  // Resumes maintenance from a published histogram and its backing
+  // reservoir — the warm-restart path of the incremental backend. The
+  // histogram must have exactly options.buckets buckets and the reservoir
+  // the same capacity floor Create enforces.
+  static Result<IncrementalEquiDepth> FromState(const GmpOptions& options,
+                                                const Histogram& histogram,
+                                                BackingReservoir reservoir);
+
   // Inserts one value: updates the reservoir, bumps the bucket count, and
   // splits/merges/recomputes as required by the thresholds.
   void Insert(Value value);
+
+  // Deletes one row with value `value`: counted-replacement update of the
+  // reservoir, bucket decrement, and merge/split repair when the bucket
+  // drains below the low-water mark. No-op before the first insert.
+  void Delete(Value value);
 
   std::uint64_t size() const { return n_; }
 
@@ -52,10 +70,10 @@ class IncrementalEquiDepth {
   std::uint64_t merge_count() const { return merges_; }
   std::uint64_t recompute_count() const { return recomputes_; }
 
-  const ReservoirSampler& backing_sample() const { return reservoir_; }
+  const BackingReservoir& backing_sample() const { return reservoir_; }
 
  private:
-  explicit IncrementalEquiDepth(const GmpOptions& options);
+  IncrementalEquiDepth(const GmpOptions& options, BackingReservoir reservoir);
 
   double Threshold() const;
   std::uint64_t BucketIndexForValue(Value value) const;
@@ -66,16 +84,21 @@ class IncrementalEquiDepth {
   // Merges the lightest adjacent pair if its combined count is below the
   // threshold; returns false otherwise.
   bool TryMergeLightestPair();
+  // Rate-limits maintenance; returns false while the cooldown is active.
+  bool MaintenanceDue();
   void RecomputeFromSample();
 
   GmpOptions options_;
-  ReservoirSampler reservoir_;
+  BackingReservoir reservoir_;
   std::uint64_t n_ = 0;
   Value min_value_ = 0;
   Value max_value_ = 0;
   std::vector<Value> separators_;        // size B-1 once initialized
   std::vector<std::uint64_t> counts_;    // size B once initialized
   bool initialized_ = false;
+  // Cooldown runs on a monotonic op clock, not on n_: under deletes n_
+  // shrinks, and a high-water cooldown pinned to n_ would never expire.
+  std::uint64_t maintenance_ops_ = 0;
   std::uint64_t maintenance_cooldown_until_ = 0;
   std::uint64_t splits_ = 0;
   std::uint64_t merges_ = 0;

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace equihist {
@@ -8,6 +9,13 @@ std::size_t ResolveThreadCount(std::uint64_t threads) {
   if (threads != 0) return static_cast<std::size_t>(threads);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ResolveBuildThreadCount(std::uint64_t threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (threads == 0) return cores;
+  return std::min(static_cast<std::size_t>(threads), cores);
 }
 
 // Shared bookkeeping of one ParallelFor call: shards are claimed with a

@@ -21,6 +21,15 @@ namespace equihist {
 // of CvbOptions::threads and StatisticsManager::Options::threads.
 std::size_t ResolveThreadCount(std::uint64_t threads);
 
+// The build-pipeline variant: same convention, but an explicit request is
+// clamped to the hardware thread count. Statistics builds are CPU-bound
+// (sorts, separator partitions), so fan-out past the core count only adds
+// contention — BENCH_parallel_scaling.json measures a strict regression
+// (0.75–0.97x) for threads > cores. The serving/test knob keeps the
+// literal behavior of ResolveThreadCount (determinism contracts are
+// expressed in shards, so a pinned thread count stays meaningful there).
+std::size_t ResolveBuildThreadCount(std::uint64_t threads);
+
 // A fixed-size work-queue thread pool, the execution substrate of the
 // parallel histogram-construction engine.
 //

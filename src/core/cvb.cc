@@ -67,10 +67,12 @@ Result<CvbResult> RunCvb(const Table& table, const CvbOptions& options,
   EQUIHIST_RETURN_IF_ERROR(ValidateOptions(table, options));
 
   // Use the caller's pool when given; otherwise spin one up per
-  // options.threads. threads == 1 keeps everything on this thread.
+  // options.threads, clamped to the core count — the build stages are
+  // CPU-bound and over-subscription strictly regresses. threads == 1
+  // keeps everything on this thread.
   std::unique_ptr<ThreadPool> owned_pool;
   if (pool == nullptr) {
-    const std::size_t threads = ResolveThreadCount(options.threads);
+    const std::size_t threads = ResolveBuildThreadCount(options.threads);
     if (threads > 1) {
       owned_pool = std::make_unique<ThreadPool>(threads);
       pool = owned_pool.get();

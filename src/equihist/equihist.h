@@ -44,9 +44,11 @@
 #include "distinct/frequency_profile.h" // IWYU pragma: export
 #include "sampling/block_sampler.h"     // IWYU pragma: export
 #include "sampling/design_effect.h"     // IWYU pragma: export
+#include "sampling/reservoir.h"         // IWYU pragma: export
 #include "stats/column_statistics.h"    // IWYU pragma: export
 #include "stats/histogram_backends.h"   // IWYU pragma: export
 #include "stats/histogram_model.h"      // IWYU pragma: export
+#include "stats/incremental_backend.h"  // IWYU pragma: export
 #include "stats/join_estimator.h"       // IWYU pragma: export
 #include "stats/serialization.h"        // IWYU pragma: export
 #include "stats/statistics_manager.h"   // IWYU pragma: export

@@ -14,8 +14,11 @@
 #include "core/range_estimator.h"
 #include "distinct/estimators.h"
 #include "distinct/frequency_profile.h"
+#include "sampling/block_sampler.h"
+#include "sampling/reservoir.h"
 #include "sampling/row_sampler.h"
 #include "stats/histogram_backends.h"
+#include "stats/incremental_backend.h"
 #include "storage/scan.h"
 
 namespace equihist {
@@ -41,6 +44,97 @@ std::vector<CompressedHistogram::Singleton> CollectHeavyHitters(
     i = j;
   }
   return hitters;
+}
+
+// Estimated distinct count over a sorted sample: the paper's estimator for
+// a proper sample, the exact run count for a full scan.
+Result<double> EstimateDistinct(std::span<const Value> sorted, bool sampled,
+                                std::uint64_t population) {
+  if (sampled) {
+    return PaperEstimator(FrequencyProfile::FromSorted(sorted), population);
+  }
+  std::uint64_t distinct = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    ++distinct;
+    i = j;
+  }
+  return static_cast<double>(distinct);
+}
+
+// The incremental-equi-depth build (DESIGN.md §15): a paper-§4 block
+// sample sized for both the Theorem 4 budget and the reservoir capacity
+// seeds a BackingReservoir; the published histogram is built from exactly
+// what the reservoir holds, so the model and its backing sample agree at
+// birth (the differential-test contract).
+Result<ColumnStatistics> BuildIncrementalStatistics(
+    const Table& table, const BackendBuildOptions& options, ThreadPool* pool) {
+  const std::uint64_t n = table.tuple_count();
+  if (n == 0) {
+    return Status::FailedPrecondition("table is empty");
+  }
+  const std::uint64_t capacity =
+      std::max(options.reservoir_capacity, options.buckets);
+
+  IoStats io;
+  std::vector<Value> values;
+  if (options.prefer_sampling) {
+    EQUIHIST_ASSIGN_OR_RETURN(
+        const std::uint64_t deviation,
+        DeviationSampleSize(n, options.buckets, options.f, options.gamma));
+    const std::uint64_t wanted = std::min(std::max(deviation, capacity), n);
+    // Without-replacement page permutation: transient faults retried,
+    // permanently unreadable pages skipped and replaced, a skip total over
+    // the fault budget fails the build with a typed error the degraded
+    // serving layer absorbs.
+    IncrementalBlockSampler sampler(&table, options.seed, pool);
+    sampler.set_retry_policy(options.retry);
+    const std::uint64_t per_page =
+        std::max<std::uint64_t>(table.tuples_per_page(), 1);
+    while (values.size() < wanted) {
+      const std::uint64_t need = wanted - values.size();
+      std::vector<Value> batch =
+          sampler.NextBatch((need + per_page - 1) / per_page, &io);
+      if (batch.empty()) break;  // page permutation exhausted
+      values.insert(values.end(), batch.begin(), batch.end());
+      if (sampler.pages_skipped() > options.max_skipped_blocks) {
+        return Status::DataLoss(
+            "block sampling skipped more pages than the fault budget");
+      }
+    }
+    if (values.empty()) {
+      return Status::DataLoss("no readable pages to seed the reservoir from");
+    }
+  } else {
+    EQUIHIST_ASSIGN_OR_RETURN(
+        values, FullScanChecked(table, &io, pool, options.retry));
+  }
+  ParallelSort(values, pool);
+
+  EQUIHIST_ASSIGN_OR_RETURN(
+      BackingReservoir reservoir,
+      BackingReservoir::Create(capacity, options.seed));
+  EQUIHIST_RETURN_IF_ERROR(reservoir.SeedFromSample(values, n));
+  EQUIHIST_ASSIGN_OR_RETURN(
+      HistogramModelPtr model,
+      MakeIncrementalModelFromReservoir(std::move(reservoir),
+                                        options.buckets));
+
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(values.size());
+  ColumnStatistics stats;
+  stats.model = std::move(model);
+  stats.density = ComputeDensity(values);
+  EQUIHIST_ASSIGN_OR_RETURN(
+      stats.distinct_estimate,
+      EstimateDistinct(values, options.prefer_sampling, n));
+  stats.row_count = n;
+  stats.from_full_scan = !options.prefer_sampling;
+  stats.sample_size = values.size();
+  stats.build_cost = io;
+  stats.heavy_hitters = CollectHeavyHitters(values, options.buckets, scale);
+  return stats;
 }
 
 }  // namespace
@@ -201,6 +295,11 @@ Result<ColumnStatistics> BuildStatisticsWithBackend(
     cvb.max_skipped_blocks = options.max_skipped_blocks;
     return BuildStatisticsSampled(table, cvb, pool);
   }
+  if (options.backend == HistogramBackendId::kIncrementalEquiDepth) {
+    // The §4 block-sample build that seeds the backing reservoir; the
+    // generic row-sample path below cannot carry the reservoir out.
+    return BuildIncrementalStatistics(table, options, pool);
+  }
 
   EQUIHIST_ASSIGN_OR_RETURN(
       const HistogramBackendRegistry::Backend backend,
@@ -254,6 +353,34 @@ Result<ColumnStatistics> BuildStatisticsWithBackend(
   stats.sample_size = values.size();
   stats.build_cost = io;
   stats.heavy_hitters = CollectHeavyHitters(values, options.buckets, scale);
+  return stats;
+}
+
+Result<ColumnStatistics> MakeIncrementalStatistics(const Histogram& histogram,
+                                                   BackingReservoir reservoir) {
+  if (reservoir.size() == 0) {
+    return Status::FailedPrecondition(
+        "cannot assemble statistics from an empty reservoir");
+  }
+  const std::uint64_t n = histogram.total();
+  const std::vector<Value> sorted = reservoir.SortedSample();
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sorted.size());
+
+  ColumnStatistics stats;
+  stats.density = ComputeDensity(sorted);
+  // The reservoir is a uniform without-replacement sample of the live
+  // column, so the paper's sampled estimator applies.
+  EQUIHIST_ASSIGN_OR_RETURN(stats.distinct_estimate,
+                            EstimateDistinct(sorted, /*sampled=*/true, n));
+  stats.row_count = n;
+  stats.from_full_scan = false;
+  stats.sample_size = sorted.size();
+  stats.build_cost = IoStats{};  // the whole point: zero storage I/O
+  stats.heavy_hitters =
+      CollectHeavyHitters(sorted, histogram.bucket_count(), scale);
+  stats.model = std::make_shared<IncrementalEquiDepthModel>(
+      histogram, std::move(reservoir));
   return stats;
 }
 

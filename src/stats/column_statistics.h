@@ -120,6 +120,10 @@ struct BackendBuildOptions {
   // `max_skipped_blocks` permanently unreadable blocks fail the build.
   RetryPolicy retry{};
   std::uint64_t max_skipped_blocks = 64;
+  // Backing-sample size for the incremental-equi-depth backend (DESIGN.md
+  // §15); the effective capacity is never below `buckets`. Ignored by
+  // every other backend.
+  std::uint64_t reservoir_capacity = 4096;
 };
 
 // Builds statistics whose histogram comes from any registered backend.
@@ -132,6 +136,17 @@ struct BackendBuildOptions {
 Result<ColumnStatistics> BuildStatisticsWithBackend(
     const Table& table, const BackendBuildOptions& options,
     ThreadPool* pool = nullptr);
+
+// Assembles incremental-equi-depth statistics from a maintained in-memory
+// state — the current split/merge histogram plus its backing reservoir —
+// with zero storage I/O (DESIGN.md §15). `histogram` supplies the bucket
+// boundaries and the live row count; density, distinct estimate and heavy
+// hitters are re-derived from the reservoir sample. This is the publish
+// step of StatisticsManager's O(Δ) refresh path. Fails
+// (FailedPrecondition) on an empty reservoir.
+class BackingReservoir;
+Result<ColumnStatistics> MakeIncrementalStatistics(
+    const Histogram& histogram, BackingReservoir reservoir);
 
 }  // namespace equihist
 

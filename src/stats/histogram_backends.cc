@@ -10,6 +10,7 @@
 #include "common/math.h"
 #include "common/string_util.h"
 #include "core/histogram_builder.h"
+#include "stats/incremental_backend.h"
 #include "stats/wire_format.h"
 
 namespace equihist {
@@ -516,11 +517,17 @@ void RegisterBuiltinHistogramBackends(HistogramBackendRegistry& registry) {
       {.name = "fallback-uniform",
        .build_from_sample = BuildFallbackUniformFromSample,
        .deserialize_payload = DeserializeFallbackUniform});
+  const Status s5 = registry.Register(
+      HistogramBackendId::kIncrementalEquiDepth,
+      {.name = "incremental-equi-depth",
+       .build_from_sample = BuildIncrementalEquiDepthFromSample,
+       .deserialize_payload = DeserializeIncrementalEquiDepth});
   (void)s0;
   (void)s1;
   (void)s2;
   (void)s3;
   (void)s4;
+  (void)s5;
 }
 
 }  // namespace internal

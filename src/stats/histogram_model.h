@@ -36,7 +36,10 @@ enum class HistogramBackendId : std::uint8_t {
   kCompressed = 2,       // core/compressed_histogram (Section 5)
   kGmpIncremental = 3,   // baseline/gmp_incremental snapshot (Section 3.4)
   kFallbackUniform = 4,  // metadata-only uniform model (degraded serving)
-  // Ids 5..127 are reserved for future built-ins; 128..255 are free for
+  // Equi-height histogram carrying its live backing reservoir, maintained
+  // under DML by bucket split/merge instead of full rebuild (DESIGN.md §15).
+  kIncrementalEquiDepth = 5,  // stats/incremental_backend
+  // Ids 6..127 are reserved for future built-ins; 128..255 are free for
   // externally registered backends.
 };
 

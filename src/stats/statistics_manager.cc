@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "stats/histogram_backends.h"
+#include "stats/incremental_backend.h"
 #include "stats/serialization.h"
 
 namespace equihist {
@@ -70,7 +71,9 @@ std::uint64_t StatisticsManager::NowMicros() const {
 
 ThreadPool* StatisticsManager::pool() {
   std::call_once(pool_once_, [this]() {
-    const std::size_t threads = ResolveThreadCount(options_.threads);
+    // Clamped to the core count: builds are CPU-bound and fan-out past the
+    // hardware threads strictly regresses (BENCH_parallel_scaling.json).
+    const std::size_t threads = ResolveBuildThreadCount(options_.threads);
     if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   });
   return pool_.get();
@@ -91,6 +94,7 @@ Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
   build.seed = seed;
   build.retry = options_.retry;
   build.max_skipped_blocks = options_.max_skipped_blocks;
+  build.reservoir_capacity = options_.reservoir_capacity;
   // The equi-height default routes through the CVB / full-scan pipelines
   // exactly as before; other backends sample once and build through the
   // registry.
@@ -129,6 +133,9 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
   MutexLock build_lock(entry->build_mu);
   std::uint64_t generation = 0;
   std::uint64_t modifications_at_capture = 0;
+  bool breaker_open = false;
+  Status breaker_status = Status::OK();
+  std::shared_ptr<const ColumnStatistics> current;
   {
     ReaderMutexLock lock(mu_);
     entry->AssertReaderHeld();
@@ -136,20 +143,17 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
         (!require_fresh || !IsStaleLocked(*entry))) {
       return entry->stats;
     }
-    // Circuit breaker: while open, don't even attempt the build — keep
-    // serving whatever is published (the stale snapshot or the fallback).
+    current = entry->stats;
+    // Circuit breaker: while open, don't attempt the *storage* build —
+    // noted here, acted on below, after the incremental path got its shot.
     if (entry->breaker_open_until != 0 &&
         NowMicros() < entry->breaker_open_until) {
-      const Status open = Status::Unavailable(
+      breaker_open = true;
+      breaker_status = Status::Unavailable(
           "circuit breaker open after " +
           std::to_string(entry->consecutive_build_failures) +
           " consecutive build failures; last: " +
           entry->last_error.ToString());
-      if (entry->stats != nullptr) {
-        if (build_error != nullptr) *build_error = open;
-        return entry->stats;
-      }
-      return open;
     }
     generation = entry->generation;
     // Captured now, consumed at publish: only modifications that already
@@ -158,6 +162,25 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     // counting toward its staleness.
     modifications_at_capture =
         entry->modifications_since_build.load(std::memory_order_relaxed);
+  }
+  // O(Δ) refresh first (DESIGN.md §15): when the live maintained state is
+  // warm and within budget, publish from it and skip the storage build
+  // entirely. Deliberately tried even while the breaker is open — the
+  // refresh reads no pages, so the very faults that opened the breaker
+  // cannot hurt it, and it is exactly the repair a column on sick storage
+  // wants.
+  if (std::shared_ptr<const ColumnStatistics> refreshed =
+          TryRefreshIncremental(entry, modifications_at_capture)) {
+    return refreshed;
+  }
+  if (breaker_open) {
+    // Keep serving whatever is published (the stale snapshot or the
+    // fallback) until the cooldown lets a build through.
+    if (current != nullptr) {
+      if (build_error != nullptr) *build_error = breaker_status;
+      return current;
+    }
+    return breaker_status;
   }
   // Seed addressed by (manager seed, column, generation): independent of
   // the order in which threads or BuildAll shards reach this column.
@@ -203,8 +226,120 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     entry->modifications_since_build.fetch_sub(modifications_at_capture,
                                                std::memory_order_relaxed);
   }
+  // Re-arm (or disarm) the live maintenance state from the fresh snapshot.
+  // DML that raced the build and landed in the old live state is simply
+  // superseded: it still counts toward staleness via the counter above.
+  WarmMaintenance(entry, *snapshot);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
   return snapshot;
+}
+
+std::shared_ptr<const ColumnStatistics>
+StatisticsManager::TryRefreshIncremental(
+    Entry* entry, std::uint64_t modifications_at_capture) {
+  // Snapshot the live state under its own lock, then assemble and publish
+  // with no maintenance lock held — DML keeps flowing while we publish.
+  std::optional<Histogram> histogram;
+  std::optional<BackingReservoir> reservoir;
+  {
+    MutexLock lock(entry->maintenance.mu);
+    MaintenanceState& m = entry->maintenance;
+    if (!m.live.has_value()) return nullptr;  // cold: never warmed, or disarmed
+    // Count-only modifications never reached the reservoir; the live state
+    // is unrepresentative and only a full rebuild can catch up.
+    if (m.opaque_modifications != 0) return nullptr;
+    const BackingReservoir& backing = m.live->backing_sample();
+    if (backing.population() == 0 || backing.size() == 0) return nullptr;
+    // Counted-replacement deletes drain the reservoir without refilling
+    // it; below the fill floor its quantiles are too coarse to trust.
+    if (backing.fill_fraction() < options_.reservoir_min_fill) return nullptr;
+    // Repair budget: past this much absorbed DML (relative to the live row
+    // count) the accumulated drift calls for a reseed from the table.
+    if (static_cast<double>(backing.ops_since_seed()) >
+        options_.incremental_repair_budget *
+            static_cast<double>(backing.population())) {
+      return nullptr;
+    }
+    Result<Histogram> snapshot = m.live->Snapshot();
+    if (!snapshot.ok()) return nullptr;  // pre-first-insert: nothing to publish
+    histogram = std::move(snapshot).value();
+    reservoir = backing;  // copy; `live` keeps absorbing DML meanwhile
+  }
+  Result<ColumnStatistics> built =
+      MakeIncrementalStatistics(*histogram, std::move(*reservoir));
+  if (!built.ok()) return nullptr;  // fall through to the full build
+  auto snapshot =
+      std::make_shared<const ColumnStatistics>(std::move(built).value());
+  {
+    WriterMutexLock lock(mu_);
+    entry->AssertWriterHeld();
+    entry->stats = snapshot;
+    entry->model = snapshot->model;
+    entry->generation += 1;
+    // A successful refresh heals like a successful build: the column is
+    // demonstrably servable again, breaker and degradation flags drop.
+    entry->consecutive_build_failures = 0;
+    entry->breaker_open_until = 0;
+    entry->serving_fallback = false;
+    entry->quarantined = false;
+    entry->last_error = Status::OK();
+    entry->published.fetch_add(1, std::memory_order_release);
+    entry->modifications_since_build.fetch_sub(modifications_at_capture,
+                                               std::memory_order_relaxed);
+  }
+  incremental_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot;
+}
+
+void StatisticsManager::WarmMaintenance(Entry* entry,
+                                        const ColumnStatistics& stats) {
+  const auto* incremental =
+      dynamic_cast<const IncrementalEquiDepthModel*>(stats.model.get());
+  MutexLock lock(entry->maintenance.mu);
+  MaintenanceState& m = entry->maintenance;
+  // The snapshot subsumes everything recorded so far, opaque or not.
+  m.opaque_modifications = 0;
+  m.live.reset();
+  if (incremental == nullptr) return;  // other families stay cold
+  GmpOptions gmp;
+  gmp.buckets = incremental->histogram().bucket_count();
+  gmp.reservoir_capacity = incremental->reservoir().capacity();
+  gmp.seed = options_.seed;
+  Result<IncrementalEquiDepth> live = IncrementalEquiDepth::FromState(
+      gmp, incremental->histogram(), incremental->reservoir());
+  // On failure the state stays cold and every refresh falls back to a
+  // full rebuild — degraded but correct.
+  if (live.ok()) m.live.emplace(std::move(live).value());
+}
+
+void StatisticsManager::RecordInsert(const std::string& column, Value value) {
+  std::shared_ptr<Entry> entry;
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = entries_.find(column);
+    if (it == entries_.end()) return;
+    entry = it->second;
+  }
+  entry->modifications_since_build.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(entry->maintenance.mu);
+  if (entry->maintenance.live.has_value()) {
+    entry->maintenance.live->Insert(value);
+  }
+}
+
+void StatisticsManager::RecordDelete(const std::string& column, Value value) {
+  std::shared_ptr<Entry> entry;
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = entries_.find(column);
+    if (it == entries_.end()) return;
+    entry = it->second;
+  }
+  entry->modifications_since_build.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(entry->maintenance.mu);
+  if (entry->maintenance.live.has_value()) {
+    entry->maintenance.live->Delete(value);
+  }
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
@@ -279,12 +414,20 @@ Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
 
 void StatisticsManager::RecordModifications(const std::string& column,
                                             std::uint64_t count) {
-  ReaderMutexLock lock(mu_);
-  const auto it = entries_.find(column);
-  if (it != entries_.end()) {
-    it->second->modifications_since_build.fetch_add(
-        count, std::memory_order_relaxed);
+  std::shared_ptr<Entry> entry;
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = entries_.find(column);
+    if (it == entries_.end()) return;
+    entry = it->second;
   }
+  entry->modifications_since_build.fetch_add(count,
+                                             std::memory_order_relaxed);
+  if (count == 0) return;
+  // Opaque DML disqualifies incremental refresh until the next warm-up:
+  // the values never reached the reservoir (see TryRefreshIncremental).
+  MutexLock lock(entry->maintenance.mu);
+  entry->maintenance.opaque_modifications += count;
 }
 
 bool StatisticsManager::IsStale(const std::string& column) const {
@@ -414,6 +557,9 @@ Status StatisticsManager::InstallSerializedStatistics(
     entry->modifications_since_build.fetch_sub(modifications_at_capture,
                                                std::memory_order_relaxed);
   }
+  // An installed incremental-equi-depth blob carries its reservoir, so
+  // restore-from-catalog re-arms O(Δ) maintenance just like a live build.
+  WarmMaintenance(entry.get(), *snapshot);
   return Status::OK();
 }
 

@@ -7,11 +7,13 @@
 #include <map>
 #include <memory>
 #include <mutex>  // std::once_flag
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "baseline/gmp_incremental.h"
 #include "common/annotations.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -101,8 +103,29 @@ class StatisticsManager {
     std::uint64_t seed = 99;
     // Worker threads shared by every build issued through this manager
     // (block reads, sample sorting, BuildAll fan-out): 0 = one per
-    // hardware thread, 1 = fully sequential (no pool is ever created).
+    // hardware thread, 1 = fully sequential (no pool is ever created);
+    // larger values are clamped to the hardware thread count — builds are
+    // CPU-bound, and over-subscription strictly regresses
+    // (BENCH_parallel_scaling.json).
     std::uint64_t threads = 0;
+
+    // -- Incremental maintenance (DESIGN.md §15) -----------------------------
+
+    // Backing-sample capacity for incremental-equi-depth builds (floored
+    // at `buckets`). The reservoir persists across refreshes, is
+    // serialized with the histogram, and is what makes an EnsureFresh
+    // refresh cost O(Δ) instead of a table re-sample.
+    std::uint64_t reservoir_capacity = 4096;
+    // EnsureFresh repairs incrementally while the DML applied since the
+    // reservoir was seeded stays within this fraction of the live row
+    // count; beyond it the accumulated drift calls for a full rebuild
+    // (which reseeds the reservoir from a fresh block sample).
+    double incremental_repair_budget = 0.5;
+    // Counted-replacement deletes vacate reservoir slots without refilling
+    // them; once the fill fraction drops below this floor the quantiles
+    // are too coarse to repair against and the refresh falls back to a
+    // full rebuild.
+    double reservoir_min_fill = 0.25;
 
     // -- Fault tolerance & degraded serving (DESIGN.md §11) ------------------
 
@@ -143,8 +166,22 @@ class StatisticsManager {
       const std::string& column, const Table& table);
 
   // Reports DML activity against the column's table. Lock-free on the
-  // counter; unknown columns are ignored.
+  // counter; unknown columns are ignored. Count-only reports carry no
+  // values, so the backing reservoir cannot absorb them: a column with
+  // any pending count-only modifications always refreshes by full
+  // rebuild. Prefer RecordInsert/RecordDelete when the values are known.
   void RecordModifications(const std::string& column, std::uint64_t count);
+
+  // Value-carrying DML reports (DESIGN.md §15): one inserted / deleted
+  // row. Besides the staleness counter, these maintain the column's live
+  // incremental state — the backing reservoir and the split/merge
+  // equi-depth histogram — so the next EnsureFresh can publish an O(Δ)
+  // incremental refresh instead of rebuilding from the table. Unknown
+  // columns and columns without a warm reservoir just count toward
+  // staleness. Thread-safe; concurrent calls for one column serialize on
+  // that column's maintenance mutex only.
+  void RecordInsert(const std::string& column, Value value);
+  void RecordDelete(const std::string& column, Value value);
 
   // True if statistics exist and the modification counter has crossed the
   // staleness threshold.
@@ -242,14 +279,41 @@ class StatisticsManager {
 
   bool Has(const std::string& column) const;
   std::size_t size() const;
+  // Full from-the-table rebuilds completed (incremental refreshes are
+  // counted separately below).
   std::uint64_t rebuild_count() const {
     return rebuilds_.load(std::memory_order_relaxed);
+  }
+  // EnsureFresh calls satisfied by an O(Δ) incremental refresh — a publish
+  // from the live reservoir-backed state, with zero storage I/O.
+  std::uint64_t incremental_refresh_count() const {
+    return incremental_refreshes_.load(std::memory_order_relaxed);
   }
 
   // Cumulative I/O spent building statistics through this manager.
   IoStats total_build_cost() const;
 
  private:
+  // Live incremental-maintenance state of one column (DESIGN.md §15),
+  // warm only while the column serves an incremental-equi-depth snapshot.
+  // Guarded by its own mutex so RecordInsert/RecordDelete never contend
+  // with serving or with other columns' DML. Lock order: maintenance.mu
+  // never nests with the manager's mu_ in either direction — every path
+  // copies the entry shared_ptr out under mu_, releases, then takes
+  // maintenance.mu (the entry node outlives the map row, so this is safe
+  // against a concurrent Drop).
+  struct MaintenanceState {
+    Mutex mu;
+    // The split/merge equi-depth histogram plus its backing reservoir,
+    // advanced in O(1) amortized per RecordInsert/RecordDelete. Empty
+    // (cold) until a successful incremental build/install warms it.
+    std::optional<IncrementalEquiDepth> live GUARDED_BY(mu);
+    // Count-only RecordModifications since the last warm-up. The values
+    // never reached the reservoir, so any nonzero count makes the live
+    // state unrepresentative and disqualifies incremental refresh.
+    std::uint64_t opaque_modifications GUARDED_BY(mu) = 0;
+  };
+
   struct Entry {
     // The manager's mu_: every non-atomic field below is guarded by it,
     // and the annotation layer checks that on each Clang build. Entries
@@ -292,6 +356,8 @@ class StatisticsManager {
     // Last installed blob failed to parse.
     bool quarantined GUARDED_BY(*mu) = false;
     Status last_error GUARDED_BY(*mu){};
+    // Live DML-maintained state; self-locked (see MaintenanceState).
+    MaintenanceState maintenance;
   };
 
   // One thread-local cache slot of the serving path: the shared_ptrs keep
@@ -326,6 +392,24 @@ class StatisticsManager {
   Result<std::shared_ptr<const ColumnStatistics>> AbsorbBuildFailure(
       Entry* entry, const Table& table, const Status& error)
       REQUIRES(entry->build_mu) EXCLUDES(mu_);
+  // The O(Δ) refresh path: when the column's maintenance state is warm,
+  // representative (no opaque modifications) and within the repair budget
+  // and fill floor, snapshots it, assembles fresh ColumnStatistics from
+  // the reservoir alone (zero storage I/O) and publishes them — healing
+  // breaker/fallback/quarantine exactly like a successful full build.
+  // Returns null when incremental refresh does not apply and the caller
+  // should fall through to the full build. `modifications_at_capture` is
+  // subtracted from the staleness counter on publish, mirroring
+  // BuildAndPublish's capture discipline.
+  std::shared_ptr<const ColumnStatistics> TryRefreshIncremental(
+      Entry* entry, std::uint64_t modifications_at_capture)
+      REQUIRES(entry->build_mu) EXCLUDES(mu_);
+  // Re-arms (or disarms) the column's maintenance state after a publish:
+  // an incremental-equi-depth snapshot warms `live` from the published
+  // histogram + reservoir, anything else leaves it cold. Always clears
+  // opaque_modifications — the new snapshot subsumes them.
+  void WarmMaintenance(Entry* entry, const ColumnStatistics& stats)
+      EXCLUDES(mu_);
   // EnsureFreshShared with the underlying build error surfaced even when
   // degradation absorbed it (the BuildAll aggregation hook).
   Result<std::shared_ptr<const ColumnStatistics>> EnsureFreshInternal(
@@ -356,6 +440,7 @@ class StatisticsManager {
   std::map<std::string, std::shared_ptr<Entry>> entries_ GUARDED_BY(mu_);
   IoStats total_build_cost_ GUARDED_BY(mu_){};
   std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> incremental_refreshes_{0};
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
 };

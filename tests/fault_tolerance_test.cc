@@ -453,6 +453,85 @@ TEST(DegradedServingTest, TransientOutageHealsAcrossRebuildAttempts) {
   EXPECT_EQ(manager.Health("t.x").consecutive_build_failures, 0u);
 }
 
+// -- Incremental maintenance under faults (DESIGN.md §15) ---------------------
+
+StatisticsManager::Options IncrementalFaultOptions() {
+  StatisticsManager::Options options;
+  options.buckets = 30;
+  options.f = 0.2;
+  options.threads = 1;
+  options.default_backend = HistogramBackendId::kIncrementalEquiDepth;
+  options.staleness_threshold = 1e-12;  // any DML forces a refresh
+  return options;
+}
+
+TEST(IncrementalFaultTest, RefreshSucceedsOnDeadStorage) {
+  // An O(Δ) refresh publishes from the live reservoir-backed state and
+  // reads zero storage pages — so it works, and keeps the column fresh,
+  // while the table is completely unreadable.
+  Table table = MakeTable(30000);
+  StatisticsManager manager(IncrementalFaultOptions());
+  ASSERT_TRUE(manager.GetOrBuild("t.x", table).ok());
+
+  FaultSpec spec;
+  spec.lost_probability = 1.0;
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+  for (Value v = 1; v <= 200; ++v) manager.RecordInsert("t.x", v);
+  ASSERT_TRUE(manager.IsStale("t.x"));
+  const auto fresh = manager.EnsureFreshShared("t.x", table);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(manager.incremental_refresh_count(), 1u);
+  EXPECT_EQ(manager.rebuild_count(), 1u);
+  EXPECT_EQ((*fresh)->row_count, table.tuple_count() + 200);
+  const auto health = manager.Health("t.x");
+  EXPECT_EQ(health.health, ColumnHealth::kFresh);
+  EXPECT_EQ(health.consecutive_build_failures, 0u);
+  EXPECT_FALSE(manager.IsStale("t.x"));
+}
+
+TEST(IncrementalFaultTest, BudgetFallbackOnDeadStorageIsStaleWhileError) {
+  // Count-only modifications disqualify the incremental path (the values
+  // never reached the reservoir), so EnsureFresh must attempt a full
+  // rebuild. On dead storage that fails — and the column degrades to
+  // stale-while-error serving the *previous complete snapshot*, never a
+  // half-repaired one: estimates are bit-identical to before the outage,
+  // and no incremental refresh is counted.
+  Table table = MakeTable(30000);
+  StatisticsManager manager(IncrementalFaultOptions());
+  ASSERT_TRUE(manager.GetOrBuild("t.x", table).ok());
+  const RangeQuery query{.lo = 0, .hi = 900};
+  const auto before = manager.EstimateRange("t.x", table, query);
+  ASSERT_TRUE(before.ok());
+
+  manager.RecordModifications("t.x", 5000);
+  FaultSpec spec;
+  spec.lost_probability = 1.0;
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+  const auto stale = manager.EnsureFresh("t.x", table);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(manager.incremental_refresh_count(), 0u);
+  EXPECT_EQ(manager.rebuild_count(), 1u);  // the initial build only
+  const auto health = manager.Health("t.x");
+  EXPECT_EQ(health.health, ColumnHealth::kStale);
+  EXPECT_EQ(health.last_error.code(), StatusCode::kDataLoss);
+  const auto during = manager.EstimateRange("t.x", table, query);
+  ASSERT_TRUE(during.ok());
+  EXPECT_DOUBLE_EQ(*during, *before);
+
+  // Storage heals: the rebuild goes through, reseeds the reservoir, and
+  // value-carrying DML afterwards refreshes incrementally again.
+  table.set_fault_injector(nullptr);
+  ASSERT_TRUE(manager.EnsureFresh("t.x", table).ok());
+  EXPECT_EQ(manager.rebuild_count(), 2u);
+  EXPECT_EQ(manager.Health("t.x").health, ColumnHealth::kFresh);
+  manager.RecordInsert("t.x", 11);
+  ASSERT_TRUE(manager.EnsureFresh("t.x", table).ok());
+  EXPECT_EQ(manager.incremental_refresh_count(), 1u);
+  EXPECT_EQ(manager.rebuild_count(), 2u);
+}
+
 TEST(CircuitBreakerTest, OpensAfterThresholdAndRecoversAfterCooldown) {
   Table table = MakeTable(8000);
   auto now = std::make_shared<std::uint64_t>(0);

@@ -21,8 +21,10 @@
 #include "data/distribution.h"
 #include "data/value_set.h"
 #include "query/planner.h"
+#include "sampling/reservoir.h"
 #include "stats/column_statistics.h"
 #include "stats/histogram_backends.h"
+#include "stats/incremental_backend.h"
 #include "stats/serialization.h"
 #include "stats/statistics_manager.h"
 #include "stats/wire_format.h"
@@ -119,6 +121,64 @@ TEST(HistogramModelGoldenTest, V2HistogramEncodingAddsOneTagByte) {
   // Payload is byte-identical to the v1 body.
   EXPECT_TRUE(std::equal(v2.begin() + 7, v2.end(),
                          std::begin(kGoldenV1Histogram) + 6));
+}
+
+// -- Golden v2 incremental blob (backend id 5) --------------------------------
+//
+// Frozen from the format-v2 writer when the incremental-equi-depth backend
+// was introduced: the container header tags backend id 5, then the
+// equi-height payload (byte-identical to the v1 body) followed by the
+// BackingReservoir payload. Source object: GoldenHistogram() plus a
+// deterministic reservoir — capacity 8, seed 2, seeded from
+// {-50,-50,-7,0,3,7,11,42} with population 20, then Add(9) and Delete(3).
+
+constexpr std::uint8_t kGoldenV2Incremental[] = {
+    0xC5, 0xA2, 0xA1, 0x9A, 0x05, 0x02, 0x05, 0x05, 0x14, 0xC7,
+    0x01, 0xC8, 0x01, 0x64, 0x00, 0x64, 0x0E, 0x03, 0x00, 0x0A,
+    0x02, 0x05, 0x08, 0x02, 0x14, 0x15, 0x02, 0x02, 0x01, 0x00,
+    0x07, 0x63, 0x63, 0x0D, 0x00, 0x54, 0x12, 0x16};
+
+IncrementalEquiDepthModel GoldenIncrementalModel() {
+  BackingReservoir reservoir = BackingReservoir::Create(8, 2).value();
+  const std::vector<Value> sample = {-50, -50, -7, 0, 3, 7, 11, 42};
+  EXPECT_TRUE(reservoir.SeedFromSample(sample, 20).ok());
+  reservoir.Add(9);
+  reservoir.Delete(3);
+  return {GoldenHistogram(), std::move(reservoir)};
+}
+
+TEST(HistogramModelGoldenTest, V2IncrementalBlobDecodesIdentically) {
+  const IncrementalEquiDepthModel reference = GoldenIncrementalModel();
+  // The writer still emits these exact bytes...
+  std::vector<std::uint8_t> bytes;
+  SerializeHistogramModel(reference, &bytes);
+  ASSERT_EQ(bytes.size(), sizeof(kGoldenV2Incremental));
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(),
+                         std::begin(kGoldenV2Incremental)));
+  // ...and the reader decodes the frozen bytes back to the source object,
+  // reservoir state included (the resume path depends on the counters).
+  std::size_t consumed = 0;
+  const auto restored =
+      DeserializeHistogramModel(kGoldenV2Incremental, &consumed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(consumed, sizeof(kGoldenV2Incremental));
+  EXPECT_EQ((*restored)->backend_id(),
+            HistogramBackendId::kIncrementalEquiDepth);
+  const auto* model =
+      dynamic_cast<const IncrementalEquiDepthModel*>(restored->get());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->histogram().separators(),
+            reference.histogram().separators());
+  EXPECT_EQ(model->histogram().counts(), reference.histogram().counts());
+  EXPECT_EQ(model->reservoir().sample(), reference.reservoir().sample());
+  EXPECT_EQ(model->reservoir().population(),
+            reference.reservoir().population());
+  EXPECT_EQ(model->reservoir().ops_since_seed(),
+            reference.reservoir().ops_since_seed());
+  EXPECT_EQ(model->reservoir().delete_hits(),
+            reference.reservoir().delete_hits());
+  EXPECT_EQ(model->reservoir().delete_misses(),
+            reference.reservoir().delete_misses());
 }
 
 // -- Per-backend container round-trips ---------------------------------------
@@ -278,6 +338,10 @@ TEST(SerializationCorruptionTest, GoldenV1HistogramMatrix) {
 
 TEST(SerializationCorruptionTest, GoldenV1StatisticsMatrix) {
   RunCorruptionMatrix(kGoldenV1Statistics);
+}
+
+TEST(SerializationCorruptionTest, GoldenV2IncrementalMatrix) {
+  RunCorruptionMatrix(kGoldenV2Incremental);
 }
 
 TEST(SerializationCorruptionTest, V2StatisticsMatrixPerBackend) {
