@@ -1,0 +1,365 @@
+// FLEET1: fleet serving under mixed traffic (DESIGN.md §16). Worker
+// threads fire multi-column estimate batches at a StatisticsFleet while a
+// DML thread records modifications and schedules async rebuilds through
+// the BuildScheduler — the steady state of a server with auto-statistics
+// on. Sweeps the shard count (1 vs N) and reports per-shard-count:
+//
+//   qps               client batches served per second (all workers)
+//   p99_us            99th-percentile client batch latency
+//   coalescing_ratio  fraction of client batches that rode a group-commit
+//                     wave with at least one other batch
+//
+// Two guards make the bench fail loudly instead of rotting:
+//   - every fleet estimate is cross-checked bitwise against a single
+//     StatisticsManager with the same seed (the fleet determinism
+//     contract) before any timing starts;
+//   - the scalar serving path through a fleet must stay within a generous
+//     factor of the raw manager path (the metrics plane and shard routing
+//     must not tax EstimateRange) — enforced in every mode including
+//     --smoke, which is how CI runs it.
+//
+// Emits BENCH_fleet_serving.json (mirrored to stdout).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/statistics_fleet.h"
+#include "stats/statistics_manager.h"
+
+namespace {
+
+using namespace equihist;
+
+constexpr std::uint64_t kShardSweep[] = {1, 2, 4};
+constexpr int kWorkers = 4;
+constexpr std::size_t kBatchSize = 16;
+
+double ElapsedNs(const std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count();
+}
+
+StatisticsShard::Options ShardOptions(const bench::Scale& scale) {
+  StatisticsShard::Options options;
+  options.buckets = scale.k;
+  options.f = 0.2;
+  options.seed = 1998;
+  options.threads = 1;
+  return options;
+}
+
+std::vector<std::string> Columns(std::size_t n) {
+  std::vector<std::string> columns;
+  columns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    columns.push_back("t.c" + std::to_string(i));
+  }
+  return columns;
+}
+
+// One worker's rotating multi-column batch (distinct rotations per worker
+// so coalesced waves mix genuinely different requests).
+std::vector<BatchEstimateRequest> WorkerBatch(
+    const std::vector<std::string>& columns, std::uint64_t domain,
+    int worker) {
+  std::vector<BatchEstimateRequest> requests;
+  requests.reserve(kBatchSize);
+  for (std::size_t i = 0; i < kBatchSize; ++i) {
+    const std::string& column =
+        columns[(i + static_cast<std::size_t>(worker)) % columns.size()];
+    const auto lo = static_cast<Value>((i * domain) / (kBatchSize * 2));
+    requests.push_back(
+        {column, {lo, lo + static_cast<Value>(domain / 4)}});
+  }
+  return requests;
+}
+
+struct SweepRow {
+  std::uint64_t shards = 0;
+  double elapsed_ms = 0.0;
+  std::uint64_t batches = 0;
+  double qps = 0.0;
+  double p99_us = 0.0;
+  double coalescing_ratio = 0.0;
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t scheduled_builds = 0;
+};
+
+struct ScalarGuard {
+  std::uint64_t queries = 0;
+  double manager_ns_per_query = 0.0;
+  // A 1-shard fleet: identical serving path + metrics plane, no routing
+  // hash. This isolates the metrics cost — the guarded number.
+  double fleet_1shard_ns_per_query = 0.0;
+  double overhead_ratio = 0.0;
+  // A 4-shard fleet: adds the FNV-1a route per call. Reported (and
+  // loosely bounded) so routing-cost regressions still surface.
+  double fleet_4shard_ns_per_query = 0.0;
+  double routed_ratio = 0.0;
+};
+
+std::string ToJson(const std::vector<SweepRow>& rows,
+                   const ScalarGuard& guard, std::uint64_t n,
+                   std::size_t columns, const bench::Scale& scale) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"experiment\": \"FLEET1\",\n";
+  os << "  \"title\": \"fleet serving: mixed traffic, 1 vs N shards\",\n";
+  os << "  \"n\": " << n << ",\n";
+  os << "  \"columns\": " << columns << ",\n";
+  os << "  \"batch_size\": " << kBatchSize << ",\n";
+  os << "  \"workers\": " << kWorkers << ",\n";
+  os << "  \"scale\": \""
+     << (scale.smoke ? "smoke" : (scale.full ? "full" : "fast")) << "\",\n";
+  os << "  \"host\": {\"hardware_concurrency\": " << bench::HostConcurrency()
+     << "},\n";
+  os << "  \"shard_sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    os << "    {\"shards\": " << row.shards << ", \"qps\": " << row.qps
+       << ", \"p99_us\": " << row.p99_us
+       << ", \"coalescing_ratio\": " << row.coalescing_ratio
+       << ", \"coalesced_batches\": " << row.coalesced_batches
+       << ", \"batches\": " << row.batches
+       << ", \"scheduled_builds\": " << row.scheduled_builds << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"scalar_serving\": {\"queries\": " << guard.queries
+     << ", \"manager_ns_per_query\": " << guard.manager_ns_per_query
+     << ", \"fleet_1shard_ns_per_query\": " << guard.fleet_1shard_ns_per_query
+     << ", \"overhead_ratio\": " << guard.overhead_ratio
+     << ", \"fleet_4shard_ns_per_query\": " << guard.fleet_4shard_ns_per_query
+     << ", \"routed_ratio\": " << guard.routed_ratio << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::GetScale(argc, argv);
+  bench::PrintBanner("FLEET1", "fleet serving: mixed traffic, 1 vs N shards",
+                     scale);
+  const std::uint64_t n = scale.smoke ? 20000 : 200000;
+  const int rounds = scale.smoke ? 20 : 200;
+  const auto dataset =
+      bench::MakeZipfDataset(n, 1.2, LayoutKind::kRandom, 64, 1998);
+  const std::uint64_t domain = scale.DomainFor(n);
+  const auto columns = Columns(8);
+
+  // Ground truth: one manager, same options/seed. The fleet must serve
+  // bitwise these answers at every shard count.
+  StatisticsManager manager(ShardOptions(scale));
+  if (!manager.BuildAll(columns, dataset.table).ok()) {
+    std::cerr << "manager BuildAll failed\n";
+    return 1;
+  }
+  std::vector<BatchEstimateResult> expected(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    const auto requests = WorkerBatch(columns, domain, w);
+    if (!manager.EstimateBatch(dataset.table, requests, &expected[w]).ok()) {
+      std::cerr << "manager EstimateBatch failed\n";
+      return 1;
+    }
+  }
+
+  std::vector<SweepRow> rows;
+  for (const std::uint64_t shards : kShardSweep) {
+    StatisticsFleet fleet({.shards = shards,
+                           .shard = ShardOptions(scale),
+                           .scheduler = {.max_inflight = 1, .threads = 2}});
+    if (!fleet.BuildAll(columns, dataset.table).ok()) {
+      std::cerr << "fleet BuildAll failed (shards=" << shards << ")\n";
+      return 1;
+    }
+    // Bitwise cross-check before timing.
+    for (int w = 0; w < kWorkers; ++w) {
+      BatchEstimateResult got;
+      const auto requests = WorkerBatch(columns, domain, w);
+      if (!fleet.EstimateBatch(dataset.table, requests, &got).ok() ||
+          got.estimates != expected[w].estimates) {
+        std::cerr << "FLEET MISMATCH vs manager at shards=" << shards << "\n";
+        return 1;
+      }
+    }
+
+    std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> batches{0};
+    std::vector<std::vector<double>> latencies_us(kWorkers);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w]() {
+        const auto requests = WorkerBatch(columns, domain, w);
+        latencies_us[w].reserve(static_cast<std::size_t>(rounds));
+        for (int r = 0; r < rounds && !failed.load(); ++r) {
+          BatchEstimateResult result;
+          const auto t0 = std::chrono::steady_clock::now();
+          if (!fleet.EstimateBatch(dataset.table, requests, &result).ok() ||
+              result.estimates != expected[w].estimates) {
+            failed.store(true);
+            return;
+          }
+          latencies_us[w].push_back(ElapsedNs(t0) / 1e3);
+          batches.fetch_add(1);
+        }
+      });
+    }
+    // The DML/build-pressure thread: modifications trickle in and async
+    // rebuilds get scheduled — admission-controlled, so serving stays up.
+    std::uint64_t scheduled = 0;
+    std::thread churn([&]() {
+      for (int r = 0; r < rounds / 2; ++r) {
+        const std::string& column = columns[r % columns.size()];
+        fleet.RecordModifications(column, n / 100);
+        fleet.ScheduleBuild("t", column, dataset.table);
+        ++scheduled;
+      }
+    });
+    for (auto& worker : workers) worker.join();
+    churn.join();
+    const double elapsed_ms = ElapsedNs(start) / 1e6;
+    fleet.DrainBuilds();
+    if (failed.load()) {
+      std::cerr << "FLEET MISMATCH during mixed traffic at shards=" << shards
+                << "\n";
+      return 1;
+    }
+
+    std::vector<double> all;
+    for (const auto& lane : latencies_us) {
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    std::sort(all.begin(), all.end());
+    SweepRow row;
+    row.shards = shards;
+    row.elapsed_ms = elapsed_ms;
+    row.batches = batches.load();
+    row.qps = elapsed_ms > 0.0
+                  ? static_cast<double>(row.batches) * 1e3 / elapsed_ms
+                  : 0.0;
+    row.p99_us =
+        all.empty() ? 0.0
+                    : all[std::min(all.size() - 1,
+                                   static_cast<std::size_t>(
+                                       0.99 * static_cast<double>(all.size())))];
+    const std::uint64_t client_batches = fleet.fleet_metrics().counter(
+        metrics::Counter::kEstimateBatches);
+    const std::uint64_t coalesced_requests = fleet.fleet_metrics().counter(
+        metrics::Counter::kCoalescedRequests);
+    row.coalesced_batches =
+        fleet.fleet_metrics().counter(metrics::Counter::kCoalescedBatches);
+    row.coalescing_ratio =
+        client_batches > 0
+            ? static_cast<double>(coalesced_requests) /
+                  static_cast<double>(client_batches)
+            : 0.0;
+    row.scheduled_builds = scheduled;
+    rows.push_back(row);
+    std::cerr << "shards=" << shards << " qps=" << row.qps
+              << " p99_us=" << row.p99_us
+              << " coalescing_ratio=" << row.coalescing_ratio
+              << " coalesced_batches=" << row.coalesced_batches << "\n";
+  }
+
+  // Scalar serving guard: fleet routing + metrics must not tax
+  // EstimateRange. Best-of-3 to shed scheduler noise.
+  ScalarGuard guard;
+  {
+    StatisticsFleet fleet1({.shards = 1, .shard = ShardOptions(scale)});
+    StatisticsFleet fleet4({.shards = 4, .shard = ShardOptions(scale)});
+    if (!fleet1.BuildAll(columns, dataset.table).ok()) return 1;
+    if (!fleet4.BuildAll(columns, dataset.table).ok()) return 1;
+    const std::uint64_t queries = scale.smoke ? 20000 : 200000;
+    guard.queries = queries;
+    const RangeQuery query{0, static_cast<Value>(domain / 2)};
+    double manager_best = 1e300;
+    double fleet1_best = 1e300;
+    double fleet4_best = 1e300;
+    // Each lane times in a FRESH thread: the lock-free serving cache is
+    // per-thread and scanned linearly, so a shared thread would hand the
+    // first lane a short scan and every later lane a longer one — the
+    // comparison would measure cache pollution, not the serving path.
+    const auto time_lane = [&](auto&& estimate) {
+      double ns = 0.0;
+      double sum = 0.0;
+      std::thread lane([&]() {
+        for (const std::string& c : columns) {  // warm the thread's cache
+          (void)estimate(c);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t q = 0; q < queries; ++q) {
+          sum += estimate(columns[q % columns.size()]);
+        }
+        ns = ElapsedNs(t0) / static_cast<double>(queries);
+      });
+      lane.join();
+      return std::pair<double, double>(ns, sum);
+    };
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto [manager_ns, sum_manager] =
+          time_lane([&](const std::string& c) {
+            return *manager.EstimateRange(c, dataset.table, query);
+          });
+      const auto [fleet1_ns, sum_fleet1] =
+          time_lane([&](const std::string& c) {
+            return *fleet1.EstimateRange(c, dataset.table, query);
+          });
+      const auto [fleet4_ns, sum_fleet4] =
+          time_lane([&](const std::string& c) {
+            return *fleet4.EstimateRange(c, dataset.table, query);
+          });
+      manager_best = std::min(manager_best, manager_ns);
+      fleet1_best = std::min(fleet1_best, fleet1_ns);
+      fleet4_best = std::min(fleet4_best, fleet4_ns);
+      if (sum_fleet1 != sum_manager || sum_fleet4 != sum_manager) {
+        std::cerr << "FLEET MISMATCH on scalar serving path\n";
+        return 1;
+      }
+    }
+    guard.manager_ns_per_query = manager_best;
+    guard.fleet_1shard_ns_per_query = fleet1_best;
+    guard.overhead_ratio =
+        manager_best > 0.0 ? fleet1_best / manager_best : 0.0;
+    guard.fleet_4shard_ns_per_query = fleet4_best;
+    guard.routed_ratio = manager_best > 0.0 ? fleet4_best / manager_best : 0.0;
+    std::cerr << "scalar serving: manager=" << manager_best
+              << " ns/q, fleet(1 shard)=" << fleet1_best << " ns/q (ratio "
+              << guard.overhead_ratio << "), fleet(4 shards)=" << fleet4_best
+              << " ns/q (ratio " << guard.routed_ratio << ")\n";
+  }
+
+  const std::string json = ToJson(rows, guard, n, columns.size(), scale);
+  std::cout << json;
+  bench::WriteBenchJson("BENCH_fleet_serving.json", json);
+
+  // Guards. The 1-shard fleet runs the byte-identical serving path plus
+  // the metrics plane — "no measurable cost" means this ratio stays
+  // within noise (1.5x is generous for a busy 1-core host). The 4-shard
+  // ratio additionally pays the FNV-1a route (a string hash + modulo per
+  // call, ~tens of ns against a ~25 ns path), bounded loosely at 4x so a
+  // real routing regression still fails the bench.
+  if (guard.overhead_ratio > 1.5) {
+    std::cerr << "ERROR: fleet(1 shard) scalar serving is "
+              << guard.overhead_ratio << "x the manager path (bound: 1.5x) — "
+                 "the metrics plane is taxing the serving path\n";
+    return 1;
+  }
+  if (guard.routed_ratio > 4.0) {
+    std::cerr << "ERROR: fleet(4 shards) scalar serving is "
+              << guard.routed_ratio << "x the manager path (bound: 4x)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "baseline/gmp_incremental.h"   // IWYU pragma: export
 #include "baseline/serial_histograms.h" // IWYU pragma: export
 #include "common/math.h"        // IWYU pragma: export
+#include "common/metrics.h"     // IWYU pragma: export
 #include "common/result.h"      // IWYU pragma: export
 #include "common/rng.h"         // IWYU pragma: export
 #include "common/status.h"      // IWYU pragma: export
@@ -51,6 +52,9 @@
 #include "stats/incremental_backend.h"  // IWYU pragma: export
 #include "stats/join_estimator.h"       // IWYU pragma: export
 #include "stats/serialization.h"        // IWYU pragma: export
+#include "stats/build_scheduler.h"      // IWYU pragma: export
+#include "stats/fleet_wire.h"           // IWYU pragma: export
+#include "stats/statistics_fleet.h"     // IWYU pragma: export
 #include "stats/statistics_manager.h"   // IWYU pragma: export
 #include "stats/wire_format.h"          // IWYU pragma: export
 #include "sampling/row_sampler.h"       // IWYU pragma: export

@@ -105,13 +105,30 @@ std::vector<PlanChoice> ChooseAccessPaths(const HistogramModel& model,
 }
 
 Result<std::vector<PlanChoice>> ChooseAccessPaths(
-    StatisticsManager& manager, const Table& table,
+    StatisticsShard& shard, const Table& table,
     std::span<const BatchEstimateRequest> requests,
     std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf,
     const CostModel& cost_model, bool use_pool) {
   BatchEstimateResult estimates;
   EQUIHIST_RETURN_IF_ERROR(
-      manager.EstimateBatch(table, requests, &estimates, use_pool));
+      shard.EstimateBatch(table, requests, &estimates, use_pool));
+  std::vector<PlanChoice> choices;
+  choices.reserve(requests.size());
+  for (const double estimate : estimates.estimates) {
+    choices.push_back(ChooseFromEstimate(estimate, table.page_count(),
+                                         tuples_per_page,
+                                         index_entries_per_leaf, cost_model));
+  }
+  return choices;
+}
+
+Result<std::vector<PlanChoice>> ChooseAccessPaths(
+    StatisticsFleet& fleet, const Table& table,
+    std::span<const BatchEstimateRequest> requests,
+    std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf,
+    const CostModel& cost_model) {
+  BatchEstimateResult estimates;
+  EQUIHIST_RETURN_IF_ERROR(fleet.EstimateBatch(table, requests, &estimates));
   std::vector<PlanChoice> choices;
   choices.reserve(requests.size());
   for (const double estimate : estimates.estimates) {

@@ -12,6 +12,7 @@
 #include "data/workload.h"
 #include "query/index.h"
 #include "stats/column_statistics.h"
+#include "stats/statistics_fleet.h"
 #include "stats/statistics_manager.h"
 #include "storage/table.h"
 
@@ -83,14 +84,24 @@ std::vector<PlanChoice> ChooseAccessPaths(
     const CostModel& cost_model = CostModel{}, ThreadPool* pool = nullptr);
 
 // Multi-column batch plan choice: the whole predicate list estimates in
-// ONE StatisticsManager::EstimateBatch call through the lock-free
-// snapshot-cache fast path, then costs per predicate. Errors (an
-// unbuildable column) propagate from the batch estimate.
+// ONE EstimateBatch call through the lock-free snapshot-cache fast path,
+// then costs per predicate. Errors (an unbuildable column) propagate from
+// the batch estimate. Takes any shard — including the StatisticsManager
+// facade, which *is* a shard.
 Result<std::vector<PlanChoice>> ChooseAccessPaths(
-    StatisticsManager& manager, const Table& table,
+    StatisticsShard& shard, const Table& table,
     std::span<const BatchEstimateRequest> requests,
     std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf = 512,
     const CostModel& cost_model = CostModel{}, bool use_pool = false);
+
+// Fleet variant: the predicate list routes through the fleet's
+// cross-shard batch front-end (counting-sort partition + per-shard
+// coalescing), bitwise the single-shard overload's choices.
+Result<std::vector<PlanChoice>> ChooseAccessPaths(
+    StatisticsFleet& fleet, const Table& table,
+    std::span<const BatchEstimateRequest> requests,
+    std::uint32_t tuples_per_page, std::uint32_t index_entries_per_leaf = 512,
+    const CostModel& cost_model = CostModel{});
 
 struct ExecutionResult {
   AccessPath path = AccessPath::kFullScan;

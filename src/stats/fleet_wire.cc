@@ -1,0 +1,230 @@
+#include "stats/fleet_wire.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "stats/wire_format.h"
+
+namespace equihist::fleetwire {
+namespace {
+
+void PutHeader(FrameType type, std::vector<std::uint8_t>* out) {
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(kVersion);
+  out->push_back(static_cast<std::uint8_t>(type));
+}
+
+void PutString(const std::string& s, std::vector<std::uint8_t>* out) {
+  wire::PutVarint(s.size(), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Result<std::string> ReadString(wire::Reader& reader) {
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t len,
+                            reader.LengthPrefixedCount(1));
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (std::uint64_t i = 0; i < len; ++i) {
+    EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t byte, reader.Byte());
+    s.push_back(static_cast<char>(byte));
+  }
+  return s;
+}
+
+// Consumes and validates the 4-byte header; `expected` pins the type.
+Status ReadHeader(wire::Reader& reader, FrameType expected) {
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t m0, reader.Byte());
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t m1, reader.Byte());
+  if (m0 != kMagic0 || m1 != kMagic1) {
+    return Status::InvalidArgument("bad fleet frame magic");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t version, reader.Byte());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported fleet frame version");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t type, reader.Byte());
+  if (type != static_cast<std::uint8_t>(expected)) {
+    return Status::InvalidArgument("unexpected fleet frame type");
+  }
+  return Status::OK();
+}
+
+Status CheckFullyConsumed(const wire::Reader& reader) {
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after fleet frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Encode(const EstimateBatchRequestFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kEstimateBatchRequest, &out);
+  wire::PutVarint(frame.requests.size(), &out);
+  for (const BatchEstimateRequest& request : frame.requests) {
+    PutString(request.column, &out);
+    wire::PutSigned(request.query.lo, &out);
+    wire::PutSigned(request.query.hi, &out);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const EstimateBatchResponseFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kEstimateBatchResponse, &out);
+  wire::PutVarint(frame.estimates.size(), &out);
+  for (const double estimate : frame.estimates) {
+    wire::PutF64(estimate, &out);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const BuildControlRequestFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kBuildControlRequest, &out);
+  out.push_back(static_cast<std::uint8_t>(frame.op));
+  PutString(frame.column, &out);
+  if (frame.op == BuildOp::kRecordModifications) {
+    wire::PutVarint(frame.count, &out);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const BuildControlResponseFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kBuildControlResponse, &out);
+  out.push_back(static_cast<std::uint8_t>(frame.code));
+  PutString(frame.message, &out);
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeMetricsRequest() {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kMetricsRequest, &out);
+  return out;
+}
+
+std::vector<std::uint8_t> Encode(const MetricsResponseFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kMetricsResponse, &out);
+  PutString(frame.json, &out);
+  return out;
+}
+
+Result<FrameType> PeekType(std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t m0, reader.Byte());
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t m1, reader.Byte());
+  if (m0 != kMagic0 || m1 != kMagic1) {
+    return Status::InvalidArgument("bad fleet frame magic");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t version, reader.Byte());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported fleet frame version");
+  }
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t type, reader.Byte());
+  if (type < static_cast<std::uint8_t>(FrameType::kEstimateBatchRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kMetricsResponse)) {
+    return Status::InvalidArgument("unknown fleet frame type");
+  }
+  return static_cast<FrameType>(type);
+}
+
+Result<EstimateBatchRequestFrame> DecodeEstimateBatchRequest(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(
+      ReadHeader(reader, FrameType::kEstimateBatchRequest));
+  // Each request is at least 3 bytes (length prefix + two varints).
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t count,
+                            reader.LengthPrefixedCount(3));
+  EstimateBatchRequestFrame frame;
+  frame.requests.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BatchEstimateRequest request;
+    EQUIHIST_ASSIGN_OR_RETURN(request.column, ReadString(reader));
+    EQUIHIST_ASSIGN_OR_RETURN(request.query.lo, reader.Signed());
+    EQUIHIST_ASSIGN_OR_RETURN(request.query.hi, reader.Signed());
+    if (request.query.lo > request.query.hi) {
+      return Status::InvalidArgument("fleet frame range has lo > hi");
+    }
+    frame.requests.push_back(std::move(request));
+  }
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+Result<EstimateBatchResponseFrame> DecodeEstimateBatchResponse(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(
+      ReadHeader(reader, FrameType::kEstimateBatchResponse));
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint64_t count,
+                            reader.LengthPrefixedCount(8));
+  EstimateBatchResponseFrame frame;
+  frame.estimates.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EQUIHIST_ASSIGN_OR_RETURN(const double estimate, reader.F64());
+    frame.estimates.push_back(estimate);
+  }
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+Result<BuildControlRequestFrame> DecodeBuildControlRequest(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(
+      ReadHeader(reader, FrameType::kBuildControlRequest));
+  BuildControlRequestFrame frame;
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t op, reader.Byte());
+  if (op > static_cast<std::uint8_t>(BuildOp::kRecordModifications)) {
+    return Status::InvalidArgument("unknown fleet build op");
+  }
+  frame.op = static_cast<BuildOp>(op);
+  EQUIHIST_ASSIGN_OR_RETURN(frame.column, ReadString(reader));
+  if (frame.column.empty()) {
+    return Status::InvalidArgument("fleet build op names no column");
+  }
+  if (frame.op == BuildOp::kRecordModifications) {
+    EQUIHIST_ASSIGN_OR_RETURN(frame.count, reader.Varint());
+  }
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+Result<BuildControlResponseFrame> DecodeBuildControlResponse(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(
+      ReadHeader(reader, FrameType::kBuildControlResponse));
+  BuildControlResponseFrame frame;
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t code, reader.Byte());
+  if (code > static_cast<std::uint8_t>(StatusCode::kDataLoss)) {
+    return Status::InvalidArgument("unknown status code in fleet frame");
+  }
+  frame.code = static_cast<StatusCode>(code);
+  EQUIHIST_ASSIGN_OR_RETURN(frame.message, ReadString(reader));
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+Status DecodeMetricsRequest(std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(ReadHeader(reader, FrameType::kMetricsRequest));
+  return CheckFullyConsumed(reader);
+}
+
+Result<MetricsResponseFrame> DecodeMetricsResponse(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(ReadHeader(reader, FrameType::kMetricsResponse));
+  MetricsResponseFrame frame;
+  EQUIHIST_ASSIGN_OR_RETURN(frame.json, ReadString(reader));
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+}  // namespace equihist::fleetwire

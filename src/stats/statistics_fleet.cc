@@ -1,0 +1,333 @@
+#include "stats/statistics_fleet.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "stats/fleet_wire.h"
+
+namespace equihist {
+
+// -- BatchCoalescer ----------------------------------------------------------
+
+void BatchCoalescer::ServeWave(StatisticsShard& shard,
+                               const std::vector<Pending*>& wave,
+                               metrics::MetricsPlane* metrics) {
+  // One combined shard call per distinct table in the wave (waves almost
+  // always reference a single table; the map keeps mixed waves correct).
+  std::map<const Table*, std::vector<Pending*>> by_table;
+  for (Pending* pending : wave) by_table[pending->table].push_back(pending);
+  for (auto& [table, group] : by_table) {
+    std::vector<BatchEstimateRequest> combined;
+    std::size_t total = 0;
+    for (const Pending* pending : group) total += pending->n;
+    combined.reserve(total);
+    for (const Pending* pending : group) {
+      combined.insert(combined.end(), pending->requests,
+                      pending->requests + pending->n);
+    }
+    BatchEstimateResult result;
+    const Status status = shard.EstimateBatch(*table, combined, &result);
+    if (status.ok()) {
+      std::size_t offset = 0;
+      for (Pending* pending : group) {
+        std::copy_n(result.estimates.begin() + static_cast<std::ptrdiff_t>(
+                                                   offset),
+                    pending->n, pending->out);
+        pending->status = Status::OK();
+        offset += pending->n;
+      }
+    } else {
+      for (Pending* pending : group) pending->status = status;
+    }
+    if (metrics != nullptr && group.size() > 1) {
+      metrics->Increment(metrics::Counter::kCoalescedBatches);
+      metrics->Increment(metrics::Counter::kCoalescedRequests, group.size());
+      metrics->Observe(metrics::Hist::kCoalescedBatchSize, total);
+    }
+  }
+}
+
+Status BatchCoalescer::Submit(StatisticsShard& shard, const Table& table,
+                              std::span<const BatchEstimateRequest> requests,
+                              double* out, metrics::MetricsPlane* metrics) {
+  Pending self{&table, requests.data(), requests.size(),
+               out,    Status::OK(),    false};
+  mu_.Lock();
+  queue_.push_back(&self);
+  if (leader_active_) {
+    // A leader is serving waves; it will pick this up and flip done.
+    cv_.Wait(mu_, [&self]() { return self.done; });
+    Status status = std::move(self.status);
+    mu_.Unlock();
+    return status;
+  }
+  leader_active_ = true;
+  while (!queue_.empty()) {
+    std::vector<Pending*> wave;
+    wave.swap(queue_);
+    mu_.Unlock();
+    // Only the leader touches a pending between dequeue and done, so the
+    // wave is served lock-free; submitters that arrive meanwhile queue up
+    // for the next wave.
+    ServeWave(shard, wave, metrics);
+    mu_.Lock();
+    for (Pending* pending : wave) pending->done = true;
+    cv_.NotifyAll();
+  }
+  leader_active_ = false;
+  Status status = std::move(self.status);
+  mu_.Unlock();
+  return status;
+}
+
+// -- StatisticsFleet ---------------------------------------------------------
+
+StatisticsFleet::StatisticsFleet(const Options& options)
+    : options_(options) {
+  const std::uint64_t n = std::max<std::uint64_t>(options.shards, 1);
+  shards_.reserve(n);
+  coalescers_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<StatisticsShard>(options.shard));
+    coalescers_.push_back(std::make_unique<BatchCoalescer>());
+  }
+  scheduler_ = std::make_unique<BuildScheduler>(options.scheduler, &metrics_);
+}
+
+std::size_t StatisticsFleet::ShardIndex(const std::string& column) const {
+  // Single-shard fleets skip the hash entirely: the facade configuration
+  // must serve at the manager's exact ns/query.
+  if (shards_.size() == 1) return 0;
+  return static_cast<std::size_t>(HashColumnName(column) % shards_.size());
+}
+
+Result<double> StatisticsFleet::EstimateRange(const std::string& column,
+                                              const Table& table,
+                                              const RangeQuery& query) {
+  // Scalar estimates skip the coalescer: the serving path is lock-free
+  // already, and plan-time point lookups must not pay a queue round-trip.
+  return shards_[ShardIndex(column)]->EstimateRange(column, table, query);
+}
+
+Status StatisticsFleet::EstimateBatch(
+    const Table& table, std::span<const BatchEstimateRequest> requests,
+    BatchEstimateResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("EstimateBatch requires a result");
+  }
+  metrics_.Increment(metrics::Counter::kEstimateBatches);
+  metrics_.Increment(metrics::Counter::kEstimateQueries, requests.size());
+  metrics_.Observe(metrics::Hist::kEstimateBatchSize, requests.size());
+  result->estimates.assign(requests.size(), 0.0);
+  if (requests.empty()) return Status::OK();
+  if (shards_.size() == 1 && !options_.coalesce) {
+    return shards_[0]->EstimateBatch(table, requests, result);
+  }
+  return EstimateBatchPartitioned(table, requests, result);
+}
+
+Status StatisticsFleet::EstimateBatchPartitioned(
+    const Table& table, std::span<const BatchEstimateRequest> requests,
+    BatchEstimateResult* result) {
+  const std::size_t n = requests.size();
+  const std::size_t num_shards = shards_.size();
+  // Counting sort by owning shard: count, prefix-sum into offsets, gather
+  // — the same grouping idiom the shard applies per column, one level up.
+  std::vector<std::size_t> shard_of(n);
+  std::vector<std::size_t> counts(num_shards, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_of[i] = ShardIndex(requests[i].column);
+    ++counts[shard_of[i]];
+  }
+  std::vector<std::size_t> offsets(num_shards + 1, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    offsets[s + 1] = offsets[s] + counts[s];
+  }
+  std::vector<BatchEstimateRequest> gathered(n);
+  std::vector<std::size_t> original_index(n);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = cursor[shard_of[i]]++;
+    gathered[slot] = requests[i];
+    original_index[slot] = i;
+  }
+  std::vector<double> answers(n, 0.0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t begin = offsets[s];
+    const std::size_t count = offsets[s + 1] - begin;
+    if (count == 0) continue;
+    const std::span<const BatchEstimateRequest> sub(&gathered[begin], count);
+    if (options_.coalesce) {
+      EQUIHIST_RETURN_IF_ERROR(coalescers_[s]->Submit(
+          *shards_[s], table, sub, &answers[begin], &metrics_));
+    } else {
+      BatchEstimateResult sub_result;
+      EQUIHIST_RETURN_IF_ERROR(
+          shards_[s]->EstimateBatch(table, sub, &sub_result));
+      std::copy(sub_result.estimates.begin(), sub_result.estimates.end(),
+                answers.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    result->estimates[original_index[slot]] = answers[slot];
+  }
+  return Status::OK();
+}
+
+Result<const ColumnStatistics*> StatisticsFleet::EnsureFresh(
+    const std::string& column, const Table& table) {
+  return shards_[ShardIndex(column)]->EnsureFresh(column, table);
+}
+
+StatisticsShard::BuildAllResult StatisticsFleet::BuildAll(
+    const std::vector<std::string>& columns, const Table& table) {
+  std::vector<std::vector<std::string>> per_shard(shards_.size());
+  for (const std::string& column : columns) {
+    per_shard[ShardIndex(column)].push_back(column);
+  }
+  StatisticsShard::BuildAllResult aggregate;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    StatisticsShard::BuildAllResult shard_result =
+        shards_[s]->BuildAll(per_shard[s], table);
+    aggregate.attempted += shard_result.attempted;
+    aggregate.succeeded += shard_result.succeeded;
+    for (auto& failure : shard_result.failed) {
+      aggregate.failed.push_back(std::move(failure));
+    }
+  }
+  // Per-shard sweeps report in shard order; restore the input-order
+  // contract of StatisticsShard::BuildAll.
+  std::map<std::string, std::size_t> input_order;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    input_order.emplace(columns[i], i);
+  }
+  std::stable_sort(aggregate.failed.begin(), aggregate.failed.end(),
+                   [&input_order](const auto& a, const auto& b) {
+                     return input_order[a.first] < input_order[b.first];
+                   });
+  return aggregate;
+}
+
+void StatisticsFleet::RecordModifications(const std::string& column,
+                                          std::uint64_t count) {
+  shards_[ShardIndex(column)]->RecordModifications(column, count);
+}
+
+void StatisticsFleet::RecordInsert(const std::string& column, Value value) {
+  shards_[ShardIndex(column)]->RecordInsert(column, value);
+}
+
+void StatisticsFleet::RecordDelete(const std::string& column, Value value) {
+  shards_[ShardIndex(column)]->RecordDelete(column, value);
+}
+
+ColumnHealthReport StatisticsFleet::Health(const std::string& column) const {
+  return shards_[ShardIndex(column)]->Health(column);
+}
+
+bool StatisticsFleet::Drop(const std::string& column) {
+  return shards_[ShardIndex(column)]->Drop(column);
+}
+
+bool StatisticsFleet::Has(const std::string& column) const {
+  return shards_[ShardIndex(column)]->Has(column);
+}
+
+std::size_t StatisticsFleet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+void StatisticsFleet::ScheduleBuild(const std::string& table_name,
+                                    const std::string& column,
+                                    const Table& table) {
+  StatisticsShard* shard = shards_[ShardIndex(column)].get();
+  const ColumnHealthReport report = shard->Health(column);
+  scheduler_->Enqueue(BuildScheduler::Request{
+      table_name, column, report.health, report.modified_fraction,
+      [shard, column, table_ptr = &table]() {
+        return shard->EnsureFresh(column, *table_ptr).status();
+      }});
+}
+
+Result<std::vector<std::uint8_t>> StatisticsFleet::ServeFrame(
+    std::span<const std::uint8_t> bytes, const Table& table) {
+  Result<std::vector<std::uint8_t>> response = [&]()
+      -> Result<std::vector<std::uint8_t>> {
+    EQUIHIST_ASSIGN_OR_RETURN(const fleetwire::FrameType type,
+                              fleetwire::PeekType(bytes));
+    switch (type) {
+      case fleetwire::FrameType::kEstimateBatchRequest: {
+        EQUIHIST_ASSIGN_OR_RETURN(
+            const fleetwire::EstimateBatchRequestFrame request,
+            fleetwire::DecodeEstimateBatchRequest(bytes));
+        fleetwire::EstimateBatchResponseFrame reply;
+        BatchEstimateResult result;
+        EQUIHIST_RETURN_IF_ERROR(
+            EstimateBatch(table, request.requests, &result));
+        reply.estimates = std::move(result.estimates);
+        return fleetwire::Encode(reply);
+      }
+      case fleetwire::FrameType::kBuildControlRequest: {
+        EQUIHIST_ASSIGN_OR_RETURN(
+            const fleetwire::BuildControlRequestFrame request,
+            fleetwire::DecodeBuildControlRequest(bytes));
+        Status outcome = Status::OK();
+        switch (request.op) {
+          case fleetwire::BuildOp::kEnsureFresh:
+            outcome = EnsureFresh(request.column, table).status();
+            break;
+          case fleetwire::BuildOp::kDrop:
+            if (!Drop(request.column)) {
+              outcome = Status::NotFound("no statistics for column");
+            }
+            break;
+          case fleetwire::BuildOp::kRecordModifications:
+            RecordModifications(request.column, request.count);
+            break;
+        }
+        // Build outcomes ride inside the response; only frame-level
+        // failures surface as the outer Status.
+        return fleetwire::Encode(fleetwire::BuildControlResponseFrame{
+            outcome.code(), outcome.message()});
+      }
+      case fleetwire::FrameType::kMetricsRequest: {
+        EQUIHIST_RETURN_IF_ERROR(fleetwire::DecodeMetricsRequest(bytes));
+        return fleetwire::Encode(
+            fleetwire::MetricsResponseFrame{MetricsJson()});
+      }
+      case fleetwire::FrameType::kEstimateBatchResponse:
+      case fleetwire::FrameType::kBuildControlResponse:
+      case fleetwire::FrameType::kMetricsResponse:
+        return Status::InvalidArgument(
+            "response frames cannot be served");
+    }
+    return Status::InvalidArgument("unknown fleet frame type");
+  }();
+  metrics_.Increment(response.ok() ? metrics::Counter::kWireFramesServed
+                                   : metrics::Counter::kWireFrameErrors);
+  return response;
+}
+
+std::string StatisticsFleet::MetricsJson() const {
+  std::string out = "{\"fleet\":";
+  out += metrics_.ToJson();
+  out += ",\"shards\":[";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s != 0) out += ',';
+    out += "{\"size\":";
+    out += std::to_string(shards_[s]->size());
+    out += ",\"stale\":";
+    out += std::to_string(shards_[s]->stale_count());
+    out += ",\"metrics\":";
+    out += shards_[s]->metrics().ToJson();
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace equihist

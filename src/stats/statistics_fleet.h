@@ -1,0 +1,185 @@
+#ifndef EQUIHIST_STATS_STATISTICS_FLEET_H_
+#define EQUIHIST_STATS_STATISTICS_FLEET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "stats/build_scheduler.h"
+#include "stats/statistics_shard.h"
+#include "storage/table.h"
+
+namespace equihist {
+
+// Group-commit front-end for one shard's EstimateBatch (DESIGN.md §16).
+// Concurrent submitters enqueue; the first becomes the leader, drains the
+// queue in waves, and serves each wave as ONE combined EstimateBatch call
+// against the shard — later arrivals piggyback on the wave in flight.
+// Under contention this turns k lock-free-cache resolutions + k backend
+// dispatches into one of each; under no contention it degenerates to a
+// direct call with one uncontended lock round-trip.
+//
+// Correctness: every estimate in a batch is computed independently
+// (estimates[i] depends only on requests[i] and the column snapshot), so
+// combining batches and scattering the answers back is bitwise-neutral.
+class BatchCoalescer {
+ public:
+  BatchCoalescer() = default;
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  // Serves `requests` against `shard` (all rows reference `table`),
+  // writing requests.size() answers to `out`. Blocks until served —
+  // either by this thread as the leader or by a concurrent leader's wave.
+  // `metrics` (optional) receives the coalescing counters.
+  Status Submit(StatisticsShard& shard, const Table& table,
+                std::span<const BatchEstimateRequest> requests, double* out,
+                metrics::MetricsPlane* metrics = nullptr) EXCLUDES(mu_);
+
+ private:
+  struct Pending {
+    const Table* table = nullptr;
+    const BatchEstimateRequest* requests = nullptr;
+    std::size_t n = 0;
+    double* out = nullptr;
+    Status status;
+    bool done = false;
+  };
+
+  // Serves one drained wave (leader only, no lock held): one combined
+  // EstimateBatch per distinct table in the wave, answers scattered back.
+  static void ServeWave(StatisticsShard& shard,
+                        const std::vector<Pending*>& wave,
+                        metrics::MetricsPlane* metrics);
+
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<Pending*> queue_ GUARDED_BY(mu_);
+  bool leader_active_ GUARDED_BY(mu_) = false;
+};
+
+// A fleet of StatisticsShards behind one facade (DESIGN.md §16): columns
+// hash-partition across `shards` independent StatisticsShard instances
+// (FNV-1a of the column name, the hash the shard itself uses for build
+// seeds), so column-level mutual exclusion, serving caches, and DML
+// counters shard too — writers to different columns on different shards
+// never touch the same mutex.
+//
+// On top of the shards the fleet adds:
+//   - a batched front-end: EstimateBatch partitions a mixed-column batch
+//     across shards with a counting sort and (optionally) coalesces
+//     concurrent callers per shard through BatchCoalescer;
+//   - an async BuildScheduler with priority admission (degraded > stale >
+//     fresh, then DML pressure) on the PR-1 ThreadPool;
+//   - the fleetwire frame protocol (ServeFrame) for estimate and
+//     build-control messages;
+//   - a lock-free MetricsPlane per shard plus a fleet-level plane, all
+//     exported by MetricsJson().
+//
+// Determinism: build seeds depend only on (options.shard.seed, column,
+// generation) — never on the shard index — so a fleet of any size serves
+// estimates bitwise-identical to a single StatisticsManager with the same
+// options (pinned by FleetMatchesSingleManagerBitwise in the tests).
+class StatisticsFleet {
+ public:
+  struct Options {
+    // Number of independent shards; values < 1 are treated as 1.
+    std::uint64_t shards = 4;
+    // Applied to every shard verbatim (the seed is shared by design — see
+    // the determinism note above).
+    StatisticsShard::Options shard{};
+    BuildScheduler::Options scheduler{};
+    // Group-commit batching of concurrent EstimateBatch callers. Off, the
+    // fleet still partitions batches across shards but each caller calls
+    // the shard directly.
+    bool coalesce = true;
+  };
+
+  explicit StatisticsFleet(const Options& options);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  // The shard that owns `column` (stable for the fleet's lifetime).
+  std::size_t ShardIndex(const std::string& column) const;
+  StatisticsShard& shard(std::size_t index) { return *shards_[index]; }
+  const StatisticsShard& shard(std::size_t index) const {
+    return *shards_[index];
+  }
+
+  // -- Serving (routes to the owning shard) --------------------------------
+
+  Result<double> EstimateRange(const std::string& column, const Table& table,
+                               const RangeQuery& query);
+
+  // Cross-shard batch: requests are counting-sorted by owning shard,
+  // gathered into per-shard contiguous sub-batches, served (through the
+  // coalescer when enabled), and scattered back into request order.
+  // Same contract as StatisticsShard::EstimateBatch, including the
+  // first-error behavior.
+  Status EstimateBatch(const Table& table,
+                       std::span<const BatchEstimateRequest> requests,
+                       BatchEstimateResult* result);
+
+  // -- Builds & DML (route to the owning shard) ----------------------------
+
+  Result<const ColumnStatistics*> EnsureFresh(const std::string& column,
+                                              const Table& table);
+  // Partitions `columns` across shards and aggregates the per-shard
+  // sweeps; `failed` is reported in input order.
+  StatisticsShard::BuildAllResult BuildAll(
+      const std::vector<std::string>& columns, const Table& table);
+  void RecordModifications(const std::string& column, std::uint64_t count);
+  void RecordInsert(const std::string& column, Value value);
+  void RecordDelete(const std::string& column, Value value);
+  ColumnHealthReport Health(const std::string& column) const;
+  bool Drop(const std::string& column);
+  bool Has(const std::string& column) const;
+  std::size_t size() const;
+
+  // -- Async builds --------------------------------------------------------
+
+  // Queues an async freshness build for `column` with the scheduler,
+  // classed by the column's current health and DML pressure. `table_name`
+  // is the scheduler's fairness domain; `table` must outlive the build
+  // (i.e. stay alive until DrainBuilds() or destruction).
+  void ScheduleBuild(const std::string& table_name, const std::string& column,
+                     const Table& table);
+  void DrainBuilds() { scheduler_->Drain(); }
+  BuildScheduler& scheduler() { return *scheduler_; }
+
+  // -- Wire protocol -------------------------------------------------------
+
+  // Serves one fleetwire request frame against `table` and returns the
+  // encoded response frame. Estimate errors and malformed frames surface
+  // as the returned Status; build-control outcomes travel *inside* the
+  // response frame. Response-typed input frames are rejected.
+  Result<std::vector<std::uint8_t>> ServeFrame(
+      std::span<const std::uint8_t> bytes, const Table& table);
+
+  // -- Observability -------------------------------------------------------
+
+  const metrics::MetricsPlane& fleet_metrics() const { return metrics_; }
+  // {"fleet": <fleet plane>, "shards": [{"size", "stale", "metrics"}...]}
+  std::string MetricsJson() const;
+
+ private:
+  Status EstimateBatchPartitioned(
+      const Table& table, std::span<const BatchEstimateRequest> requests,
+      BatchEstimateResult* result);
+
+  const Options options_;
+  metrics::MetricsPlane metrics_;  // fleet-level: coalescing, wire, scheduler
+  std::vector<std::unique_ptr<StatisticsShard>> shards_;
+  std::vector<std::unique_ptr<BatchCoalescer>> coalescers_;
+  std::unique_ptr<BuildScheduler> scheduler_;
+};
+
+}  // namespace equihist
+
+#endif  // EQUIHIST_STATS_STATISTICS_FLEET_H_

@@ -1,4 +1,4 @@
-#include "stats/statistics_manager.h"
+#include "stats/statistics_shard.h"
 
 #include <algorithm>
 #include <chrono>
@@ -35,8 +35,22 @@ std::shared_ptr<const ColumnStatistics> MakeFallbackSnapshot(
   return std::make_shared<const ColumnStatistics>(std::move(stats));
 }
 
+// Serving-cache slots kept per thread; old slots are evicted FIFO. The
+// cache is a linear-scan vector: with realistically few hot (manager,
+// column) pairs per thread this beats any hashed structure.
+constexpr std::size_t kMaxServingSlots = 64;
+
+std::uint64_t NextShardId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 // FNV-1a: a platform-stable column-name hash, so per-column seed streams
-// are reproducible everywhere (std::hash is implementation-defined).
+// are reproducible everywhere (std::hash is implementation-defined). At
+// namespace scope because the fleet routes columns to shards with the
+// same hash (stats/statistics_fleet.cc).
 std::uint64_t HashColumnName(const std::string& column) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const char c : column) {
@@ -46,22 +60,10 @@ std::uint64_t HashColumnName(const std::string& column) {
   return h;
 }
 
-// Serving-cache slots kept per thread; old slots are evicted FIFO. The
-// cache is a linear-scan vector: with realistically few hot (manager,
-// column) pairs per thread this beats any hashed structure.
-constexpr std::size_t kMaxServingSlots = 64;
+StatisticsShard::StatisticsShard(const Options& options)
+    : options_(options), shard_id_(NextShardId()) {}
 
-std::uint64_t NextManagerId() {
-  static std::atomic<std::uint64_t> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
-}
-
-}  // namespace
-
-StatisticsManager::StatisticsManager(const Options& options)
-    : options_(options), manager_id_(NextManagerId()) {}
-
-std::uint64_t StatisticsManager::NowMicros() const {
+std::uint64_t StatisticsShard::NowMicros() const {
   if (options_.clock) return options_.clock();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -69,7 +71,7 @@ std::uint64_t StatisticsManager::NowMicros() const {
           .count());
 }
 
-ThreadPool* StatisticsManager::pool() {
+ThreadPool* StatisticsShard::pool() {
   std::call_once(pool_once_, [this]() {
     // Clamped to the core count: builds are CPU-bound and fan-out past the
     // hardware threads strictly regresses (BENCH_parallel_scaling.json).
@@ -79,7 +81,7 @@ ThreadPool* StatisticsManager::pool() {
   return pool_.get();
 }
 
-Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
+Result<ColumnStatistics> StatisticsShard::Build(const std::string& column,
                                                   const Table& table,
                                                   std::uint64_t seed,
                                                   ThreadPool* build_pool) {
@@ -101,7 +103,7 @@ Result<ColumnStatistics> StatisticsManager::Build(const std::string& column,
   return BuildStatisticsWithBackend(table, build, build_pool);
 }
 
-std::shared_ptr<StatisticsManager::Entry> StatisticsManager::GetEntry(
+std::shared_ptr<StatisticsShard::Entry> StatisticsShard::GetEntry(
     const std::string& column) {
   {
     ReaderMutexLock lock(mu_);
@@ -114,7 +116,7 @@ std::shared_ptr<StatisticsManager::Entry> StatisticsManager::GetEntry(
   return it->second;
 }
 
-bool StatisticsManager::IsStaleLocked(const Entry& entry) const {
+bool StatisticsShard::IsStaleLocked(const Entry& entry) const {
   if (entry.stats == nullptr) return false;
   if (entry.stats->row_count == 0) return true;
   const double modified_fraction =
@@ -125,7 +127,7 @@ bool StatisticsManager::IsStaleLocked(const Entry& entry) const {
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
+StatisticsShard::BuildAndPublish(const std::string& column, Entry* entry,
                                    const Table& table, bool require_fresh,
                                    Status* build_error) {
   // One build per column at a time: a second thread arriving here blocks
@@ -182,15 +184,18 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
     }
     return breaker_status;
   }
-  // Seed addressed by (manager seed, column, generation): independent of
+  // Seed addressed by (shard seed, column, generation): independent of
   // the order in which threads or BuildAll shards reach this column.
   const std::uint64_t seed =
       DeriveStreamSeed(options_.seed ^ HashColumnName(column), generation);
+  const std::uint64_t build_started = NowMicros();
   Result<ColumnStatistics> built = Build(column, table, seed, pool());
   if (!built.ok()) {
     if (build_error != nullptr) *build_error = built.status();
     return AbsorbBuildFailure(entry, table, built.status());
   }
+  metrics_.Observe(metrics::Hist::kBuildLatencyMicros,
+                   NowMicros() - build_started);
   auto snapshot =
       std::make_shared<const ColumnStatistics>(std::move(built).value());
   // The build factories produce the model (with any compiled read-path
@@ -231,11 +236,12 @@ StatisticsManager::BuildAndPublish(const std::string& column, Entry* entry,
   // superseded: it still counts toward staleness via the counter above.
   WarmMaintenance(entry, *snapshot);
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.Increment(metrics::Counter::kBuildsCompleted);
   return snapshot;
 }
 
 std::shared_ptr<const ColumnStatistics>
-StatisticsManager::TryRefreshIncremental(
+StatisticsShard::TryRefreshIncremental(
     Entry* entry, std::uint64_t modifications_at_capture) {
   // Snapshot the live state under its own lock, then assemble and publish
   // with no maintenance lock held — DML keeps flowing while we publish.
@@ -288,10 +294,11 @@ StatisticsManager::TryRefreshIncremental(
                                                std::memory_order_relaxed);
   }
   incremental_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.Increment(metrics::Counter::kIncrementalRefreshes);
   return snapshot;
 }
 
-void StatisticsManager::WarmMaintenance(Entry* entry,
+void StatisticsShard::WarmMaintenance(Entry* entry,
                                         const ColumnStatistics& stats) {
   const auto* incremental =
       dynamic_cast<const IncrementalEquiDepthModel*>(stats.model.get());
@@ -312,7 +319,8 @@ void StatisticsManager::WarmMaintenance(Entry* entry,
   if (live.ok()) m.live.emplace(std::move(live).value());
 }
 
-void StatisticsManager::RecordInsert(const std::string& column, Value value) {
+void StatisticsShard::RecordInsert(const std::string& column, Value value) {
+  metrics_.Increment(metrics::Counter::kDmlRecords);
   std::shared_ptr<Entry> entry;
   {
     ReaderMutexLock lock(mu_);
@@ -327,7 +335,8 @@ void StatisticsManager::RecordInsert(const std::string& column, Value value) {
   }
 }
 
-void StatisticsManager::RecordDelete(const std::string& column, Value value) {
+void StatisticsShard::RecordDelete(const std::string& column, Value value) {
+  metrics_.Increment(metrics::Counter::kDmlRecords);
   std::shared_ptr<Entry> entry;
   {
     ReaderMutexLock lock(mu_);
@@ -343,8 +352,9 @@ void StatisticsManager::RecordDelete(const std::string& column, Value value) {
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::AbsorbBuildFailure(Entry* entry, const Table& table,
-                                      const Status& error) {
+StatisticsShard::AbsorbBuildFailure(Entry* entry, const Table& table,
+                                    const Status& error) {
+  metrics_.Increment(metrics::Counter::kBuildsFailed);
   // Non-fault errors (bad options, empty table, internal bugs) are the
   // caller's problem: no breaker, no degradation, just the error.
   if (!IsFaultError(error.code())) return error;
@@ -379,11 +389,12 @@ StatisticsManager::AbsorbBuildFailure(Entry* entry, const Table& table,
     entry->serving_fallback = true;
     entry->published.fetch_add(1, std::memory_order_release);
   }
+  metrics_.Increment(metrics::Counter::kFallbackPublishes);
   return snapshot;
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::GetOrBuildShared(const std::string& column,
+StatisticsShard::GetOrBuildShared(const std::string& column,
                                     const Table& table) {
   {
     ReaderMutexLock lock(mu_);
@@ -403,7 +414,7 @@ StatisticsManager::GetOrBuildShared(const std::string& column,
   return BuildAndPublish(column, entry.get(), table, /*require_fresh=*/false);
 }
 
-Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
+Result<const ColumnStatistics*> StatisticsShard::GetOrBuild(
     const std::string& column, const Table& table) {
   EQUIHIST_ASSIGN_OR_RETURN(const std::shared_ptr<const ColumnStatistics> s,
                             GetOrBuildShared(column, table));
@@ -412,8 +423,9 @@ Result<const ColumnStatistics*> StatisticsManager::GetOrBuild(
   return s.get();
 }
 
-void StatisticsManager::RecordModifications(const std::string& column,
-                                            std::uint64_t count) {
+void StatisticsShard::RecordModifications(const std::string& column,
+                                          std::uint64_t count) {
+  metrics_.Increment(metrics::Counter::kDmlRecords);
   std::shared_ptr<Entry> entry;
   {
     ReaderMutexLock lock(mu_);
@@ -430,7 +442,7 @@ void StatisticsManager::RecordModifications(const std::string& column,
   entry->maintenance.opaque_modifications += count;
 }
 
-bool StatisticsManager::IsStale(const std::string& column) const {
+bool StatisticsShard::IsStale(const std::string& column) const {
   ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
@@ -440,7 +452,7 @@ bool StatisticsManager::IsStale(const std::string& column) const {
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::EnsureFreshInternal(const std::string& column,
+StatisticsShard::EnsureFreshInternal(const std::string& column,
                                        const Table& table,
                                        Status* build_error) {
   {
@@ -461,19 +473,19 @@ StatisticsManager::EnsureFreshInternal(const std::string& column,
 }
 
 Result<std::shared_ptr<const ColumnStatistics>>
-StatisticsManager::EnsureFreshShared(const std::string& column,
+StatisticsShard::EnsureFreshShared(const std::string& column,
                                      const Table& table) {
   return EnsureFreshInternal(column, table, /*build_error=*/nullptr);
 }
 
-Result<const ColumnStatistics*> StatisticsManager::EnsureFresh(
+Result<const ColumnStatistics*> StatisticsShard::EnsureFresh(
     const std::string& column, const Table& table) {
   EQUIHIST_ASSIGN_OR_RETURN(const std::shared_ptr<const ColumnStatistics> s,
                             EnsureFreshShared(column, table));
   return s.get();
 }
 
-StatisticsManager::BuildAllResult StatisticsManager::BuildAll(
+StatisticsShard::BuildAllResult StatisticsShard::BuildAll(
     const std::vector<std::string>& columns, const Table& table) {
   // Per-column outcome: the build error even when degraded serving
   // absorbed it, or the propagated error for non-fault failures.
@@ -516,7 +528,7 @@ StatisticsManager::BuildAllResult StatisticsManager::BuildAll(
   return result;
 }
 
-Status StatisticsManager::InstallSerializedStatistics(
+Status StatisticsShard::InstallSerializedStatistics(
     const std::string& column, std::span<const std::uint8_t> bytes) {
   const std::shared_ptr<Entry> entry = GetEntry(column);
   // Installs serialize against live builds of the same column.
@@ -563,7 +575,7 @@ Status StatisticsManager::InstallSerializedStatistics(
   return Status::OK();
 }
 
-ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
+ColumnHealthReport StatisticsShard::Health(const std::string& column) const {
   ColumnHealthReport report;
   ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
@@ -575,6 +587,12 @@ ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
   report.quarantined = entry.quarantined;
   report.consecutive_build_failures = entry.consecutive_build_failures;
   report.total_build_failures = entry.total_build_failures;
+  if (entry.stats != nullptr && entry.stats->row_count > 0) {
+    report.modified_fraction =
+        static_cast<double>(entry.modifications_since_build.load(
+            std::memory_order_relaxed)) /
+        static_cast<double>(entry.stats->row_count);
+  }
   report.last_error = entry.last_error;
   report.breaker_open = entry.breaker_open_until != 0 &&
                         NowMicros() < entry.breaker_open_until;
@@ -588,7 +606,7 @@ ColumnHealthReport StatisticsManager::Health(const std::string& column) const {
   return report;
 }
 
-bool StatisticsManager::Drop(const std::string& column) {
+bool StatisticsShard::Drop(const std::string& column) {
   WriterMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
@@ -605,22 +623,23 @@ bool StatisticsManager::Drop(const std::string& column) {
 
 // -- Lock-free serving path --------------------------------------------------
 
-std::vector<StatisticsManager::CachedServing>&
-StatisticsManager::ServingCache() {
+std::vector<StatisticsShard::CachedServing>&
+StatisticsShard::ServingCache() {
   thread_local std::vector<CachedServing> cache;
   return cache;
 }
 
-StatisticsManager::CachedServing* StatisticsManager::FindCachedServing(
+StatisticsShard::CachedServing* StatisticsShard::FindCachedServing(
     const std::string& column) {
   for (CachedServing& slot : ServingCache()) {
-    if (slot.manager_id == manager_id_ && slot.column == column) return &slot;
+    if (slot.shard_id == shard_id_ && slot.column == column) return &slot;
   }
   return nullptr;
 }
 
-Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
+Result<StatisticsShard::CachedServing*> StatisticsShard::RefreshServing(
     const std::string& column, const Table& table) {
+  metrics_.Increment(metrics::Counter::kServingCacheRefreshes);
   // Capture always resolves through the entry map, never through a cached
   // entry pointer: an entry detached by Drop must not be re-validated, or
   // a thread could serve a dropped column forever.
@@ -643,7 +662,7 @@ Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
       }
     }
     if (entry != nullptr) {
-      fresh.manager_id = manager_id_;
+      fresh.shard_id = shard_id_;
       fresh.column = column;
       fresh.entry = std::move(entry);
       std::vector<CachedServing>& cache = ServingCache();
@@ -668,9 +687,10 @@ Result<StatisticsManager::CachedServing*> StatisticsManager::RefreshServing(
       "statistics were repeatedly dropped while refreshing the serving path");
 }
 
-Result<double> StatisticsManager::EstimateRange(const std::string& column,
-                                                const Table& table,
-                                                const RangeQuery& query) {
+Result<double> StatisticsShard::EstimateRange(const std::string& column,
+                                              const Table& table,
+                                              const RangeQuery& query) {
+  metrics_.Increment(metrics::Counter::kEstimateQueries);
   CachedServing* slot = FindCachedServing(column);
   if (slot == nullptr || slot->entry->published.load(
                              std::memory_order_acquire) != slot->published) {
@@ -679,15 +699,15 @@ Result<double> StatisticsManager::EstimateRange(const std::string& column,
   return slot->model->EstimateRangeCount(query);
 }
 
-Status StatisticsManager::EstimateRanges(const std::string& column,
-                                         const Table& table,
-                                         std::span<const RangeQuery> queries,
-                                         std::span<double> out,
-                                         bool use_pool) {
+Status StatisticsShard::EstimateRanges(const std::string& column,
+                                       const Table& table,
+                                       std::span<const RangeQuery> queries,
+                                       std::span<double> out, bool use_pool) {
   if (out.size() < queries.size()) {
     return Status::InvalidArgument(
         "output span smaller than the query batch");
   }
+  metrics_.Increment(metrics::Counter::kEstimateQueries, queries.size());
   CachedServing* slot = FindCachedServing(column);
   if (slot == nullptr || slot->entry->published.load(
                              std::memory_order_acquire) != slot->published) {
@@ -698,7 +718,7 @@ Status StatisticsManager::EstimateRanges(const std::string& column,
   return Status::OK();
 }
 
-Status StatisticsManager::EstimateBatch(
+Status StatisticsShard::EstimateBatch(
     const Table& table, std::span<const BatchEstimateRequest> requests,
     BatchEstimateResult* result, bool use_pool) {
   if (result == nullptr) {
@@ -707,6 +727,9 @@ Status StatisticsManager::EstimateBatch(
   const std::size_t n = requests.size();
   result->estimates.assign(n, 0.0);
   if (n == 0) return Status::OK();
+  metrics_.Increment(metrics::Counter::kEstimateBatches);
+  metrics_.Increment(metrics::Counter::kEstimateQueries, n);
+  metrics_.Observe(metrics::Hist::kEstimateBatchSize, n);
   // Group the interleaved requests by column, resolving each distinct
   // column's serving snapshot exactly once through the lock-free cache.
   // The model shared_ptr is copied out of the thread-local slot right
@@ -786,7 +809,7 @@ Status StatisticsManager::EstimateBatch(
   return Status::OK();
 }
 
-bool StatisticsManager::Has(const std::string& column) const {
+bool StatisticsShard::Has(const std::string& column) const {
   ReaderMutexLock lock(mu_);
   const auto it = entries_.find(column);
   if (it == entries_.end()) return false;
@@ -794,7 +817,7 @@ bool StatisticsManager::Has(const std::string& column) const {
   return it->second->stats != nullptr;
 }
 
-std::size_t StatisticsManager::size() const {
+std::size_t StatisticsShard::size() const {
   ReaderMutexLock lock(mu_);
   std::size_t count = 0;
   for (const auto& [name, entry] : entries_) {
@@ -804,9 +827,19 @@ std::size_t StatisticsManager::size() const {
   return count;
 }
 
-IoStats StatisticsManager::total_build_cost() const {
+IoStats StatisticsShard::total_build_cost() const {
   ReaderMutexLock lock(mu_);
   return total_build_cost_;
+}
+
+std::uint64_t StatisticsShard::stale_count() const {
+  ReaderMutexLock lock(mu_);
+  std::uint64_t stale = 0;
+  for (const auto& [name, entry] : entries_) {
+    entry->AssertReaderHeld();
+    if (IsStaleLocked(*entry)) ++stale;
+  }
+  return stale;
 }
 
 }  // namespace equihist

@@ -498,6 +498,117 @@ TEST(StatsConcurrencyTest, ConcurrentBatchServingDuringRebuildsAndDrops) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(StatsConcurrencyTest, EstimateBatchDuplicateColumnsResolveOnce) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40, .f = 0.25, .threads = 1});
+  // The same column repeated across the batch: one snapshot resolution
+  // and one build serve all of its queries, and every duplicate request
+  // with an identical range gets a bitwise-identical answer.
+  const auto domain = static_cast<Value>(table.tuple_count() / 50);
+  std::vector<BatchEstimateRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back({"dup", {0, domain / 2}});
+    requests.push_back({"other", {domain / 4, domain}});
+    requests.push_back({"dup", {0, domain / 2}});
+  }
+  BatchEstimateResult result;
+  ASSERT_TRUE(manager.EstimateBatch(table, requests, &result).ok());
+  ASSERT_EQ(result.estimates.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].column == "dup") {
+      EXPECT_EQ(result.estimates[i], result.estimates[0]) << i;
+    }
+  }
+  // Two distinct columns → exactly two builds, duplicates notwithstanding.
+  EXPECT_EQ(manager.rebuild_count(), 2u);
+  EXPECT_EQ(manager.size(), 2u);
+}
+
+TEST(StatsConcurrencyTest, EstimateBatchUnknownColumnMixedWithHealthy) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 40,
+                             .f = 0.25,
+                             .threads = 1,
+                             .retry = {.max_attempts = 1},
+                             .fallback_on_unbuilt = false});
+  ASSERT_TRUE(manager.GetOrBuildShared("healthy", table).ok());
+
+  // Storage goes dark: a never-built column mixed into the batch cannot
+  // build, and with the fallback disabled its error must surface as the
+  // batch's result — never a fabricated estimate. The healthy column's
+  // snapshot is unaffected.
+  FaultInjector blackout(FaultSpec{.lost_probability = 1.0, .seed = 7});
+  table.set_fault_injector(&blackout);
+  const auto domain = static_cast<Value>(table.tuple_count() / 50);
+  const std::vector<BatchEstimateRequest> requests = {
+      {"healthy", {0, domain}},
+      {"never_built", {0, domain}},
+      {"healthy", {domain / 2, domain}},
+  };
+  BatchEstimateResult result;
+  const Status status = manager.EstimateBatch(table, requests, &result);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(manager.Has("never_built"));
+
+  // Healthy-only batches keep serving from the snapshot, blackout or not.
+  const std::vector<BatchEstimateRequest> healthy_only = {
+      {"healthy", {0, domain}}};
+  ASSERT_TRUE(manager.EstimateBatch(table, healthy_only, &result).ok());
+  ASSERT_EQ(result.estimates.size(), 1u);
+  EXPECT_GE(result.estimates[0], 0.0);
+
+  // Storage recovers: the same mixed batch now builds and answers fully.
+  table.set_fault_injector(nullptr);
+  ASSERT_TRUE(manager.EstimateBatch(table, requests, &result).ok());
+  ASSERT_EQ(result.estimates.size(), requests.size());
+  EXPECT_TRUE(manager.Has("never_built"));
+}
+
+TEST(StatsConcurrencyTest, EstimateBatchRacingDropsNeverCorruptsAnswers) {
+  Table table = SmallTable();
+  StatisticsManager manager({.buckets = 30, .f = 0.3, .threads = 2});
+  const std::vector<std::string> columns = {"d0", "d1", "d2"};
+  for (const auto& c : columns) {
+    ASSERT_TRUE(manager.GetOrBuildShared(c, table).ok());
+  }
+  const auto domain = static_cast<Value>(table.tuple_count() / 50);
+  std::vector<BatchEstimateRequest> requests;
+  for (const auto& c : columns) {
+    requests.push_back({c, {0, domain}});
+    requests.push_back({c, {domain / 2, 2 * domain}});
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 40; ++i) {
+        BatchEstimateResult result;
+        // A Drop racing the batch either rebuilds transparently (first
+        // access semantics) or the batch fails cleanly; both are fine,
+        // a torn or out-of-range answer is not.
+        if (!manager.EstimateBatch(table, requests, &result).ok()) continue;
+        if (result.estimates.size() != requests.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const double estimate : result.estimates) {
+          if (!(estimate >= 0.0) ||
+              estimate > static_cast<double>(table.tuple_count())) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&]() {
+    for (int i = 0; i < 60; ++i) {
+      manager.Drop(columns[i % columns.size()]);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(StatsConcurrencyTest, SnapshotOutlivesDropAndRebuild) {
   Table table = SmallTable();
   StatisticsManager manager({.buckets = 30, .f = 0.3, .threads = 1});

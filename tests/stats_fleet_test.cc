@@ -1,0 +1,573 @@
+// StatisticsFleet tests (DESIGN.md §16): shard routing, the cross-shard
+// batch front-end and its group-commit coalescer, bitwise identity with a
+// single StatisticsManager, the fleetwire frame protocol (round-trips and
+// the byte-level corruption matrix), ServeFrame dispatch, and the metrics
+// plane. The concurrency cases run under TSan in CI (label `fleet`).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "data/distribution.h"
+#include "query/planner.h"
+#include "stats/fleet_wire.h"
+#include "stats/statistics_fleet.h"
+#include "stats/statistics_manager.h"
+#include "storage/fault_injection.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+constexpr PageConfig kPage{8192, 64};
+
+Table SmallTable(std::uint64_t n = 60000, std::uint64_t seed = 3) {
+  const auto freq =
+      MakeZipf({.n = n, .domain_size = n / 50, .skew = 1.2, .seed = seed});
+  return Table::Create(*freq, kPage,
+                       {.kind = LayoutKind::kRandom, .seed = seed})
+      .value();
+}
+
+StatisticsShard::Options ShardOptions() {
+  return {.buckets = 40, .f = 0.25, .seed = 17, .threads = 1};
+}
+
+std::vector<std::string> Columns(std::size_t n) {
+  std::vector<std::string> columns;
+  columns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    columns.push_back("t.c" + std::to_string(i));
+  }
+  return columns;
+}
+
+std::vector<BatchEstimateRequest> MixedBatch(
+    const std::vector<std::string>& columns, const Table& table,
+    std::size_t queries_per_column) {
+  std::vector<BatchEstimateRequest> requests;
+  const auto domain = static_cast<Value>(table.tuple_count() / 50);
+  for (std::size_t q = 0; q < queries_per_column; ++q) {
+    for (const std::string& column : columns) {  // columns interleaved
+      const Value lo = static_cast<Value>(q) * domain / 8;
+      requests.push_back({column, {lo, lo + domain / 4}});
+    }
+  }
+  return requests;
+}
+
+// -- Routing & bitwise identity ----------------------------------------------
+
+TEST(StatisticsFleetTest, RoutingPartitionsColumnsByFnv1a) {
+  StatisticsFleet fleet({.shards = 4, .shard = ShardOptions()});
+  ASSERT_EQ(fleet.shard_count(), 4u);
+  Table table = SmallTable();
+  const auto columns = Columns(16);
+  for (const std::string& column : columns) {
+    const std::size_t owner = fleet.ShardIndex(column);
+    EXPECT_EQ(owner, HashColumnName(column) % 4);
+    ASSERT_TRUE(fleet.EnsureFresh(column, table).ok()) << column;
+    // The column lives exactly on its owning shard.
+    for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+      EXPECT_EQ(fleet.shard(s).Has(column), s == owner) << column;
+    }
+  }
+  EXPECT_EQ(fleet.size(), columns.size());
+}
+
+TEST(StatisticsFleetTest, FleetMatchesSingleManagerBitwise) {
+  Table table = SmallTable();
+  const auto columns = Columns(8);
+  const auto requests = MixedBatch(columns, table, 6);
+
+  StatisticsManager manager(ShardOptions());
+  ASSERT_TRUE(manager.BuildAll(columns, table).ok());
+  BatchEstimateResult expected;
+  ASSERT_TRUE(manager.EstimateBatch(table, requests, &expected).ok());
+
+  for (const std::uint64_t shards : {1u, 3u, 4u, 7u}) {
+    for (const bool coalesce : {false, true}) {
+      StatisticsFleet fleet(
+          {.shards = shards, .shard = ShardOptions(), .coalesce = coalesce});
+      ASSERT_TRUE(fleet.BuildAll(columns, table).ok());
+      BatchEstimateResult got;
+      ASSERT_TRUE(fleet.EstimateBatch(table, requests, &got).ok());
+      ASSERT_EQ(got.estimates.size(), expected.estimates.size());
+      for (std::size_t i = 0; i < expected.estimates.size(); ++i) {
+        // Bitwise: build seeds depend only on (seed, column, generation),
+        // never on shard placement.
+        EXPECT_EQ(got.estimates[i], expected.estimates[i])
+            << "shards=" << shards << " coalesce=" << coalesce << " i=" << i;
+      }
+      // Scalar path agrees too.
+      for (const std::string& column : columns) {
+        const RangeQuery query{0, static_cast<Value>(table.tuple_count())};
+        EXPECT_EQ(*fleet.EstimateRange(column, table, query),
+                  *manager.EstimateRange(column, table, query));
+      }
+    }
+  }
+}
+
+TEST(StatisticsFleetTest, PlannerFleetOverloadMatchesShardOverload) {
+  Table table = SmallTable();
+  const auto columns = Columns(5);
+  const auto requests = MixedBatch(columns, table, 4);
+
+  StatisticsManager manager(ShardOptions());
+  ASSERT_TRUE(manager.BuildAll(columns, table).ok());
+  const auto via_shard = ChooseAccessPaths(manager, table, requests,
+                                           table.tuples_per_page());
+  ASSERT_TRUE(via_shard.ok());
+
+  StatisticsFleet fleet({.shards = 4, .shard = ShardOptions()});
+  ASSERT_TRUE(fleet.BuildAll(columns, table).ok());
+  const auto via_fleet =
+      ChooseAccessPaths(fleet, table, requests, table.tuples_per_page());
+  ASSERT_TRUE(via_fleet.ok());
+
+  ASSERT_EQ(via_fleet->size(), via_shard->size());
+  for (std::size_t i = 0; i < via_shard->size(); ++i) {
+    EXPECT_EQ((*via_fleet)[i].path, (*via_shard)[i].path) << i;
+    EXPECT_EQ((*via_fleet)[i].estimated_rows, (*via_shard)[i].estimated_rows)
+        << i;
+  }
+}
+
+TEST(StatisticsFleetTest, BuildAllAggregatesAcrossShardsInInputOrder) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 3, .shard = ShardOptions()});
+  const auto columns = Columns(9);
+  const auto sweep = fleet.BuildAll(columns, table);
+  EXPECT_EQ(sweep.attempted, columns.size());
+  EXPECT_EQ(sweep.succeeded, columns.size());
+  EXPECT_TRUE(sweep.ok());
+  EXPECT_EQ(fleet.size(), columns.size());
+  for (const std::string& column : columns) {
+    EXPECT_TRUE(fleet.Has(column));
+    EXPECT_EQ(fleet.Health(column).health, ColumnHealth::kFresh);
+  }
+}
+
+// -- Batch edge cases --------------------------------------------------------
+
+TEST(StatisticsFleetTest, EmptyBatchIsOkAndNullResultRejected) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 2, .shard = ShardOptions()});
+  BatchEstimateResult result;
+  result.estimates = {1.0, 2.0};  // stale contents must be cleared
+  EXPECT_TRUE(fleet.EstimateBatch(table, {}, &result).ok());
+  EXPECT_TRUE(result.estimates.empty());
+  EXPECT_EQ(fleet.EstimateBatch(table, {}, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatisticsFleetTest, NeverBuiltColumnsBuildOnFirstBatch) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 4, .shard = ShardOptions()});
+  // Nothing pre-built: the batch itself triggers first-access builds on
+  // every owning shard, exactly like EstimateRange would.
+  const auto columns = Columns(6);
+  const auto requests = MixedBatch(columns, table, 2);
+  BatchEstimateResult result;
+  ASSERT_TRUE(fleet.EstimateBatch(table, requests, &result).ok());
+  ASSERT_EQ(result.estimates.size(), requests.size());
+  for (const double estimate : result.estimates) {
+    EXPECT_GE(estimate, 0.0);
+  }
+  EXPECT_EQ(fleet.size(), columns.size());
+}
+
+// -- Coalescer ---------------------------------------------------------------
+
+TEST(StatisticsFleetTest, ConcurrentBatchesThroughCoalescerStayCorrect) {
+  Table table = SmallTable();
+  const auto columns = Columns(6);
+  StatisticsFleet fleet({.shards = 2, .shard = ShardOptions()});
+  ASSERT_TRUE(fleet.BuildAll(columns, table).ok());
+
+  // Serial ground truth per thread's batch.
+  StatisticsManager manager(ShardOptions());
+  ASSERT_TRUE(manager.BuildAll(columns, table).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      // Each thread's batch starts at a different column rotation so
+      // coalesced waves genuinely mix distinct requests.
+      std::vector<std::string> rotated(columns.begin() + t % columns.size(),
+                                       columns.end());
+      rotated.insert(rotated.end(), columns.begin(),
+                     columns.begin() + t % columns.size());
+      const auto requests = MixedBatch(rotated, table, 3);
+      BatchEstimateResult expected;
+      if (!manager.EstimateBatch(table, requests, &expected).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        BatchEstimateResult got;
+        if (!fleet.EstimateBatch(table, requests, &got).ok() ||
+            got.estimates != expected.estimates) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every query was served (coalesced or not — scheduling-dependent).
+  EXPECT_GE(fleet.fleet_metrics().counter(metrics::Counter::kEstimateQueries),
+            static_cast<std::uint64_t>(kThreads) * kRounds *
+                columns.size() * 3);
+}
+
+// -- Wire protocol -----------------------------------------------------------
+
+TEST(FleetWireTest, EstimateBatchFramesRoundTrip) {
+  fleetwire::EstimateBatchRequestFrame request;
+  request.requests = {{"t.a", {-5, 10}},
+                      {"t.b", {0, 0}},
+                      {"weird \"name\"", {-1000000, 1000000}}};
+  const auto bytes = fleetwire::Encode(request);
+  ASSERT_EQ(*fleetwire::PeekType(bytes),
+            fleetwire::FrameType::kEstimateBatchRequest);
+  const auto decoded = fleetwire::DecodeEstimateBatchRequest(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->requests.size(), request.requests.size());
+  for (std::size_t i = 0; i < request.requests.size(); ++i) {
+    EXPECT_EQ(decoded->requests[i].column, request.requests[i].column);
+    EXPECT_EQ(decoded->requests[i].query.lo, request.requests[i].query.lo);
+    EXPECT_EQ(decoded->requests[i].query.hi, request.requests[i].query.hi);
+  }
+
+  fleetwire::EstimateBatchResponseFrame response;
+  response.estimates = {0.0, 123.456, -1.0, 1e18};
+  const auto response_bytes = fleetwire::Encode(response);
+  const auto response_decoded =
+      fleetwire::DecodeEstimateBatchResponse(response_bytes);
+  ASSERT_TRUE(response_decoded.ok());
+  EXPECT_EQ(response_decoded->estimates, response.estimates);
+}
+
+TEST(FleetWireTest, BuildControlAndMetricsFramesRoundTrip) {
+  for (const auto op :
+       {fleetwire::BuildOp::kEnsureFresh, fleetwire::BuildOp::kDrop,
+        fleetwire::BuildOp::kRecordModifications}) {
+    fleetwire::BuildControlRequestFrame request{op, "t.col", 4242};
+    const auto bytes = fleetwire::Encode(request);
+    const auto decoded = fleetwire::DecodeBuildControlRequest(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->column, "t.col");
+    if (op == fleetwire::BuildOp::kRecordModifications) {
+      EXPECT_EQ(decoded->count, 4242u);
+    }
+  }
+
+  fleetwire::BuildControlResponseFrame response{StatusCode::kUnavailable,
+                                                "page 7 lost"};
+  const auto response_bytes = fleetwire::Encode(response);
+  const auto response_decoded =
+      fleetwire::DecodeBuildControlResponse(response_bytes);
+  ASSERT_TRUE(response_decoded.ok());
+  EXPECT_EQ(response_decoded->code, StatusCode::kUnavailable);
+  EXPECT_EQ(response_decoded->message, "page 7 lost");
+
+  EXPECT_TRUE(
+      fleetwire::DecodeMetricsRequest(fleetwire::EncodeMetricsRequest()).ok());
+  fleetwire::MetricsResponseFrame metrics{R"({"counters":{}})"};
+  const auto metrics_decoded =
+      fleetwire::DecodeMetricsResponse(fleetwire::Encode(metrics));
+  ASSERT_TRUE(metrics_decoded.ok());
+  EXPECT_EQ(metrics_decoded->json, metrics.json);
+}
+
+TEST(FleetWireTest, MalformedHeadersAreRejected) {
+  const auto good = fleetwire::Encode(fleetwire::EstimateBatchRequestFrame{
+      {{"t.a", {0, 5}}}});
+  EXPECT_FALSE(fleetwire::PeekType({}).ok());
+  auto bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(fleetwire::PeekType(bad_magic).ok());
+  auto bad_version = good;
+  bad_version[2] = 0x7F;
+  EXPECT_FALSE(fleetwire::PeekType(bad_version).ok());
+  auto bad_type = good;
+  bad_type[3] = 0x63;
+  EXPECT_FALSE(fleetwire::PeekType(bad_type).ok());
+  // Type confusion: a request decoded as another frame type fails.
+  EXPECT_FALSE(fleetwire::DecodeEstimateBatchResponse(good).ok());
+  EXPECT_FALSE(fleetwire::DecodeBuildControlRequest(good).ok());
+  // Trailing garbage after a complete frame fails.
+  auto trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(fleetwire::DecodeEstimateBatchRequest(trailing).ok());
+}
+
+TEST(FleetWireTest, CorruptionMatrixNeverCrashesAndTruncationAlwaysFails) {
+  fleetwire::EstimateBatchRequestFrame request;
+  request.requests = {{"orders.total", {-100, 100}},
+                      {"orders.qty", {3, 900000}}};
+  const auto frame = fleetwire::Encode(request);
+
+  // Every strict prefix must fail: a frame consumes its buffer exactly.
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(frame.data(), cut);
+    const auto decoded = fleetwire::DecodeEstimateBatchRequest(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+
+  // Every single-byte mutation either fails cleanly or yields a valid
+  // frame (bit flips inside a column name are legitimately undetectable);
+  // what it must never do is crash, hang, or read out of bounds — ASan/
+  // UBSan in CI give this loop teeth.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (const std::uint8_t mutation :
+         {static_cast<std::uint8_t>(frame[i] ^ 0x01),
+          static_cast<std::uint8_t>(frame[i] ^ 0x80),
+          static_cast<std::uint8_t>(frame[i] + 1),
+          static_cast<std::uint8_t>(0x00),
+          static_cast<std::uint8_t>(0xFF)}) {
+      auto mutated = frame;
+      mutated[i] = mutation;
+      const auto decoded = fleetwire::DecodeEstimateBatchRequest(mutated);
+      if (decoded.ok()) {
+        EXPECT_LE(decoded->requests.size(), 1000u);  // sane, bounded result
+      } else {
+        EXPECT_FALSE(decoded.status().message().empty());
+      }
+    }
+  }
+}
+
+// -- ServeFrame --------------------------------------------------------------
+
+TEST(StatisticsFleetTest, ServeFrameAnswersEstimateBatches) {
+  Table table = SmallTable();
+  const auto columns = Columns(4);
+  StatisticsFleet fleet({.shards = 3, .shard = ShardOptions()});
+  ASSERT_TRUE(fleet.BuildAll(columns, table).ok());
+
+  fleetwire::EstimateBatchRequestFrame request;
+  request.requests = MixedBatch(columns, table, 3);
+  const auto reply_bytes =
+      fleet.ServeFrame(fleetwire::Encode(request), table);
+  ASSERT_TRUE(reply_bytes.ok()) << reply_bytes.status();
+  const auto reply = fleetwire::DecodeEstimateBatchResponse(*reply_bytes);
+  ASSERT_TRUE(reply.ok());
+
+  BatchEstimateResult direct;
+  ASSERT_TRUE(fleet.EstimateBatch(table, request.requests, &direct).ok());
+  EXPECT_EQ(reply->estimates, direct.estimates);
+  EXPECT_GE(fleet.fleet_metrics().counter(
+                metrics::Counter::kWireFramesServed),
+            1u);
+}
+
+TEST(StatisticsFleetTest, ServeFrameBuildControlOps) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 2, .shard = ShardOptions()});
+
+  // EnsureFresh over the wire builds the column.
+  auto reply = fleet.ServeFrame(
+      fleetwire::Encode(fleetwire::BuildControlRequestFrame{
+          fleetwire::BuildOp::kEnsureFresh, "t.w", 0}),
+      table);
+  ASSERT_TRUE(reply.ok());
+  auto outcome = fleetwire::DecodeBuildControlResponse(*reply);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->code, StatusCode::kOk);
+  EXPECT_TRUE(fleet.Has("t.w"));
+
+  // RecordModifications over the wire moves the staleness needle.
+  reply = fleet.ServeFrame(
+      fleetwire::Encode(fleetwire::BuildControlRequestFrame{
+          fleetwire::BuildOp::kRecordModifications, "t.w",
+          table.tuple_count()}),
+      table);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(fleet.Health("t.w").health, ColumnHealth::kStale);
+
+  // Drop over the wire; dropping again reports kNotFound *inside* the
+  // response frame, not as a transport error.
+  reply = fleet.ServeFrame(
+      fleetwire::Encode(fleetwire::BuildControlRequestFrame{
+          fleetwire::BuildOp::kDrop, "t.w", 0}),
+      table);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(fleet.Has("t.w"));
+  reply = fleet.ServeFrame(
+      fleetwire::Encode(fleetwire::BuildControlRequestFrame{
+          fleetwire::BuildOp::kDrop, "t.w", 0}),
+      table);
+  ASSERT_TRUE(reply.ok());
+  outcome = fleetwire::DecodeBuildControlResponse(*reply);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->code, StatusCode::kNotFound);
+}
+
+TEST(StatisticsFleetTest, ServeFrameRejectsGarbageAndResponseFrames) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 2, .shard = ShardOptions()});
+  const std::vector<std::uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_FALSE(fleet.ServeFrame(garbage, table).ok());
+  EXPECT_FALSE(
+      fleet
+          .ServeFrame(fleetwire::Encode(
+                          fleetwire::EstimateBatchResponseFrame{{1.0}}),
+                      table)
+          .ok());
+  EXPECT_GE(fleet.fleet_metrics().counter(
+                metrics::Counter::kWireFrameErrors),
+            2u);
+
+  // Metrics over the wire still works after errors.
+  const auto reply =
+      fleet.ServeFrame(fleetwire::EncodeMetricsRequest(), table);
+  ASSERT_TRUE(reply.ok());
+  const auto metrics_frame = fleetwire::DecodeMetricsResponse(*reply);
+  ASSERT_TRUE(metrics_frame.ok());
+  EXPECT_NE(metrics_frame->json.find("\"wire_frame_errors\""),
+            std::string::npos);
+}
+
+// -- Metrics plane -----------------------------------------------------------
+
+TEST(MetricsPlaneTest, BucketsCountersAndJsonShape) {
+  metrics::MetricsPlane plane;
+  EXPECT_EQ(metrics::MetricsPlane::BucketOf(0), 0u);
+  EXPECT_EQ(metrics::MetricsPlane::BucketOf(1), 0u);
+  EXPECT_EQ(metrics::MetricsPlane::BucketOf(2), 1u);
+  EXPECT_EQ(metrics::MetricsPlane::BucketOf(3), 2u);
+  EXPECT_EQ(metrics::MetricsPlane::BucketOf(1'000'000'000),
+            metrics::kHistBuckets - 1);
+
+  plane.Increment(metrics::Counter::kEstimateQueries, 5);
+  plane.GaugeSet(metrics::Gauge::kQueueDepth, 7);
+  plane.Observe(metrics::Hist::kEstimateBatchSize, 3);
+  plane.Observe(metrics::Hist::kEstimateBatchSize, 100);
+  EXPECT_EQ(plane.counter(metrics::Counter::kEstimateQueries), 5u);
+  EXPECT_EQ(plane.gauge(metrics::Gauge::kQueueDepth), 7u);
+  EXPECT_EQ(plane.hist_count(metrics::Hist::kEstimateBatchSize), 2u);
+  EXPECT_EQ(plane.hist_sum(metrics::Hist::kEstimateBatchSize), 103u);
+
+  const std::string json = plane.ToJson();
+  EXPECT_NE(json.find("\"estimate_queries\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"estimate_batch_size\":{\"count\":2,\"sum\":103"),
+            std::string::npos);
+}
+
+TEST(MetricsPlaneTest, ConcurrentUpdatesAreLockFreeAndLossless) {
+  metrics::MetricsPlane plane;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&plane]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        plane.Increment(metrics::Counter::kEstimateQueries);
+        plane.Observe(metrics::Hist::kEstimateBatchSize,
+                      static_cast<std::uint64_t>(i % 64));
+        plane.GaugeAdd(metrics::Gauge::kQueueDepth, 1);
+        plane.GaugeAdd(metrics::Gauge::kQueueDepth, -1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(plane.counter(metrics::Counter::kEstimateQueries),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(plane.hist_count(metrics::Hist::kEstimateBatchSize),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(plane.gauge(metrics::Gauge::kQueueDepth), 0u);
+}
+
+TEST(StatisticsFleetTest, MetricsJsonCoversFleetAndEveryShard) {
+  Table table = SmallTable();
+  StatisticsFleet fleet({.shards = 3, .shard = ShardOptions()});
+  const auto columns = Columns(6);
+  ASSERT_TRUE(fleet.BuildAll(columns, table).ok());
+  BatchEstimateResult result;
+  ASSERT_TRUE(
+      fleet.EstimateBatch(table, MixedBatch(columns, table, 2), &result)
+          .ok());
+  const std::string json = fleet.MetricsJson();
+  EXPECT_NE(json.find("\"fleet\":"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(json.find("\"stale\":"), std::string::npos);
+  // Shard planes saw the builds the sweep fanned out.
+  std::uint64_t builds = 0;
+  for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+    builds +=
+        fleet.shard(s).metrics().counter(metrics::Counter::kBuildsCompleted);
+  }
+  EXPECT_EQ(builds, columns.size());
+}
+
+// -- Chaos: fleet under injected storage faults ------------------------------
+
+TEST(StatisticsFleetTest, ChaosBuildStormStaysServable) {
+  std::uint64_t seed = 0x5EED2026;
+  if (const char* env = std::getenv("EQUIHIST_CHAOS_SEED");
+      env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE("EQUIHIST_CHAOS_SEED=" + std::to_string(seed));
+
+  Table table = SmallTable(40000, seed ^ 0x9E3779B9);
+  FaultSpec spec;
+  spec.transient_probability = 0.15;
+  spec.lost_probability = 0.05;
+  spec.corrupt_probability = 0.05;
+  spec.seed = seed;
+  FaultInjector injector(spec);
+  table.set_fault_injector(&injector);
+
+  auto shard_options = ShardOptions();
+  shard_options.seed = seed;
+  StatisticsFleet fleet({.shards = 3,
+                         .shard = shard_options,
+                         .scheduler = {.max_inflight = 2, .threads = 2}});
+  const auto columns = Columns(9);
+  for (int wave = 0; wave < 3; ++wave) {
+    for (const std::string& column : columns) {
+      fleet.RecordModifications(column, 1000);
+      fleet.ScheduleBuild("t", column, table);
+    }
+  }
+  fleet.DrainBuilds();
+
+  // Whatever storage did: typed errors only, and every column servable
+  // (snapshot, stale snapshot, or the uniform fallback).
+  for (const auto& [key, status] : fleet.scheduler().TakeFailures()) {
+    EXPECT_TRUE(status.code() == StatusCode::kUnavailable ||
+                status.code() == StatusCode::kDataLoss ||
+                status.code() == StatusCode::kResourceExhausted)
+        << key << ": " << status;
+  }
+  for (const std::string& column : columns) {
+    const auto estimate = fleet.EstimateRange(
+        column, table,
+        {.lo = 0, .hi = static_cast<Value>(table.tuple_count())});
+    ASSERT_TRUE(estimate.ok()) << column;
+    EXPECT_GE(*estimate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace equihist
