@@ -18,7 +18,16 @@
 //     must not tax EstimateRange) — enforced in every mode including
 //     --smoke, which is how CI runs it.
 //
+// A transport section (DESIGN.md §17) additionally times one estimate
+// frame's round trip through the in-process Transport and through a real
+// unix-domain SocketTransport against a SocketTransportServer — the
+// envelope + framing + syscall cost per exchange. Both paths are
+// cross-checked bitwise against ServeFrame before timing, and the medians
+// are gated by scripts/check_perf_regression.py.
+//
 // Emits BENCH_fleet_serving.json (mirrored to stdout).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -29,11 +38,15 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "stats/fleet_wire.h"
 #include "stats/statistics_fleet.h"
 #include "stats/statistics_manager.h"
+#include "stats/transport.h"
 
 namespace {
 
@@ -107,12 +120,51 @@ struct ScalarGuard {
   double routed_ratio = 0.0;
 };
 
+// Round-trip latency of one estimate frame through a Transport
+// (DESIGN.md §17): envelope encode + serve + envelope decode, plus the
+// syscalls on the socket path. Gated by check_perf_regression.py.
+struct TransportStats {
+  std::uint64_t round_trips = 0;
+  double in_process_median_us = 0.0;
+  double in_process_p99_us = 0.0;
+  double unix_socket_median_us = 0.0;
+  double unix_socket_p99_us = 0.0;
+  // socket median / in-process median: what the wire itself costs.
+  double socket_overhead_ratio = 0.0;
+};
+
+// Times `rounds` fault-free round trips, checking every response bitwise
+// against the direct ServeFrame bytes. Returns {median_us, p99_us} or
+// {-1, -1} on any mismatch or transport error.
+std::pair<double, double> TimeRoundTrips(
+    transport::Transport& link, std::span<const std::uint8_t> frame,
+    const std::vector<std::uint8_t>& expected, int rounds) {
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto response = link.RoundTrip(frame, 1'000'000);
+    const double us = ElapsedNs(t0) / 1e3;
+    if (!response.ok() || *response != expected) return {-1.0, -1.0};
+    if (r >= rounds / 10) lat_us.push_back(us);  // first 10% is warmup
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const double median = lat_us[lat_us.size() / 2];
+  const double p99 =
+      lat_us[std::min(lat_us.size() - 1,
+                      static_cast<std::size_t>(
+                          0.99 * static_cast<double>(lat_us.size())))];
+  return {median, p99};
+}
+
 std::string ToJson(const std::vector<SweepRow>& rows,
-                   const ScalarGuard& guard, std::uint64_t n,
-                   std::size_t columns, const bench::Scale& scale) {
+                   const ScalarGuard& guard, const TransportStats& transit,
+                   std::uint64_t n, std::size_t columns,
+                   const bench::Scale& scale) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"experiment\": \"FLEET1\",\n";
+  os << "  \"bench\": \"fleet_serving\",\n";
   os << "  \"title\": \"fleet serving: mixed traffic, 1 vs N shards\",\n";
   os << "  \"n\": " << n << ",\n";
   os << "  \"columns\": " << columns << ",\n";
@@ -139,7 +191,14 @@ std::string ToJson(const std::vector<SweepRow>& rows,
      << ", \"fleet_1shard_ns_per_query\": " << guard.fleet_1shard_ns_per_query
      << ", \"overhead_ratio\": " << guard.overhead_ratio
      << ", \"fleet_4shard_ns_per_query\": " << guard.fleet_4shard_ns_per_query
-     << ", \"routed_ratio\": " << guard.routed_ratio << "}\n";
+     << ", \"routed_ratio\": " << guard.routed_ratio << "},\n";
+  os << "  \"transport\": {\"round_trips\": " << transit.round_trips
+     << ", \"in_process_median_us\": " << transit.in_process_median_us
+     << ", \"in_process_p99_us\": " << transit.in_process_p99_us
+     << ", \"unix_socket_median_us\": " << transit.unix_socket_median_us
+     << ", \"unix_socket_p99_us\": " << transit.unix_socket_p99_us
+     << ", \"socket_overhead_ratio\": " << transit.socket_overhead_ratio
+     << "}\n";
   os << "}\n";
   return os.str();
 }
@@ -340,7 +399,71 @@ int main(int argc, char** argv) {
               << " ns/q (ratio " << guard.routed_ratio << ")\n";
   }
 
-  const std::string json = ToJson(rows, guard, n, columns.size(), scale);
+  // Transport round trips: the same estimate frame through the in-process
+  // Transport and through a real unix-domain socket against a running
+  // SocketTransportServer. Single-frame answers are bitwise-checked
+  // against ServeFrame on every round — a framing regression fails the
+  // bench, never skews it.
+  TransportStats transit;
+  {
+    StatisticsFleet fleet({.shards = 2, .shard = ShardOptions(scale)});
+    if (!fleet.BuildAll(columns, dataset.table).ok()) {
+      std::cerr << "transport fleet BuildAll failed\n";
+      return 1;
+    }
+    const std::vector<std::uint8_t> frame = fleetwire::Encode(
+        fleetwire::EstimateBatchRequestFrame{WorkerBatch(columns, domain, 0)});
+    const auto expected_bytes = fleet.ServeFrame(frame, dataset.table);
+    if (!expected_bytes.ok()) {
+      std::cerr << "ServeFrame failed: " << expected_bytes.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const int rt_rounds = scale.smoke ? 300 : 3000;
+    transit.round_trips = static_cast<std::uint64_t>(rt_rounds);
+
+    transport::InProcessTransport in_process(&fleet, &dataset.table);
+    std::tie(transit.in_process_median_us, transit.in_process_p99_us) =
+        TimeRoundTrips(in_process, frame, *expected_bytes, rt_rounds);
+
+    transport::SocketTransportServer server(
+        &fleet, &dataset.table,
+        {.endpoint = {.kind = transport::Endpoint::Kind::kUnix,
+                      .path = "/tmp/equihist_bench_" +
+                              std::to_string(getpid()) + ".sock"}});
+    if (!server.Start().ok()) {
+      std::cerr << "transport server failed to start\n";
+      return 1;
+    }
+    auto socket = transport::SocketTransport::Connect(server.endpoint(),
+                                                      1'000'000);
+    if (!socket.ok()) {
+      std::cerr << "transport connect failed: "
+                << socket.status().ToString() << "\n";
+      return 1;
+    }
+    std::tie(transit.unix_socket_median_us, transit.unix_socket_p99_us) =
+        TimeRoundTrips(**socket, frame, *expected_bytes, rt_rounds);
+    server.Stop();
+    if (transit.in_process_median_us < 0.0 ||
+        transit.unix_socket_median_us < 0.0) {
+      std::cerr << "TRANSPORT MISMATCH vs ServeFrame bytes\n";
+      return 1;
+    }
+    transit.socket_overhead_ratio =
+        transit.in_process_median_us > 0.0
+            ? transit.unix_socket_median_us / transit.in_process_median_us
+            : 0.0;
+    std::cerr << "transport round trip: in-process median="
+              << transit.in_process_median_us
+              << " us (p99=" << transit.in_process_p99_us
+              << "), unix socket median=" << transit.unix_socket_median_us
+              << " us (p99=" << transit.unix_socket_p99_us << ", "
+              << transit.socket_overhead_ratio << "x)\n";
+  }
+
+  const std::string json =
+      ToJson(rows, guard, transit, n, columns.size(), scale);
   std::cout << json;
   bench::WriteBenchJson("BENCH_fleet_serving.json", json);
 

@@ -5,7 +5,8 @@ Compares a fresh (usually --smoke) BENCH json against the checked-in
 baseline of the same bench and fails when any ns metric regresses beyond
 the tolerance band. The extractor dispatches on the report's "bench" tag:
 estimator-throughput reports gate serving-path ns/query, incremental-
-maintenance reports gate the O(Δ) refresh cost. Cross-machine absolute
+maintenance reports gate the O(Δ) refresh cost, fleet-serving reports
+gate the transport round-trip medians. Cross-machine absolute
 timings are noisy, so the band is wide by design: this gate catches "the
 serving core got 2x slower" (an accidental O(k) loop, a dropped fast
 path), not 5% drift.
@@ -71,9 +72,31 @@ def incremental_maintenance_metrics(doc):
     return metrics
 
 
+def fleet_serving_metrics(doc):
+    """Transport round-trip latency in us, per path (DESIGN.md 17).
+
+    One estimate frame through the in-process Transport and through a
+    unix-domain socket: envelope encode + serve + decode (+ syscalls on
+    the socket path). A single frame's cost does not scale with bench n,
+    so a --smoke candidate is comparable against the checked-in baseline.
+    Medians only: p99 on a shared CI runner is scheduler noise. The
+    mixed-traffic QPS and scalar-serving ratios are guarded inside the
+    bench binary itself and are not re-gated here.
+    """
+    metrics = {}
+    transit = doc.get("transport", {})
+    for name in ("in_process_median_us", "unix_socket_median_us"):
+        value = transit.get(name)
+        if value:
+            metrics[f"transport/{name}"] = value
+    return metrics
+
+
 def extract_metrics(doc):
     if doc.get("bench") == "incremental_maintenance":
         return incremental_maintenance_metrics(doc)
+    if doc.get("bench") == "fleet_serving":
+        return fleet_serving_metrics(doc)
     return single_thread_metrics(doc)
 
 

@@ -38,6 +38,34 @@ const char* Name(Counter counter) {
       return "scheduler_completed";
     case Counter::kSchedulerFailed:
       return "scheduler_failed";
+    case Counter::kTransportRequests:
+      return "transport_requests";
+    case Counter::kTransportRetries:
+      return "transport_retries";
+    case Counter::kTransportHedges:
+      return "transport_hedges";
+    case Counter::kTransportHedgeWins:
+      return "transport_hedge_wins";
+    case Counter::kTransportDeadlineExceeded:
+      return "transport_deadline_exceeded";
+    case Counter::kTransportBackpressure:
+      return "transport_backpressure";
+    case Counter::kTransportBreakerOpens:
+      return "transport_breaker_opens";
+    case Counter::kTransportBreakerFastFails:
+      return "transport_breaker_fast_fails";
+    case Counter::kTransportErrors:
+      return "transport_errors";
+    case Counter::kServerFramesServed:
+      return "server_frames_served";
+    case Counter::kServerRejects:
+      return "server_rejects";
+    case Counter::kServerShedDrops:
+      return "server_shed_drops";
+    case Counter::kServerExpiredDrops:
+      return "server_expired_drops";
+    case Counter::kServerConnections:
+      return "server_connections";
     case Counter::kCount:
       break;
   }
@@ -50,6 +78,10 @@ const char* Name(Gauge gauge) {
       return "queue_depth";
     case Gauge::kInflightBuilds:
       return "inflight_builds";
+    case Gauge::kServerQueueDepth:
+      return "server_queue_depth";
+    case Gauge::kServerActiveConnections:
+      return "server_active_connections";
     case Gauge::kCount:
       break;
   }
@@ -64,6 +96,10 @@ const char* Name(Hist hist) {
       return "estimate_batch_size";
     case Hist::kCoalescedBatchSize:
       return "coalesced_batch_size";
+    case Hist::kTransportRoundTripMicros:
+      return "transport_round_trip_micros";
+    case Hist::kServerQueueWaitMicros:
+      return "server_queue_wait_micros";
     case Hist::kCount:
       break;
   }

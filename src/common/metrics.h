@@ -39,13 +39,31 @@ enum class Counter : std::size_t {
   kSchedulerCoalesced,      // requests merged into an already-queued build
   kSchedulerCompleted,      // scheduled builds that finished OK
   kSchedulerFailed,         // scheduled builds that returned an error
+  // Fleet transport client (stats/transport_client.h).
+  kTransportRequests,        // Call() invocations (before retries/hedges)
+  kTransportRetries,         // retry attempts actually taken
+  kTransportHedges,          // hedge attempts launched
+  kTransportHedgeWins,       // exchanges where the hedge finished first
+  kTransportDeadlineExceeded,  // calls that failed with the budget spent
+  kTransportBackpressure,    // typed kResourceExhausted shed rejections seen
+  kTransportBreakerOpens,    // per-peer breaker open transitions
+  kTransportBreakerFastFails,  // calls rejected with every breaker open
+  kTransportErrors,          // calls that returned any non-OK status
+  // Fleet transport server (stats/transport.h).
+  kServerFramesServed,       // frames admitted, served, and replied to
+  kServerRejects,            // typed rejection frames sent (any cause)
+  kServerShedDrops,          // queued work shed on overflow (load shedding)
+  kServerExpiredDrops,       // work dropped at admission: deadline expired
+  kServerConnections,        // connections accepted over the lifetime
   kCount,
 };
 
 // Instantaneous levels (set/add; may go up and down).
 enum class Gauge : std::size_t {
-  kQueueDepth = 0,   // build requests waiting for admission
-  kInflightBuilds,   // builds currently running under the budget
+  kQueueDepth = 0,         // build requests waiting for admission
+  kInflightBuilds,         // builds currently running under the budget
+  kServerQueueDepth,       // transport work items waiting for a worker
+  kServerActiveConnections,  // transport connections currently open
   kCount,
 };
 
@@ -56,6 +74,8 @@ enum class Hist : std::size_t {
   kBuildLatencyMicros = 0,  // wall time of one published build
   kEstimateBatchSize,       // requests per EstimateBatch call
   kCoalescedBatchSize,      // requests per combined coalescer execution
+  kTransportRoundTripMicros,  // client-observed wall time per exchange
+  kServerQueueWaitMicros,     // enqueue-to-dequeue wait per work item
   kCount,
 };
 

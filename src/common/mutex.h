@@ -155,6 +155,20 @@ class CondVar {
     return status;
   }
 
+  // Predicate form: waits until pred() holds or `timeout` elapses. Returns
+  // pred()'s final value — false means the deadline fired with the
+  // condition still unmet. The deadline-bounded waits of the fleet
+  // transport layer (coalescer followers, hedged exchanges) all go through
+  // this: no wait in that stack may ever be unbounded.
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

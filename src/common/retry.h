@@ -49,6 +49,33 @@ struct RetryPolicy {
   }
 };
 
+// Jittered variant of RetryPolicy::BackoffMicros for retry layers whose
+// failures are *correlated across clients* — the fleet transport
+// (stats/transport_client.h). When a peer hiccups, every client backs off
+// at once; without jitter they all return at the same instant and stampede
+// the recovering peer. The delay is scaled by a factor uniform in
+// [1 - jitter, 1 + jitter), derived from `random_bits` (callers draw from
+// a seeded Rng stream, so two runs with the same seed take identical
+// delays — the determinism contract of the build-path retries carries
+// over). jitter <= 0 reproduces the deterministic schedule exactly;
+// jitter is clamped to [0, 1]. The result still saturates at
+// max_backoff_micros.
+inline std::uint64_t JitteredBackoffMicros(const RetryPolicy& policy,
+                                           std::uint32_t retry, double jitter,
+                                           std::uint64_t random_bits) {
+  const std::uint64_t base = policy.BackoffMicros(retry);
+  if (jitter <= 0.0 || base == 0) return base;
+  if (jitter > 1.0) jitter = 1.0;
+  // 53 uniform bits -> double in [0, 1), the common bits-to-double idiom.
+  const double u =
+      static_cast<double>(random_bits >> 11) * 0x1.0p-53;
+  const double factor = (1.0 - jitter) + 2.0 * jitter * u;
+  const double scaled = static_cast<double>(base) * factor;
+  const auto max_backoff = static_cast<double>(policy.max_backoff_micros);
+  return static_cast<std::uint64_t>(scaled < max_backoff ? scaled
+                                                         : max_backoff);
+}
+
 namespace internal {
 // Uniform code access for Status and Result<T>.
 inline StatusCode CodeOf(const Status& status) { return status.code(); }

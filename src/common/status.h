@@ -33,6 +33,11 @@ enum class StatusCode {
   // checksum mismatch). Retrying cannot help; callers must skip, resample,
   // or degrade.
   kDataLoss = 7,
+  // The caller's deadline expired before the operation completed. The
+  // fleet transport layer (stats/transport*.h) budgets every remote call
+  // with a deadline; expiry is final for that call — the budget is gone,
+  // so the retry layer never retries it.
+  kDeadlineExceeded = 8,
 };
 
 // True for codes a bounded retry can plausibly clear (currently only
@@ -88,6 +93,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -113,6 +113,14 @@ std::vector<std::uint8_t> Encode(const MetricsResponseFrame& frame) {
   return out;
 }
 
+std::vector<std::uint8_t> Encode(const RejectionFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutHeader(FrameType::kRejection, &out);
+  out.push_back(static_cast<std::uint8_t>(frame.code));
+  PutString(frame.message, &out);
+  return out;
+}
+
 Result<FrameType> PeekType(std::span<const std::uint8_t> bytes) {
   wire::Reader reader(bytes);
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t m0, reader.Byte());
@@ -126,7 +134,7 @@ Result<FrameType> PeekType(std::span<const std::uint8_t> bytes) {
   }
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t type, reader.Byte());
   if (type < static_cast<std::uint8_t>(FrameType::kEstimateBatchRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kMetricsResponse)) {
+      type > static_cast<std::uint8_t>(FrameType::kRejection)) {
     return Status::InvalidArgument("unknown fleet frame type");
   }
   return static_cast<FrameType>(type);
@@ -202,7 +210,7 @@ Result<BuildControlResponseFrame> DecodeBuildControlResponse(
       ReadHeader(reader, FrameType::kBuildControlResponse));
   BuildControlResponseFrame frame;
   EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t code, reader.Byte());
-  if (code > static_cast<std::uint8_t>(StatusCode::kDataLoss)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("unknown status code in fleet frame");
   }
   frame.code = static_cast<StatusCode>(code);
@@ -223,6 +231,21 @@ Result<MetricsResponseFrame> DecodeMetricsResponse(
   EQUIHIST_RETURN_IF_ERROR(ReadHeader(reader, FrameType::kMetricsResponse));
   MetricsResponseFrame frame;
   EQUIHIST_ASSIGN_OR_RETURN(frame.json, ReadString(reader));
+  EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
+  return frame;
+}
+
+Result<RejectionFrame> DecodeRejection(std::span<const std::uint8_t> bytes) {
+  wire::Reader reader(bytes);
+  EQUIHIST_RETURN_IF_ERROR(ReadHeader(reader, FrameType::kRejection));
+  RejectionFrame frame;
+  EQUIHIST_ASSIGN_OR_RETURN(const std::uint8_t code, reader.Byte());
+  if (code == static_cast<std::uint8_t>(StatusCode::kOk) ||
+      code > static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("rejection frame carries no valid error");
+  }
+  frame.code = static_cast<StatusCode>(code);
+  EQUIHIST_ASSIGN_OR_RETURN(frame.message, ReadString(reader));
   EQUIHIST_RETURN_IF_ERROR(CheckFullyConsumed(reader));
   return frame;
 }

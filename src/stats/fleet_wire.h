@@ -38,6 +38,13 @@ enum class FrameType : std::uint8_t {
   kBuildControlResponse = 4,
   kMetricsRequest = 5,
   kMetricsResponse = 6,
+  // A typed error reply usable in place of ANY response frame: the server
+  // could not (or refused to) serve the request. Carries the Status so
+  // clients can distinguish load-shedding backpressure
+  // (kResourceExhausted, never retried), admission-expired deadlines
+  // (kDeadlineExceeded), and transient wire damage (kUnavailable,
+  // retryable).
+  kRejection = 7,
 };
 
 enum class BuildOp : std::uint8_t {
@@ -71,12 +78,20 @@ struct MetricsResponseFrame {
   std::string json;
 };
 
+// The server's typed refusal (see FrameType::kRejection). `code` is never
+// kOk — a rejection that carries success is malformed.
+struct RejectionFrame {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
 std::vector<std::uint8_t> Encode(const EstimateBatchRequestFrame& frame);
 std::vector<std::uint8_t> Encode(const EstimateBatchResponseFrame& frame);
 std::vector<std::uint8_t> Encode(const BuildControlRequestFrame& frame);
 std::vector<std::uint8_t> Encode(const BuildControlResponseFrame& frame);
 std::vector<std::uint8_t> EncodeMetricsRequest();
 std::vector<std::uint8_t> Encode(const MetricsResponseFrame& frame);
+std::vector<std::uint8_t> Encode(const RejectionFrame& frame);
 
 // Validates magic + version and returns the frame type without touching
 // the payload — the dispatch step of StatisticsFleet::ServeFrame.
@@ -93,6 +108,7 @@ Result<BuildControlResponseFrame> DecodeBuildControlResponse(
 Status DecodeMetricsRequest(std::span<const std::uint8_t> bytes);
 Result<MetricsResponseFrame> DecodeMetricsResponse(
     std::span<const std::uint8_t> bytes);
+Result<RejectionFrame> DecodeRejection(std::span<const std::uint8_t> bytes);
 
 }  // namespace equihist::fleetwire
 

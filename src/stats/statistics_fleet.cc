@@ -1,7 +1,9 @@
 #include "stats/statistics_fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "stats/fleet_wire.h"
@@ -10,32 +12,34 @@ namespace equihist {
 
 // -- BatchCoalescer ----------------------------------------------------------
 
-void BatchCoalescer::ServeWave(StatisticsShard& shard,
-                               const std::vector<Pending*>& wave,
-                               metrics::MetricsPlane* metrics) {
+void BatchCoalescer::ServeWave(
+    StatisticsShard& shard, const std::vector<std::shared_ptr<Pending>>& wave,
+    metrics::MetricsPlane* metrics) {
   // One combined shard call per distinct table in the wave (waves almost
   // always reference a single table; the map keeps mixed waves correct).
   std::map<const Table*, std::vector<Pending*>> by_table;
-  for (Pending* pending : wave) by_table[pending->table].push_back(pending);
+  for (const auto& pending : wave) {
+    by_table[pending->table].push_back(pending.get());
+  }
   for (auto& [table, group] : by_table) {
     std::vector<BatchEstimateRequest> combined;
     std::size_t total = 0;
-    for (const Pending* pending : group) total += pending->n;
+    for (const Pending* pending : group) total += pending->requests.size();
     combined.reserve(total);
     for (const Pending* pending : group) {
-      combined.insert(combined.end(), pending->requests,
-                      pending->requests + pending->n);
+      combined.insert(combined.end(), pending->requests.begin(),
+                      pending->requests.end());
     }
     BatchEstimateResult result;
     const Status status = shard.EstimateBatch(*table, combined, &result);
     if (status.ok()) {
       std::size_t offset = 0;
       for (Pending* pending : group) {
-        std::copy_n(result.estimates.begin() + static_cast<std::ptrdiff_t>(
-                                                   offset),
-                    pending->n, pending->out);
+        std::copy_n(
+            result.estimates.begin() + static_cast<std::ptrdiff_t>(offset),
+            pending->requests.size(), pending->answers.begin());
         pending->status = Status::OK();
-        offset += pending->n;
+        offset += pending->requests.size();
       }
     } else {
       for (Pending* pending : group) pending->status = status;
@@ -50,21 +54,45 @@ void BatchCoalescer::ServeWave(StatisticsShard& shard,
 
 Status BatchCoalescer::Submit(StatisticsShard& shard, const Table& table,
                               std::span<const BatchEstimateRequest> requests,
-                              double* out, metrics::MetricsPlane* metrics) {
-  Pending self{&table, requests.data(), requests.size(),
-               out,    Status::OK(),    false};
+                              double* out, metrics::MetricsPlane* metrics,
+                              std::uint64_t wait_micros) {
+  auto self = std::make_shared<Pending>();
+  self->table = &table;
+  self->requests.assign(requests.begin(), requests.end());
+  self->answers.assign(requests.size(), 0.0);
   mu_.Lock();
-  queue_.push_back(&self);
+  queue_.push_back(self);
   if (leader_active_) {
     // A leader is serving waves; it will pick this up and flip done.
-    cv_.Wait(mu_, [&self]() { return self.done; });
-    Status status = std::move(self.status);
+    bool served = true;
+    if (wait_micros == 0) {
+      cv_.Wait(mu_, [&self]() { return self->done; });
+    } else {
+      served = cv_.WaitFor(mu_, std::chrono::microseconds(wait_micros),
+                           [&self]() { return self->done; });
+    }
+    if (!served) {
+      // Abandon. If the leader has not dequeued us yet, withdraw so it
+      // never will; if it has, our shared_ptr copy dies here and the
+      // leader's copy keeps the storage alive — it completes the wave
+      // into memory nobody reads. Either way the caller gets a typed
+      // timeout instead of an unbounded block.
+      auto it = std::find(queue_.begin(), queue_.end(), self);
+      if (it != queue_.end()) queue_.erase(it);
+      mu_.Unlock();
+      return Status::DeadlineExceeded(
+          "coalesced batch abandoned: leader did not complete in time");
+    }
+    Status status = std::move(self->status);
     mu_.Unlock();
+    if (status.ok()) {
+      std::copy(self->answers.begin(), self->answers.end(), out);
+    }
     return status;
   }
   leader_active_ = true;
   while (!queue_.empty()) {
-    std::vector<Pending*> wave;
+    std::vector<std::shared_ptr<Pending>> wave;
     wave.swap(queue_);
     mu_.Unlock();
     // Only the leader touches a pending between dequeue and done, so the
@@ -72,12 +100,15 @@ Status BatchCoalescer::Submit(StatisticsShard& shard, const Table& table,
     // for the next wave.
     ServeWave(shard, wave, metrics);
     mu_.Lock();
-    for (Pending* pending : wave) pending->done = true;
+    for (const auto& pending : wave) pending->done = true;
     cv_.NotifyAll();
   }
   leader_active_ = false;
-  Status status = std::move(self.status);
+  Status status = std::move(self->status);
   mu_.Unlock();
+  if (status.ok()) {
+    std::copy(self->answers.begin(), self->answers.end(), out);
+  }
   return status;
 }
 
@@ -159,8 +190,9 @@ Status StatisticsFleet::EstimateBatchPartitioned(
     if (count == 0) continue;
     const std::span<const BatchEstimateRequest> sub(&gathered[begin], count);
     if (options_.coalesce) {
-      EQUIHIST_RETURN_IF_ERROR(coalescers_[s]->Submit(
-          *shards_[s], table, sub, &answers[begin], &metrics_));
+      EQUIHIST_RETURN_IF_ERROR(
+          coalescers_[s]->Submit(*shards_[s], table, sub, &answers[begin],
+                                 &metrics_, options_.coalesce_wait_micros));
     } else {
       BatchEstimateResult sub_result;
       EQUIHIST_RETURN_IF_ERROR(
@@ -302,6 +334,7 @@ Result<std::vector<std::uint8_t>> StatisticsFleet::ServeFrame(
       case fleetwire::FrameType::kEstimateBatchResponse:
       case fleetwire::FrameType::kBuildControlResponse:
       case fleetwire::FrameType::kMetricsResponse:
+      case fleetwire::FrameType::kRejection:
         return Status::InvalidArgument(
             "response frames cannot be served");
     }

@@ -37,18 +37,28 @@ class BatchCoalescer {
 
   // Serves `requests` against `shard` (all rows reference `table`),
   // writing requests.size() answers to `out`. Blocks until served —
-  // either by this thread as the leader or by a concurrent leader's wave.
+  // either by this thread as the leader or by a concurrent leader's wave —
+  // or, when `wait_micros` > 0, until that bound expires, in which case
+  // the submission is abandoned and kDeadlineExceeded returned: a wedged
+  // leader (e.g. a backend stuck in I/O) can never pin follower threads
+  // forever. `wait_micros` == 0 waits unboundedly. The bound applies to
+  // followers only; the leader runs the shard call on its own thread and
+  // is bounded by that call, not by this queue.
   // `metrics` (optional) receives the coalescing counters.
   Status Submit(StatisticsShard& shard, const Table& table,
                 std::span<const BatchEstimateRequest> requests, double* out,
-                metrics::MetricsPlane* metrics = nullptr) EXCLUDES(mu_);
+                metrics::MetricsPlane* metrics = nullptr,
+                std::uint64_t wait_micros = 0) EXCLUDES(mu_);
 
  private:
+  // Owned by shared_ptr so an abandoning follower can return while the
+  // leader still serves (or later completes) its wave: the leader's copy
+  // keeps the requests and answer storage alive, and the dead follower's
+  // stack is never touched.
   struct Pending {
     const Table* table = nullptr;
-    const BatchEstimateRequest* requests = nullptr;
-    std::size_t n = 0;
-    double* out = nullptr;
+    std::vector<BatchEstimateRequest> requests;
+    std::vector<double> answers;
     Status status;
     bool done = false;
   };
@@ -56,12 +66,12 @@ class BatchCoalescer {
   // Serves one drained wave (leader only, no lock held): one combined
   // EstimateBatch per distinct table in the wave, answers scattered back.
   static void ServeWave(StatisticsShard& shard,
-                        const std::vector<Pending*>& wave,
+                        const std::vector<std::shared_ptr<Pending>>& wave,
                         metrics::MetricsPlane* metrics);
 
   Mutex mu_;
   CondVar cv_;
-  std::vector<Pending*> queue_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Pending>> queue_ GUARDED_BY(mu_);
   bool leader_active_ GUARDED_BY(mu_) = false;
 };
 
@@ -100,6 +110,12 @@ class StatisticsFleet {
     // fleet still partitions batches across shards but each caller calls
     // the shard directly.
     bool coalesce = true;
+    // Upper bound a coalescer follower waits on a concurrent leader's
+    // wave before abandoning with kDeadlineExceeded (0 = unbounded). The
+    // default is far above any healthy serve time; it exists so a wedged
+    // leader degrades into typed errors instead of a pile of stuck
+    // threads.
+    std::uint64_t coalesce_wait_micros = 60'000'000;
   };
 
   explicit StatisticsFleet(const Options& options);

@@ -1,0 +1,279 @@
+#ifndef EQUIHIST_STATS_TRANSPORT_H_
+#define EQUIHIST_STATS_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "stats/link_fault_injection.h"
+#include "stats/statistics_fleet.h"
+#include "storage/table.h"
+
+namespace equihist::transport {
+
+// The fleet transport layer (DESIGN.md §17): how fleetwire frames travel
+// between a client and a StatisticsFleet. Two implementations of one
+// Transport interface:
+//
+//   InProcessTransport — the PR-8 direct path (ServeFrame behind the
+//     interface), bitwise-identical to calling the fleet, with optional
+//     link faults for tests.
+//   SocketTransport    — a real localhost link (Unix domain socket or
+//     TCP), speaking the length-prefixed envelope below, served by a
+//     SocketTransportServer with bounded queues and load shedding.
+//
+// -- Envelope ---------------------------------------------------------------
+//
+// A fleetwire frame is a self-describing byte string but carries no
+// length, no integrity check, and no correlation id — all three are
+// transport concerns. Each message on a link is therefore wrapped:
+//
+//   varint total_len            — length of everything that follows
+//   varint request_id           — correlates responses to requests; lets
+//                                 a client discard duplicated or stale
+//                                 responses deterministically
+//   varint deadline_budget_us   — request direction only: how much of the
+//                                 client's budget remains, propagated
+//                                 into the server's admission check
+//   varint checksum             — FNV-1a 64 of the frame bytes; separates
+//                                 wire damage (retryable kUnavailable)
+//                                 from genuinely malformed frames
+//   frame bytes                 — the fleetwire frame, verbatim
+//
+// Every decode runs through the bounds-checked wire::Reader, and
+// total_len is capped (Options::max_frame_bytes) so a hostile or
+// corrupted length prefix can neither over-allocate nor stall a reader.
+//
+// -- Deadlines --------------------------------------------------------------
+//
+// Every RoundTrip carries a budget in microseconds. The budget bounds
+// EVERY wait in the implementation (connect, poll, queue, serve): no
+// fault class — drop, partition, wedged peer — can block a caller past
+// its deadline. An exhausted budget surfaces as kDeadlineExceeded.
+
+// FNV-1a 64 over a byte span — the envelope checksum.
+std::uint64_t ChecksumBytes(std::span<const std::uint8_t> bytes);
+
+// Where a SocketTransport connects / a SocketTransportServer listens.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;         // kUnix: filesystem path of the socket
+  std::uint16_t port = 0;   // kTcp: localhost port; 0 = ephemeral (the
+                            // server resolves and reports the real one)
+};
+
+// One logical link to a fleet server. Implementations are NOT required to
+// be thread-safe; the client layer (stats/transport_client.h) serializes
+// use per connection.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends `frame` and returns the peer's response frame. `budget_micros`
+  // bounds the whole exchange; 0 means the budget is already exhausted
+  // and the call fails immediately with kDeadlineExceeded. A returned
+  // kRejection frame is NOT an error at this layer — callers decode it.
+  virtual Result<std::vector<std::uint8_t>> RoundTrip(
+      std::span<const std::uint8_t> frame, std::uint64_t budget_micros) = 0;
+
+  // True once the link is unusable (peer hung up, framing desynced,
+  // timed out mid-message). Broken transports are discarded, never
+  // reused: after a timeout the link may still deliver the stale
+  // response, which a fresh exchange must not misread.
+  virtual bool Broken() const { return false; }
+};
+
+// -- In-process transport ---------------------------------------------------
+
+// ServeFrame behind the Transport interface. Fault-free, the returned
+// bytes are the exact ServeFrame output (bitwise — pinned by the
+// transport tests). An attached LinkFaultInjector mangles the send and
+// receive legs exactly like the socket path does, except that a dropped
+// frame fails fast with kUnavailable: with no wire to wait on, "the
+// peer never answered" and "the link errored" are indistinguishable, so
+// the in-process link reports the cheaper one.
+class InProcessTransport final : public Transport {
+ public:
+  // `fleet` and `table` must outlive the transport. `injector` (optional)
+  // must outlive it too; `connection_id` keys its decisions.
+  InProcessTransport(StatisticsFleet* fleet, const Table* table,
+                     LinkFaultInjector* injector = nullptr,
+                     std::uint64_t connection_id = 0);
+
+  Result<std::vector<std::uint8_t>> RoundTrip(
+      std::span<const std::uint8_t> frame,
+      std::uint64_t budget_micros) override;
+  // Only a partition breaks the in-process link (it never heals); other
+  // faults are per-frame and the next frame may sail through.
+  bool Broken() const override { return broken_; }
+
+ private:
+  StatisticsFleet* fleet_;
+  const Table* table_;
+  LinkFaultInjector* injector_;
+  std::uint64_t connection_id_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+  bool broken_ = false;
+};
+
+// -- Socket transport (client side) -----------------------------------------
+
+// A connected localhost socket speaking the envelope. One outstanding
+// request at a time (the client layer pools connections for
+// parallelism). Every socket operation is non-blocking and poll()-bounded
+// by the caller's budget.
+class SocketTransport final : public Transport {
+ public:
+  // Connects within `budget_micros`. `injector` (optional, must outlive
+  // the transport) mangles this connection's frames under
+  // `connection_id`.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const Endpoint& endpoint, std::uint64_t budget_micros,
+      LinkFaultInjector* injector = nullptr, std::uint64_t connection_id = 0);
+
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Result<std::vector<std::uint8_t>> RoundTrip(
+      std::span<const std::uint8_t> frame,
+      std::uint64_t budget_micros) override;
+  bool Broken() const override {
+    return broken_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SocketTransport(int fd, LinkFaultInjector* injector,
+                  std::uint64_t connection_id);
+
+  Result<std::vector<std::uint8_t>> RoundTripLocked(
+      std::span<const std::uint8_t> frame, std::uint64_t budget_micros)
+      REQUIRES(mu_);
+
+  Mutex mu_;  // serializes RoundTrip; the wire protocol is one-at-a-time
+  int fd_;
+  LinkFaultInjector* injector_;
+  std::uint64_t connection_id_;
+  std::uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t send_index_ GUARDED_BY(mu_) = 0;     // frames sent
+  std::uint64_t receive_index_ GUARDED_BY(mu_) = 0;  // frames received
+  std::atomic<bool> broken_{false};
+};
+
+// -- Socket transport server ------------------------------------------------
+
+// Serves a StatisticsFleet over an Endpoint with explicit overload
+// behavior:
+//
+//   - accept thread + one reader thread per connection, capped by
+//     `max_connections` (excess connections are accepted and immediately
+//     closed — cheaper than a SYN backlog of unknowable depth);
+//   - a bounded work queue between readers and `workers` serving
+//     threads. On overflow the queue sheds the entry with the OLDEST
+//     remaining deadline (the request most likely to be dead on arrival
+//     anyway) and answers it with a typed kResourceExhausted rejection —
+//     explicit backpressure clients must not retry;
+//   - admission check at dequeue: a request whose propagated deadline
+//     already expired is answered with a kDeadlineExceeded rejection
+//     instead of burning serve time on an answer nobody is waiting for.
+//
+// An attached LinkFaultInjector adds server-side chaos: kServe-direction
+// delay stalls the handler, kServe drop wedges it silently (the client's
+// deadline machinery must save it — the satellite deadline-propagation
+// test drives exactly this), and kReceive/kSend faults mangle the wire
+// legs.
+class SocketTransportServer {
+ public:
+  struct Options {
+    Endpoint endpoint{};
+    // Serving threads draining the work queue.
+    std::size_t workers = 2;
+    // Work items admitted before shedding starts.
+    std::size_t queue_capacity = 64;
+    // Concurrent connections before new ones are turned away.
+    std::size_t max_connections = 32;
+    // Envelope size cap (both directions).
+    std::size_t max_frame_bytes = 1 << 20;
+    // Optional chaos hooks; must outlive the server.
+    LinkFaultInjector* injector = nullptr;
+    // Optional transport metrics plane; must outlive the server.
+    metrics::MetricsPlane* metrics = nullptr;
+  };
+
+  // `fleet` and `table` must outlive the server.
+  SocketTransportServer(StatisticsFleet* fleet, const Table* table,
+                        Options options);
+  ~SocketTransportServer();
+  SocketTransportServer(const SocketTransportServer&) = delete;
+  SocketTransportServer& operator=(const SocketTransportServer&) = delete;
+
+  // Binds, listens, and spawns the accept/worker threads. On success
+  // endpoint() reports the bound address (with any ephemeral TCP port
+  // resolved).
+  Status Start();
+  // Stops accepting, closes every connection, drains the threads. Safe to
+  // call twice; the destructor calls it.
+  void Stop();
+
+  const Endpoint& endpoint() const { return options_.endpoint; }
+
+ private:
+  struct Connection;
+  struct WorkItem {
+    std::shared_ptr<Connection> connection;
+    std::vector<std::uint8_t> frame;
+    std::uint64_t request_id = 0;
+    // Absolute steady-clock micros when the client gives up; admission
+    // drops anything already past this.
+    std::uint64_t deadline_micros = 0;
+    std::uint64_t enqueued_micros = 0;
+    // Per-connection arrival index, the frame_index key of the
+    // serve-direction chaos decision (request ids restart per connection
+    // and cannot key it).
+    std::uint64_t serve_index = 0;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> connection);
+  void WorkerLoop();
+  // Enqueue with oldest-deadline-first shedding; shed items get a typed
+  // rejection reply.
+  void EnqueueWork(WorkItem item) EXCLUDES(mu_);
+  void Reply(const std::shared_ptr<Connection>& connection,
+             std::uint64_t request_id, std::span<const std::uint8_t> frame);
+  void RejectWith(const std::shared_ptr<Connection>& connection,
+                  std::uint64_t request_id, const Status& error,
+                  metrics::Counter counter);
+
+  StatisticsFleet* fleet_;
+  const Table* table_;
+  Options options_;
+
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<WorkItem> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<Connection>> connections_ GUARDED_BY(mu_);
+  std::uint64_t next_connection_id_ GUARDED_BY(mu_) = 1;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: unblocks the accept poll
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace equihist::transport
+
+#endif  // EQUIHIST_STATS_TRANSPORT_H_

@@ -1,0 +1,724 @@
+// Fleet transport tests (DESIGN.md §17): bitwise parity of the in-process
+// and socket paths with ServeFrame, the envelope checksum, server-side
+// load shedding with typed kResourceExhausted rejections, client retries
+// with jittered backoff, per-peer circuit breakers, hedged reads, deadline
+// propagation (a slow server handler costs no retry), and the bounded
+// coalescer follower wait. Runs under TSan and ASan/UBSan in CI (label
+// `transport`).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "data/distribution.h"
+#include "stats/fleet_wire.h"
+#include "stats/histogram_model.h"
+#include "stats/link_fault_injection.h"
+#include "stats/statistics_fleet.h"
+#include "stats/transport.h"
+#include "stats/transport_client.h"
+#include "storage/table.h"
+
+namespace equihist {
+namespace {
+
+using transport::Endpoint;
+using transport::InProcessTransport;
+using transport::LinkDirection;
+using transport::LinkFaultInjector;
+using transport::LinkFaultKind;
+using transport::LinkFaultSpec;
+using transport::LinkFaultTrigger;
+using transport::SocketTransport;
+using transport::SocketTransportServer;
+using transport::Transport;
+using transport::TransportClient;
+
+constexpr PageConfig kPage{8192, 64};
+
+Table SmallTable(std::uint64_t n = 40000, std::uint64_t seed = 3) {
+  const auto freq =
+      MakeZipf({.n = n, .domain_size = n / 50, .skew = 1.2, .seed = seed});
+  return Table::Create(*freq, kPage,
+                       {.kind = LayoutKind::kRandom, .seed = seed})
+      .value();
+}
+
+StatisticsFleet::Options FleetOptions() {
+  StatisticsFleet::Options options;
+  options.shards = 2;
+  options.shard = {.buckets = 32, .f = 0.25, .seed = 17, .threads = 1};
+  return options;
+}
+
+std::vector<BatchEstimateRequest> EstimateRequests(const Table& table) {
+  std::vector<BatchEstimateRequest> requests;
+  const auto domain = static_cast<Value>(table.tuple_count() / 50);
+  for (std::size_t q = 0; q < 6; ++q) {
+    const Value lo = static_cast<Value>(q) * domain / 8;
+    requests.push_back({q % 2 == 0 ? "t.a" : "t.b", {lo, lo + domain / 4}});
+  }
+  return requests;
+}
+
+// A per-test unix socket path (pid + counter keep parallel tests apart).
+std::string UnixSocketPath() {
+  static std::atomic<int> counter{0};
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/equihist_tr_%d_%d.sock", getpid(),
+                counter.fetch_add(1));
+  return buf;
+}
+
+// Builds "t.a"/"t.b" and returns the fleet ready to serve.
+void BuildFleet(StatisticsFleet& fleet, const Table& table) {
+  const auto result = fleet.BuildAll({"t.a", "t.b"}, table);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// -- Bitwise parity -----------------------------------------------------------
+
+TEST(TransportTest, InProcessAndSocketMatchServeFrameBitwise) {
+  Table table = SmallTable();
+  StatisticsFleet fleet(FleetOptions());
+  BuildFleet(fleet, table);
+
+  const auto estimate_frame =
+      fleetwire::Encode(fleetwire::EstimateBatchRequestFrame{
+          EstimateRequests(table)});
+  fleetwire::BuildControlRequestFrame build;
+  build.op = fleetwire::BuildOp::kEnsureFresh;
+  build.column = "t.a";
+  const auto build_frame = fleetwire::Encode(build);
+
+  const auto expected_estimate = fleet.ServeFrame(estimate_frame, table);
+  const auto expected_build = fleet.ServeFrame(build_frame, table);
+  ASSERT_TRUE(expected_estimate.ok());
+  ASSERT_TRUE(expected_build.ok());
+
+  // Serve the same frames through every transport; bytes must be
+  // identical to the direct ServeFrame call.
+  const auto check = [&](Transport& via, const char* label) {
+    const auto estimate = via.RoundTrip(estimate_frame, 5'000'000);
+    ASSERT_TRUE(estimate.ok()) << label << ": " << estimate.status().ToString();
+    EXPECT_EQ(*estimate, *expected_estimate) << label;
+    const auto built = via.RoundTrip(build_frame, 5'000'000);
+    ASSERT_TRUE(built.ok()) << label << ": " << built.status().ToString();
+    EXPECT_EQ(*built, *expected_build) << label;
+    // Metrics responses carry live counters, so only the shape is stable.
+    const auto metrics_reply =
+        via.RoundTrip(fleetwire::EncodeMetricsRequest(), 5'000'000);
+    ASSERT_TRUE(metrics_reply.ok()) << label;
+    const auto decoded = fleetwire::DecodeMetricsResponse(*metrics_reply);
+    ASSERT_TRUE(decoded.ok()) << label;
+    EXPECT_NE(decoded->json.find("fleet"), std::string::npos) << label;
+  };
+
+  InProcessTransport in_process(&fleet, &table);
+  check(in_process, "in-process");
+
+  {
+    SocketTransportServer::Options server_options;
+    server_options.endpoint = {Endpoint::Kind::kUnix, UnixSocketPath(), 0};
+    SocketTransportServer server(&fleet, &table, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    auto conn = SocketTransport::Connect(server.endpoint(), 2'000'000);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    check(**conn, "unix socket");
+    server.Stop();
+  }
+  {
+    SocketTransportServer::Options server_options;
+    server_options.endpoint = {Endpoint::Kind::kTcp, "", 0};  // ephemeral
+    SocketTransportServer server(&fleet, &table, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_NE(server.endpoint().port, 0);
+    auto conn = SocketTransport::Connect(server.endpoint(), 2'000'000);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    check(**conn, "tcp socket");
+    server.Stop();
+  }
+}
+
+// -- Typed client wrappers over a real socket ---------------------------------
+
+TEST(TransportTest, TypedClientWrappersOverUnixSocket) {
+  Table table = SmallTable();
+  StatisticsFleet fleet(FleetOptions());
+  BuildFleet(fleet, table);
+
+  SocketTransportServer::Options server_options;
+  server_options.endpoint = {Endpoint::Kind::kUnix, UnixSocketPath(), 0};
+  SocketTransportServer server(&fleet, &table, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  metrics::MetricsPlane plane;
+  TransportClient::Options client_options;
+  client_options.metrics = &plane;
+  TransportClient client(client_options);
+  std::atomic<std::uint64_t> next_connection{1};
+  client.AddPeer({"local", [&](std::uint64_t budget)
+                               -> Result<std::unique_ptr<Transport>> {
+                    EQUIHIST_ASSIGN_OR_RETURN(
+                        std::unique_ptr<SocketTransport> conn,
+                        SocketTransport::Connect(server.endpoint(), budget,
+                                                 nullptr,
+                                                 next_connection.fetch_add(1)));
+                    return std::unique_ptr<Transport>(std::move(conn));
+                  }});
+
+  const auto requests = EstimateRequests(table);
+  BatchEstimateResult direct;
+  ASSERT_TRUE(fleet.EstimateBatch(table, requests, &direct).ok());
+
+  const auto estimates = client.EstimateBatch(requests, 5'000'000);
+  ASSERT_TRUE(estimates.ok()) << estimates.status().ToString();
+  ASSERT_EQ(estimates->size(), direct.estimates.size());
+  for (std::size_t i = 0; i < direct.estimates.size(); ++i) {
+    EXPECT_EQ((*estimates)[i], direct.estimates[i]) << i;  // bitwise
+  }
+
+  EXPECT_TRUE(client
+                  .BuildControl(fleetwire::BuildOp::kEnsureFresh, "t.a",
+                                /*count=*/0, 5'000'000)
+                  .ok());
+  const auto json = client.FetchMetricsJson(5'000'000);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("fleet"), std::string::npos);
+
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRequests), 3u);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportErrors), 0u);
+  EXPECT_EQ(plane.hist_count(metrics::Hist::kTransportRoundTripMicros), 3u);
+  server.Stop();
+}
+
+// -- Load shedding ------------------------------------------------------------
+
+TEST(TransportTest, OverloadedServerShedsWithTypedRejection) {
+  Table table = SmallTable();
+  StatisticsFleet fleet(FleetOptions());
+  BuildFleet(fleet, table);
+
+  // Every serve stalls 400ms (kServe delay on frame 0 of every
+  // connection), one worker, a 2-deep queue: flooding 6 one-shot
+  // connections must shed some of them with kResourceExhausted.
+  LinkFaultSpec spec;
+  spec.delay_micros = 400'000;
+  spec.triggers.push_back({transport::kAnyConnection, 0, LinkDirection::kServe,
+                           LinkFaultKind::kDelay});
+  LinkFaultInjector injector(spec);
+
+  metrics::MetricsPlane plane;
+  SocketTransportServer::Options server_options;
+  server_options.endpoint = {Endpoint::Kind::kUnix, UnixSocketPath(), 0};
+  server_options.workers = 1;
+  server_options.queue_capacity = 2;
+  server_options.injector = &injector;
+  server_options.metrics = &plane;
+  SocketTransportServer server(&fleet, &table, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto frame = fleetwire::Encode(
+      fleetwire::EstimateBatchRequestFrame{EstimateRequests(table)});
+
+  constexpr int kClients = 6;
+  std::atomic<int> served{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      auto conn = SocketTransport::Connect(server.endpoint(), 2'000'000);
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      const auto reply = (*conn)->RoundTrip(frame, 5'000'000);
+      if (!reply.ok()) {
+        ++other;
+        return;
+      }
+      const auto type = fleetwire::PeekType(*reply);
+      ASSERT_TRUE(type.ok());
+      if (*type == fleetwire::FrameType::kRejection) {
+        const auto rejection = fleetwire::DecodeRejection(*reply);
+        ASSERT_TRUE(rejection.ok());
+        EXPECT_EQ(rejection->code, StatusCode::kResourceExhausted);
+        ++shed;
+      } else {
+        EXPECT_EQ(*type, fleetwire::FrameType::kEstimateBatchResponse);
+        ++served;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(served + shed + other, kClients);
+  EXPECT_GE(served.load(), 1);
+  EXPECT_GE(shed.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+  // The shed drops are visible in the server's metrics JSON.
+  EXPECT_EQ(plane.counter(metrics::Counter::kServerShedDrops),
+            static_cast<std::uint64_t>(shed.load()));
+  EXPECT_NE(plane.ToJson().find("\"server_shed_drops\":"), std::string::npos);
+}
+
+// -- Client resilience over fake transports -----------------------------------
+
+// A scriptable Transport: returns the queued results in order, repeating
+// the last one; counts round-trips; optional per-call stall.
+class FakeTransport final : public Transport {
+ public:
+  explicit FakeTransport(std::vector<Result<std::vector<std::uint8_t>>> script,
+                         std::uint64_t stall_micros = 0,
+                         std::atomic<int>* calls = nullptr)
+      : script_(std::move(script)), stall_micros_(stall_micros),
+        calls_(calls) {}
+
+  Result<std::vector<std::uint8_t>> RoundTrip(
+      std::span<const std::uint8_t>, std::uint64_t budget_micros) override {
+    if (calls_ != nullptr) calls_->fetch_add(1);
+    if (stall_micros_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(std::min(stall_micros_, budget_micros)));
+      if (stall_micros_ >= budget_micros) {
+        return Status::DeadlineExceeded("transport budget exhausted");
+      }
+    }
+    const std::size_t index = std::min(next_++, script_.size() - 1);
+    return script_[index];
+  }
+
+ private:
+  std::vector<Result<std::vector<std::uint8_t>>> script_;
+  std::uint64_t stall_micros_;
+  std::atomic<int>* calls_;
+  std::size_t next_ = 0;
+};
+
+std::vector<std::uint8_t> MetricsReply(const std::string& json) {
+  return fleetwire::Encode(fleetwire::MetricsResponseFrame{json});
+}
+
+TransportClient::Peer SharedPeer(const char* name,
+                                 std::shared_ptr<Transport> transport) {
+  // The connect fn hands out non-owning wrappers around one shared fake,
+  // so scripted state survives pooling and reconnects.
+  class Wrapper final : public Transport {
+   public:
+    explicit Wrapper(std::shared_ptr<Transport> inner)
+        : inner_(std::move(inner)) {}
+    Result<std::vector<std::uint8_t>> RoundTrip(
+        std::span<const std::uint8_t> frame,
+        std::uint64_t budget_micros) override {
+      return inner_->RoundTrip(frame, budget_micros);
+    }
+
+   private:
+    std::shared_ptr<Transport> inner_;
+  };
+  return {name, [transport = std::move(transport)](std::uint64_t)
+                    -> Result<std::unique_ptr<Transport>> {
+            return std::unique_ptr<Transport>(
+                std::make_unique<Wrapper>(transport));
+          }};
+}
+
+TEST(TransportClientTest, RetriesTransientFailureWithBackoff) {
+  metrics::MetricsPlane plane;
+  auto fake = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{
+          Status::Unavailable("flaky link"), MetricsReply("ok")});
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 3, .base_backoff_micros = 200};
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("flaky", fake));
+
+  const auto reply = client.Call(fleetwire::EncodeMetricsRequest(),
+                                 /*idempotent=*/true, 2'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRetries), 1u);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportErrors), 0u);
+}
+
+TEST(TransportClientTest, NonIdempotentCallsAreNeverRetried) {
+  metrics::MetricsPlane plane;
+  auto fake = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{
+          Status::Unavailable("flaky link"), MetricsReply("ok")});
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 4, .base_backoff_micros = 100};
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("flaky", fake));
+
+  const auto reply = client.Call(fleetwire::EncodeMetricsRequest(),
+                                 /*idempotent=*/false, 2'000'000);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRetries), 0u);
+}
+
+TEST(TransportClientTest, BackpressureRejectionIsNeverRetried) {
+  metrics::MetricsPlane plane;
+  auto fake = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{
+          fleetwire::Encode(fleetwire::RejectionFrame{
+              StatusCode::kResourceExhausted, "server work queue full"}),
+          MetricsReply("would have succeeded")});
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 5, .base_backoff_micros = 100};
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("overloaded", fake));
+
+  const auto reply = client.Call(fleetwire::EncodeMetricsRequest(),
+                                 /*idempotent=*/true, 2'000'000);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+  // Backpressure is terminal: counted, not retried.
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportBackpressure), 1u);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRetries), 0u);
+}
+
+TEST(TransportClientTest, RetryableRejectionFrameIsRetried) {
+  metrics::MetricsPlane plane;
+  auto fake = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{
+          fleetwire::Encode(fleetwire::RejectionFrame{
+              StatusCode::kUnavailable, "transient wire damage"}),
+          MetricsReply("ok")});
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 3, .base_backoff_micros = 100};
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("damaged", fake));
+
+  const auto reply = client.Call(fleetwire::EncodeMetricsRequest(),
+                                 /*idempotent=*/true, 2'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRetries), 1u);
+}
+
+TEST(TransportClientTest, BreakerOpensFastFailsAndRecovers) {
+  metrics::MetricsPlane plane;
+  std::atomic<int> calls{0};
+  auto failing = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{
+          Status::Unavailable("peer down"), Status::Unavailable("peer down"),
+          Status::Unavailable("peer down"), MetricsReply("recovered")},
+      /*stall_micros=*/0, &calls);
+  std::uint64_t now = 1'000'000;
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 1};  // isolate the breaker
+  options.breaker_failure_threshold = 3;
+  options.breaker_cooldown_micros = 500'000;
+  options.clock = [&now] { return now; };
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("down", failing));
+
+  const auto frame = fleetwire::EncodeMetricsRequest();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(client.Call(frame, true, 100'000).ok());
+  }
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportBreakerOpens), 1u);
+  EXPECT_EQ(calls.load(), 3);
+
+  // Open: fast-fail without touching the transport.
+  const auto rejected = client.Call(frame, true, 100'000);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportBreakerFastFails), 1u);
+  EXPECT_EQ(calls.load(), 3);
+
+  // Cooldown passes: the half-open probe goes through and closes it.
+  now += 500'001;
+  const auto recovered = client.Call(frame, true, 100'000);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(calls.load(), 4);
+  const auto again = client.Call(frame, true, 100'000);
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportBreakerOpens), 1u);
+}
+
+TEST(TransportClientTest, HedgedReadOvertakesStalledPrimary) {
+  metrics::MetricsPlane plane;
+  auto slow = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{MetricsReply("slow")},
+      /*stall_micros=*/250'000);
+  auto fast = std::make_shared<FakeTransport>(
+      std::vector<Result<std::vector<std::uint8_t>>>{MetricsReply("fast")});
+  TransportClient::Options options;
+  options.retry = {.max_attempts = 1};
+  options.enable_hedging = true;
+  options.hedge_initial_delay_micros = 20'000;
+  options.metrics = &plane;
+  TransportClient client(options);
+  client.AddPeer(SharedPeer("slow", slow));
+  client.AddPeer(SharedPeer("fast", fast));
+
+  const auto reply = client.Call(fleetwire::EncodeMetricsRequest(),
+                                 /*idempotent=*/true, 2'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const auto decoded = fleetwire::DecodeMetricsResponse(*reply);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->json, "fast");  // the hedge won
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportHedges), 1u);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportHedgeWins), 1u);
+}
+
+// -- Deadline propagation (satellite): slow handler costs no retry ------------
+
+TEST(TransportTest, ServerSleepingPastDeadlineCostsNoRetryAndTripsBreaker) {
+  Table table = SmallTable();
+  StatisticsFleet fleet(FleetOptions());
+  BuildFleet(fleet, table);
+
+  // The handler sleeps 600ms on every frame; the client's budget is
+  // 150ms. The call must come back kDeadlineExceeded WITHOUT consuming a
+  // retry (the overall budget is spent — a retry could never fit), and
+  // the breaker must count the failure.
+  LinkFaultSpec server_spec;
+  server_spec.delay_micros = 600'000;
+  server_spec.triggers.push_back({transport::kAnyConnection, 0,
+                                  LinkDirection::kServe,
+                                  LinkFaultKind::kDelay});
+  LinkFaultInjector server_injector(server_spec);
+
+  SocketTransportServer::Options server_options;
+  server_options.endpoint = {Endpoint::Kind::kUnix, UnixSocketPath(), 0};
+  server_options.injector = &server_injector;
+  SocketTransportServer server(&fleet, &table, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  metrics::MetricsPlane plane;
+  TransportClient::Options client_options;
+  client_options.retry = {.max_attempts = 3, .base_backoff_micros = 1'000};
+  client_options.breaker_failure_threshold = 1;
+  client_options.metrics = &plane;
+  TransportClient client(client_options);
+  client.AddPeer({"slow", [&](std::uint64_t budget)
+                              -> Result<std::unique_ptr<Transport>> {
+                    EQUIHIST_ASSIGN_OR_RETURN(
+                        std::unique_ptr<SocketTransport> conn,
+                        SocketTransport::Connect(server.endpoint(), budget));
+                    return std::unique_ptr<Transport>(std::move(conn));
+                  }});
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto estimates =
+      client.EstimateBatch(EstimateRequests(table), /*deadline=*/150'000);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(estimates.ok());
+  EXPECT_EQ(estimates.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 500);  // returned at its deadline, not 600ms
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportRetries), 0u);
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportDeadlineExceeded), 1u);
+  // breaker_failure_threshold = 1: the deadline failure tripped it.
+  EXPECT_EQ(plane.counter(metrics::Counter::kTransportBreakerOpens), 1u);
+  server.Stop();
+}
+
+// -- Expired-at-admission rejections ------------------------------------------
+
+TEST(TransportTest, ServerDropsWorkWhoseDeadlineExpiredInQueue) {
+  Table table = SmallTable();
+  StatisticsFleet fleet(FleetOptions());
+  BuildFleet(fleet, table);
+
+  // One worker stalled 300ms on its first serve; a second request with an
+  // 80ms budget expires while queued and must be answered with a
+  // kDeadlineExceeded rejection at admission, not served late.
+  LinkFaultSpec server_spec;
+  server_spec.delay_micros = 300'000;
+  server_spec.triggers.push_back(
+      {1, 0, LinkDirection::kServe, LinkFaultKind::kDelay});
+  LinkFaultInjector server_injector(server_spec);
+
+  metrics::MetricsPlane plane;
+  SocketTransportServer::Options server_options;
+  server_options.endpoint = {Endpoint::Kind::kUnix, UnixSocketPath(), 0};
+  server_options.workers = 1;
+  server_options.injector = &server_injector;
+  server_options.metrics = &plane;
+  SocketTransportServer server(&fleet, &table, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto frame = fleetwire::Encode(
+      fleetwire::EstimateBatchRequestFrame{EstimateRequests(table)});
+
+  auto first = SocketTransport::Connect(server.endpoint(), 2'000'000);
+  auto second = SocketTransport::Connect(server.endpoint(), 2'000'000);
+  ASSERT_TRUE(first.ok() && second.ok());
+
+  std::thread blocked([&] {
+    const auto reply = (*first)->RoundTrip(frame, 2'000'000);
+    EXPECT_TRUE(reply.ok());  // served after the injected stall
+  });
+  // Wait until the worker has dequeued the first frame (queue-wait sample
+  // recorded) and sits in its 300ms stall, then race the second frame with
+  // a budget that cannot survive the queue wait. A flat sleep here flakes
+  // on a loaded host: the second frame could win the worker instead.
+  for (int i = 0;
+       i < 500 && plane.hist_count(metrics::Hist::kServerQueueWaitMicros) < 1;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(plane.hist_count(metrics::Hist::kServerQueueWaitMicros), 1u);
+  const auto reply = (*second)->RoundTrip(frame, 80'000);
+  blocked.join();
+  // The expired drop is counted when the worker dequeues the second item
+  // after finishing the stalled first one — give it a bounded moment
+  // before Stop() tears the workers down mid-loop.
+  for (int i = 0;
+       i < 500 && plane.counter(metrics::Counter::kServerExpiredDrops) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.Stop();
+
+  // Client side: its deadline fired (the rejection may arrive after the
+  // client gave up — either way it is typed, never a late answer).
+  if (reply.ok()) {
+    const auto rejection = fleetwire::DecodeRejection(*reply);
+    ASSERT_TRUE(rejection.ok());
+    EXPECT_EQ(rejection->code, StatusCode::kDeadlineExceeded);
+  } else {
+    EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(plane.counter(metrics::Counter::kServerExpiredDrops), 1u);
+}
+
+// -- Bounded coalescer follower wait (satellite) ------------------------------
+
+// A backend whose build blocks on a test-controlled gate: lets the test
+// wedge a coalescer leader mid-wave at an exact point (same pattern as the
+// mid-build hook in stats_test.cc; external id from the >= 128 range).
+constexpr auto kGatedBackendId = static_cast<HistogramBackendId>(202);
+
+std::atomic<bool>& GateEntered() {
+  static std::atomic<bool> entered{false};
+  return entered;
+}
+std::atomic<bool>& GateReleased() {
+  static std::atomic<bool> released{false};
+  return released;
+}
+
+class GatedModel final : public HistogramModel {
+ public:
+  GatedModel(std::uint64_t total, Value lo, Value hi)
+      : total_(total), lo_(lo), hi_(hi) {}
+  HistogramBackendId backend_id() const override { return kGatedBackendId; }
+  double EstimateRangeCount(const RangeQuery& query) const override {
+    return (query.hi > lo_ && query.lo < hi_) ? static_cast<double>(total_)
+                                              : 0.0;
+  }
+  std::uint64_t bucket_count() const override { return 1; }
+  std::uint64_t total() const override { return total_; }
+  Value lower_fence() const override { return lo_; }
+  Value upper_fence() const override { return hi_; }
+  std::size_t MemoryBytes() const override { return sizeof(*this); }
+  std::string Describe() const override { return "Gated"; }
+  void SerializePayload(std::vector<std::uint8_t>*) const override {}
+
+ private:
+  std::uint64_t total_;
+  Value lo_;
+  Value hi_;
+};
+
+void RegisterGatedBackendOnce() {
+  static const bool registered = [] {
+    HistogramBackendRegistry::Backend backend;
+    backend.name = "gated";
+    backend.build_from_sample =
+        [](std::span<const Value> sample, std::uint64_t,
+           std::uint64_t population_size) -> Result<HistogramModelPtr> {
+      if (sample.empty()) {
+        return Status::InvalidArgument("gated backend needs a sample");
+      }
+      GateEntered().store(true);
+      while (!GateReleased().load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return HistogramModelPtr(std::make_shared<GatedModel>(
+          population_size, sample.front() - 1, sample.back()));
+    };
+    backend.deserialize_payload =
+        [](std::span<const std::uint8_t>,
+           std::size_t* consumed) -> Result<HistogramModelPtr> {
+      *consumed = 0;
+      return HistogramModelPtr(std::make_shared<GatedModel>(0, 0, 1));
+    };
+    const Status status = HistogramBackendRegistry::Global().Register(
+        kGatedBackendId, std::move(backend));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return true;
+  }();
+  (void)registered;
+}
+
+TEST(BatchCoalescerTest, FollowerTimesOutWhenLeaderWedges) {
+  RegisterGatedBackendOnce();
+  GateEntered().store(false);
+  GateReleased().store(false);
+
+  Table table = SmallTable();
+  StatisticsFleet::Options options;
+  options.shards = 1;
+  options.shard = {.buckets = 32, .f = 0.25, .seed = 17, .threads = 1};
+  options.shard.column_backends["t.w"] = kGatedBackendId;
+  options.coalesce = true;
+  options.coalesce_wait_micros = 50'000;  // followers give up after 50ms
+  StatisticsFleet fleet(options);
+
+  const std::vector<BatchEstimateRequest> requests{
+      {"t.w", {0, static_cast<Value>(table.tuple_count())}}};
+
+  // Leader: first submitter; its wave wedges inside the gated build.
+  Status leader_status = Status::Internal("unset");
+  std::thread leader([&] {
+    BatchEstimateResult result;
+    leader_status = fleet.EstimateBatch(table, requests, &result);
+  });
+  while (!GateEntered().load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Follower: sees leader_active_, waits its bound, abandons with a typed
+  // kDeadlineExceeded instead of hanging on the wedged leader.
+  const auto start = std::chrono::steady_clock::now();
+  BatchEstimateResult follower_result;
+  const Status follower_status =
+      fleet.EstimateBatch(table, requests, &follower_result);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(follower_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(waited.count(), 45);
+  EXPECT_LT(waited.count(), 5'000);  // bounded, not wedged
+
+  // Unwedge: the leader completes normally, unharmed by the abandonment.
+  GateReleased().store(true);
+  leader.join();
+  EXPECT_TRUE(leader_status.ok()) << leader_status.ToString();
+}
+
+}  // namespace
+}  // namespace equihist
