@@ -1,0 +1,93 @@
+// Fuzz target: the persisted-statistics decoders (stats/serialization.h).
+// Raw bytes go through every deserialization entry point — the
+// backend-dispatching container (DeserializeHistogramModel, all registered
+// backends including the incremental equi-depth family, id 5), the
+// equi-height wrapper (DeserializeHistogram, v1 and v2 blobs), and the
+// whole-statistics decoder (DeserializeColumnStatistics). Contract under
+// arbitrary corruption: a typed Status, never UB.
+//
+// Accepted inputs additionally pin the codec's round-trip fixpoint:
+// re-serializing a parsed object and parsing it again must succeed and
+// yield byte-identical serialization (the canonical form is stable).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "stats/column_statistics.h"
+#include "stats/histogram_model.h"
+#include "stats/serialization.h"
+
+namespace {
+
+void FuzzModel(std::span<const std::uint8_t> bytes) {
+  // Whole-buffer form (rejects trailing garbage)...
+  const auto whole = equihist::DeserializeHistogramModel(bytes);
+  // ...and the prefix form used when statistics follow the container.
+  std::size_t consumed = 0;
+  const auto prefix = equihist::DeserializeHistogramModel(bytes, &consumed);
+  if (!prefix.ok()) {
+    // A prefix parse strictly generalizes the whole-buffer parse.
+    FUZZ_CHECK(!whole.ok(), "whole-buffer parse accepted what prefix rejected");
+    return;
+  }
+  FUZZ_CHECK(consumed <= bytes.size(), "consumed past the buffer");
+
+  std::vector<std::uint8_t> first;
+  equihist::SerializeHistogramModel(**prefix, &first);
+  const auto again = equihist::DeserializeHistogramModel(first);
+  FUZZ_CHECK(again.ok(), "re-serialized model failed to parse");
+  std::vector<std::uint8_t> second;
+  equihist::SerializeHistogramModel(**again, &second);
+  FUZZ_CHECK(first == second, "model serialization is not a fixpoint");
+  FUZZ_CHECK((*prefix)->backend_id() == (*again)->backend_id(),
+             "backend id changed across the round trip");
+}
+
+void FuzzHistogram(std::span<const std::uint8_t> bytes) {
+  std::size_t consumed = 0;
+  const auto histogram = equihist::DeserializeHistogram(bytes, &consumed);
+  if (!histogram.ok()) return;
+  FUZZ_CHECK(consumed <= bytes.size(), "consumed past the buffer");
+
+  std::vector<std::uint8_t> first;
+  equihist::SerializeHistogram(*histogram, &first);
+  const auto again = equihist::DeserializeHistogram(first);
+  FUZZ_CHECK(again.ok(), "re-serialized histogram failed to parse");
+  FUZZ_CHECK(again->bucket_count() == histogram->bucket_count() &&
+                 again->total() == histogram->total() &&
+                 again->separators() == histogram->separators() &&
+                 again->counts() == histogram->counts() &&
+                 again->lower_fence() == histogram->lower_fence() &&
+                 again->upper_fence() == histogram->upper_fence(),
+             "histogram round trip changed the histogram");
+  std::vector<std::uint8_t> second;
+  equihist::SerializeHistogram(*again, &second);
+  FUZZ_CHECK(first == second, "histogram serialization is not a fixpoint");
+}
+
+void FuzzColumnStatistics(std::span<const std::uint8_t> bytes) {
+  const auto stats = equihist::DeserializeColumnStatistics(bytes);
+  if (!stats.ok()) return;
+  FUZZ_CHECK(stats->model != nullptr, "accepted statistics without a model");
+
+  std::vector<std::uint8_t> first;
+  equihist::SerializeColumnStatistics(*stats, &first);
+  const auto again = equihist::DeserializeColumnStatistics(first);
+  FUZZ_CHECK(again.ok(), "re-serialized statistics failed to parse");
+  std::vector<std::uint8_t> second;
+  equihist::SerializeColumnStatistics(*again, &second);
+  FUZZ_CHECK(first == second, "statistics serialization is not a fixpoint");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  FuzzModel(bytes);
+  FuzzHistogram(bytes);
+  FuzzColumnStatistics(bytes);
+  return 0;
+}

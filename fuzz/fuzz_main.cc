@@ -1,0 +1,194 @@
+// Portable driver for the fuzz/ harnesses when libFuzzer is unavailable
+// (the EQUIHIST_FUZZ=OFF build, any toolchain). Two modes:
+//
+//   replay    — every file named on the command line (directories are
+//               walked non-recursively) runs through
+//               LLVMFuzzerTestOneInput once. This is the `fuzz`-labeled
+//               CTest mode: the checked-in corpus and every crash
+//               reproducer replay clean forever.
+//   mutation  — with --mutate=N, the collected files seed a deterministic
+//               random-mutation campaign: N extra iterations, each a
+//               mutated copy (bit flips, byte writes, truncation,
+//               extension, chunk duplication, two-seed splice) of a
+//               random seed. Not coverage-guided, but it runs the same
+//               harness properties under the same sanitizers — the local
+//               fallback campaign on toolchains without libFuzzer.
+//
+// Before every run the input is written to <binary>_last_input, so a
+// crash of any kind (FUZZ_CHECK abort, sanitizer report, signal) leaves
+// the offending bytes behind for fuzz/crashes/.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// SplitMix64: deterministic and seedable, so a campaign is reproducible
+// from (--seed, --mutate) alone.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t Below(std::uint64_t bound) {
+    return bound == 0 ? 0 : Next() % bound;
+  }
+};
+
+Bytes ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// One mutation step in place. `other` donates bytes for the splice op.
+void MutateOnce(Bytes& input, const Bytes& other, Rng& rng,
+                std::size_t max_len) {
+  if (input.empty()) input.push_back(0);
+  switch (rng.Below(6)) {
+    case 0: {  // bit flip
+      const std::size_t i = rng.Below(input.size());
+      input[i] ^= static_cast<std::uint8_t>(1u << rng.Below(8));
+      break;
+    }
+    case 1: {  // byte write
+      input[rng.Below(input.size())] =
+          static_cast<std::uint8_t>(rng.Below(256));
+      break;
+    }
+    case 2: {  // truncate
+      input.resize(1 + rng.Below(input.size()));
+      break;
+    }
+    case 3: {  // extend with random bytes
+      const std::size_t n = 1 + rng.Below(16);
+      for (std::size_t i = 0; i < n && input.size() < max_len; ++i) {
+        input.push_back(static_cast<std::uint8_t>(rng.Below(256)));
+      }
+      break;
+    }
+    case 4: {  // duplicate a chunk
+      const std::size_t at = rng.Below(input.size());
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.Below(32), input.size() - at);
+      if (input.size() + n <= max_len) {
+        const Bytes chunk(
+            input.begin() + static_cast<std::ptrdiff_t>(at),
+            input.begin() + static_cast<std::ptrdiff_t>(at + n));
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                     chunk.begin(), chunk.end());
+      }
+      break;
+    }
+    default: {  // splice a chunk from another seed
+      if (other.empty()) break;
+      const std::size_t src = rng.Below(other.size());
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.Below(32), other.size() - src);
+      const std::size_t dst = rng.Below(input.size() + 1);
+      if (input.size() + n <= max_len) {
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(dst),
+                     other.begin() + static_cast<std::ptrdiff_t>(src),
+                     other.begin() + static_cast<std::ptrdiff_t>(src + n));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutate_iterations = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutate_iterations = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (!arg.empty() && arg.front() == '-') {
+      // Unknown flags (e.g. libFuzzer spellings) are ignored so scripts
+      // can pass a superset.
+      std::fprintf(stderr, "fuzz: ignoring unknown flag %s\n", arg.c_str());
+    } else {
+      std::error_code ec;
+      if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+          if (entry.is_regular_file()) inputs.push_back(entry.path());
+        }
+      } else if (std::filesystem::is_regular_file(arg, ec)) {
+        inputs.push_back(arg);
+      } else {
+        // Missing corpus/crash directories are fine: a target with no
+        // findings yet has nothing to replay there.
+        std::fprintf(stderr, "fuzz: skipping missing path %s\n", arg.c_str());
+      }
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  const std::string last_input_path =
+      std::string(argv[0] != nullptr ? argv[0] : "fuzz") + "_last_input";
+
+  std::vector<Bytes> seeds;
+  seeds.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    Bytes bytes = ReadFile(path);
+    WriteFile(last_input_path, bytes);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    seeds.push_back(std::move(bytes));
+  }
+  std::fprintf(stderr, "fuzz: replayed %zu corpus inputs\n", seeds.size());
+
+  if (mutate_iterations > 0) {
+    if (seeds.empty()) seeds.push_back(Bytes{0});
+    Rng rng{seed};
+    for (std::uint64_t iter = 0; iter < mutate_iterations; ++iter) {
+      Bytes input = seeds[rng.Below(seeds.size())];
+      const Bytes& other = seeds[rng.Below(seeds.size())];
+      const std::uint64_t steps = 1 + rng.Below(8);
+      for (std::uint64_t s = 0; s < steps; ++s) {
+        MutateOnce(input, other, rng, max_len);
+      }
+      WriteFile(last_input_path, input);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      // Keep the pool fresh: occasionally adopt a mutant as a future seed
+      // so chains of mutations reach deeper states.
+      if (rng.Below(16) == 0 && seeds.size() < 4096) {
+        seeds.push_back(std::move(input));
+      }
+    }
+    std::fprintf(stderr, "fuzz: ran %llu mutation iterations (seed %llu)\n",
+                 static_cast<unsigned long long>(mutate_iterations),
+                 static_cast<unsigned long long>(seed));
+  }
+  std::remove(last_input_path.c_str());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Fuzz target: the BackingReservoir wire codec and operation stream
+// (sampling/reservoir.h). Two modes:
+//
+//   mode 0 — hostile decode: the bytes go straight to Deserialize (both
+//            whole-buffer and prefix forms). Accepted states must satisfy
+//            every reservoir invariant, survive further operations, and
+//            re-serialize to the canonical fixpoint.
+//   mode 1 — op-stream interpreter: a reservoir is created from
+//            input-derived (capacity, seed), seeded, then driven through
+//            an input-derived Add/Delete stream with invariant checks and
+//            a serialize → deserialize → serialize identity at the end.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "sampling/reservoir.h"
+
+using equihist::fuzz::ByteStream;
+
+namespace {
+
+void CheckInvariants(const equihist::BackingReservoir& reservoir) {
+  FUZZ_CHECK(reservoir.size() <= reservoir.capacity(),
+             "reservoir overfilled its capacity");
+  FUZZ_CHECK(reservoir.capacity() > 0, "reservoir with zero capacity");
+  const double fill = reservoir.fill_fraction();
+  FUZZ_CHECK(fill >= 0.0 && fill <= 1.0, "fill fraction out of [0, 1]");
+  FUZZ_CHECK(reservoir.sample().size() == reservoir.size(),
+             "sample size disagrees with size()");
+}
+
+// serialize → deserialize → serialize must reproduce the exact bytes and
+// an operationally identical reservoir.
+void CheckSerializationFixpoint(const equihist::BackingReservoir& reservoir) {
+  std::vector<std::uint8_t> first;
+  reservoir.SerializeTo(&first);
+  const auto restored = equihist::BackingReservoir::Deserialize(first);
+  FUZZ_CHECK(restored.ok(), "serialized reservoir failed to parse");
+  FUZZ_CHECK(restored->capacity() == reservoir.capacity() &&
+                 restored->size() == reservoir.size() &&
+                 restored->population() == reservoir.population() &&
+                 restored->seen() == reservoir.seen() &&
+                 restored->ops_since_seed() == reservoir.ops_since_seed() &&
+                 restored->delete_hits() == reservoir.delete_hits() &&
+                 restored->delete_misses() == reservoir.delete_misses() &&
+                 restored->sample() == reservoir.sample(),
+             "reservoir round trip changed state");
+  std::vector<std::uint8_t> second;
+  restored->SerializeTo(&second);
+  FUZZ_CHECK(first == second, "reservoir serialization is not a fixpoint");
+}
+
+void DriveOps(equihist::BackingReservoir& reservoir, ByteStream& stream,
+              std::size_t max_ops) {
+  for (std::size_t i = 0; i < max_ops && stream.remaining() >= 2; ++i) {
+    const std::uint8_t op = stream.U8();
+    const auto value = static_cast<equihist::Value>(
+        static_cast<std::int64_t>(stream.U64()));
+    if ((op & 3) == 0) {
+      reservoir.Delete(value);
+    } else {
+      reservoir.Add(value);
+    }
+    CheckInvariants(reservoir);
+  }
+}
+
+void HostileDecode(ByteStream& stream) {
+  const std::span<const std::uint8_t> bytes = stream.Rest();
+  std::size_t consumed = 0;
+  const auto prefix =
+      equihist::BackingReservoir::Deserialize(bytes, &consumed);
+  const auto whole = equihist::BackingReservoir::Deserialize(bytes);
+  if (!prefix.ok()) {
+    FUZZ_CHECK(!whole.ok(), "whole-buffer parse accepted what prefix rejected");
+    return;
+  }
+  FUZZ_CHECK(consumed <= bytes.size(), "consumed past the buffer");
+  auto reservoir = *prefix;
+  CheckInvariants(reservoir);
+  CheckSerializationFixpoint(reservoir);
+
+  // A restored state must keep working: replay the unconsumed tail of the
+  // input as an operation stream.
+  ByteStream tail(bytes.data() + consumed, bytes.size() - consumed);
+  DriveOps(reservoir, tail, 64);
+  CheckSerializationFixpoint(reservoir);
+}
+
+void OpStream(ByteStream& stream) {
+  const std::uint64_t capacity = 1 + stream.Below(64);
+  const std::uint64_t seed = stream.U64();
+  auto created = equihist::BackingReservoir::Create(capacity, seed);
+  FUZZ_CHECK(created.ok(), "valid capacity rejected");
+  auto reservoir = *created;
+
+  // Optionally seed from an input-derived sample.
+  const std::uint64_t sample_size = stream.Below(2 * capacity);
+  std::vector<equihist::Value> sample;
+  sample.reserve(sample_size);
+  for (std::uint64_t i = 0; i < sample_size; ++i) {
+    sample.push_back(static_cast<equihist::Value>(stream.I64()));
+  }
+  const std::uint64_t population = sample.size() + stream.Below(1000);
+  const auto seeded = reservoir.SeedFromSample(sample, population);
+  FUZZ_CHECK(seeded.ok(), "seeding with sample <= population rejected");
+  CheckInvariants(reservoir);
+
+  DriveOps(reservoir, stream, 256);
+  CheckSerializationFixpoint(reservoir);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  ByteStream stream(data, size);
+  if ((stream.U8() & 1) == 0) {
+    HostileDecode(stream);
+  } else {
+    OpStream(stream);
+  }
+  return 0;
+}

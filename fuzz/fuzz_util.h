@@ -1,0 +1,81 @@
+#ifndef EQUIHIST_FUZZ_FUZZ_UTIL_H_
+#define EQUIHIST_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+// Shared helpers for the fuzz/ harnesses (DESIGN.md §18). Each harness
+// defines LLVMFuzzerTestOneInput; linked against libFuzzer it becomes a
+// coverage-guided fuzzer, linked against fuzz_main.cc it becomes a
+// corpus-regression runner / seeded-mutation campaign driver that works
+// on any toolchain.
+
+// A property violation in a harness — not a sanitizer finding, but the
+// harness's own assertion (round-trip mismatch, kernel divergence). Abort
+// so both libFuzzer and the replay runner treat it as a crash and keep
+// the reproducing input.
+#define FUZZ_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "fuzz property violated: %s (%s:%d)\n", msg, \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+namespace equihist::fuzz {
+
+// A structure-aware decoder over the raw fuzz input: fixed-width reads
+// with zero-fill past the end, so every input prefix decodes to *some*
+// valid value sequence and the fuzzer can explore structured parameter
+// space byte by byte.
+struct ByteStream {
+  ByteStream(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(U8()) << (8 * i);
+    }
+    return v;
+  }
+
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // A value in [0, bound); bound 0 yields 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    return bound == 0 ? 0 : U64() % bound;
+  }
+
+  // Everything not yet consumed, consuming it.
+  std::span<const std::uint8_t> Rest() {
+    std::span<const std::uint8_t> rest(data_ + pos_, size_ - pos_);
+    pos_ = size_;
+    return rest;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace equihist::fuzz
+
+#endif  // EQUIHIST_FUZZ_FUZZ_UTIL_H_

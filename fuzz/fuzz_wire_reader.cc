@@ -1,0 +1,127 @@
+// Fuzz target: the bounds-checked wire::Reader (stats/wire_format.h), the
+// primitive every decoder in the tree is built on. Two modes:
+//
+//   mode 0 — hostile decode: the input bytes drive a Reader through every
+//            accessor; whatever happens, the reader must never read past
+//            the buffer (position + remaining == size holds at each step
+//            and every successful accessor consumes at least one byte).
+//   mode 1 — round-trip properties: input-derived values go through
+//            PutVarint/PutSigned/PutF64 and must decode back exactly, the
+//            full encoding must be consumed, every strict prefix of a
+//            varint encoding must be rejected as truncation, and
+//            ZigZag/UnZigZag and WrapSub/WrapAdd must be inverses.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "stats/wire_format.h"
+
+using equihist::fuzz::ByteStream;
+
+namespace {
+
+void HostileDecode(std::span<const std::uint8_t> bytes) {
+  equihist::wire::Reader reader(bytes);
+  std::uint64_t op = 0;
+  while (reader.remaining() > 0) {
+    const std::size_t before = reader.position();
+    bool ok = false;
+    switch (op++ % 5) {
+      case 0:
+        ok = reader.Varint().ok();
+        break;
+      case 1:
+        ok = reader.Signed().ok();
+        break;
+      case 2:
+        ok = reader.Byte().ok();
+        break;
+      case 3:
+        ok = reader.F64().ok();
+        break;
+      default:
+        ok = reader.LengthPrefixedCount(3).ok();
+        break;
+    }
+    FUZZ_CHECK(reader.position() + reader.remaining() == bytes.size(),
+               "reader position/remaining out of sync");
+    FUZZ_CHECK(reader.position() <= bytes.size(), "reader past the buffer");
+    if (!ok) break;
+    FUZZ_CHECK(reader.position() > before,
+               "successful accessor consumed nothing");
+  }
+}
+
+void RoundTripProperties(ByteStream& stream) {
+  std::vector<std::uint8_t> buf;
+  while (stream.remaining() >= 8) {
+    const std::uint64_t u = stream.U64();
+    const std::int64_t s = static_cast<std::int64_t>(u);
+
+    // Varint round trip, whole-encoding consumption, per-byte truncation.
+    buf.clear();
+    equihist::wire::PutVarint(u, &buf);
+    FUZZ_CHECK(buf.size() >= 1 && buf.size() <= 10, "varint encoding size");
+    {
+      equihist::wire::Reader reader(buf);
+      const auto decoded = reader.Varint();
+      FUZZ_CHECK(decoded.ok(), "canonical varint rejected");
+      FUZZ_CHECK(*decoded == u, "varint round trip mismatch");
+      FUZZ_CHECK(reader.remaining() == 0, "varint decode left bytes");
+    }
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      equihist::wire::Reader reader(
+          std::span<const std::uint8_t>(buf.data(), cut));
+      FUZZ_CHECK(!reader.Varint().ok(), "truncated varint accepted");
+    }
+
+    // Signed (zigzag) round trip.
+    buf.clear();
+    equihist::wire::PutSigned(s, &buf);
+    {
+      equihist::wire::Reader reader(buf);
+      const auto decoded = reader.Signed();
+      FUZZ_CHECK(decoded.ok() && *decoded == s, "signed round trip mismatch");
+    }
+    FUZZ_CHECK(equihist::wire::UnZigZag(equihist::wire::ZigZag(s)) == s,
+               "zigzag not invertible");
+
+    // Wrapping delta arithmetic is exact for every pair.
+    const std::int64_t base = static_cast<std::int64_t>(stream.U64());
+    FUZZ_CHECK(equihist::wire::WrapAdd(base, equihist::wire::WrapSub(s, base)) ==
+                   s,
+               "wrap sub/add not inverse");
+
+    // F64 is a bitwise codec — NaN payloads and -0.0 included.
+    double d;
+    std::memcpy(&d, &u, sizeof(d));
+    buf.clear();
+    equihist::wire::PutF64(d, &buf);
+    FUZZ_CHECK(buf.size() == 8, "f64 encoding size");
+    {
+      equihist::wire::Reader reader(buf);
+      const auto decoded = reader.F64();
+      FUZZ_CHECK(decoded.ok(), "f64 decode failed");
+      std::uint64_t bits;
+      std::memcpy(&bits, &*decoded, sizeof(bits));
+      FUZZ_CHECK(bits == u, "f64 round trip not bitwise");
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  ByteStream stream(data, size);
+  if ((stream.U8() & 1) == 0) {
+    HostileDecode(stream.Rest());
+  } else {
+    RoundTripProperties(stream);
+  }
+  return 0;
+}

@@ -28,6 +28,33 @@ if grep -rn "NO_THREAD_SAFETY_ANALYSIS" src/ --include='*.h' --include='*.cc' \
   exit 1
 fi
 
+# Nondeterminism seams are banned in src/: every randomized decision must
+# flow from an explicit seed (common/rng.h) and every clock from an
+# injectable source, or the bit-reproducibility contracts (DESIGN.md §7)
+# and the deterministic chaos/fault tests silently rot. Likewise naked
+# std::mutex / std::shared_mutex outside common/mutex.h: locks must be
+# the annotated, lock-ranked wrappers or they are invisible to both the
+# thread-safety analysis and the runtime lock-rank checker (§18). These
+# also run before the tool lookup, so the bans hold on every host.
+ban() {
+  local pattern="$1" exempt="$2" message="$3"
+  if grep -rnE "${pattern}" src/ --include='*.h' --include='*.cc' \
+      | grep -vE "${exempt}"; then
+    echo "error: ${message}" >&2
+    exit 1
+  fi
+}
+# rand( catches rand/srand/drand48...; word boundary avoids operand(...).
+ban '(^|[^_[:alnum:]])s?rand\(' '__never_matches__' \
+  "rand()/srand() found in src/ (use common/rng.h with an explicit seed)"
+ban 'std::random_device' '__never_matches__' \
+  "std::random_device found in src/ (use common/rng.h with an explicit seed)"
+ban 'time\(nullptr\)|time\(NULL\)|time\(0\)' '__never_matches__' \
+  "time(nullptr) found in src/ (inject a clock; see TransportClient::Options::clock)"
+ban 'std::mutex|std::shared_mutex|std::condition_variable' \
+  'src/common/mutex\.h' \
+  "naked std lock primitive found in src/ (use the annotated wrappers in common/mutex.h)"
+
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
   echo "error: ${CLANG_TIDY} not found (set CLANG_TIDY=/path/to/clang-tidy)" >&2

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Runs every fuzz/ target for a bounded time (DESIGN.md §18).
+#
+# With clang++ on PATH (or CXX pointing at one), builds the real libFuzzer
+# harnesses (-DEQUIHIST_FUZZ=ON) and runs each coverage-guided for
+# --time seconds over the checked-in corpus. Otherwise falls back to the
+# portable corpus-replay binaries and drives each through a deterministic
+# seeded-mutation campaign under whatever sanitizers the build carries.
+#
+# Usage: scripts/run_fuzzers.sh [--time=SECONDS] [--seed=N] [--build-dir=DIR]
+#   --time       per-target budget in seconds (default 60 — the CI smoke
+#                setting; local campaigns want 600+)
+#   --seed       campaign seed (default: date +%s, printed for replay)
+#   --build-dir  build tree to create/reuse (default: build-fuzz)
+#
+# Any crash artifact (libFuzzer crash-* files, <target>_last_input from
+# the mutation driver) is left in the build tree; minimize it, check it
+# into fuzz/crashes/<target>/, and it replays forever under `ctest -L fuzz`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIME_BUDGET=60
+SEED="$(date +%s)"
+BUILD_DIR=build-fuzz
+for arg in "$@"; do
+  case "${arg}" in
+    --time=*) TIME_BUDGET="${arg#--time=}" ;;
+    --seed=*) SEED="${arg#--seed=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+TARGETS=(
+  fuzz_wire_reader
+  fuzz_histogram_deserialize
+  fuzz_reservoir
+  fuzz_fleet_wire
+  fuzz_transport_envelope
+  fuzz_estimator_kernels
+)
+
+CLANG="${CXX:-clang++}"
+if ! command -v "${CLANG}" >/dev/null 2>&1 || \
+   ! "${CLANG}" --version 2>/dev/null | grep -qi clang; then
+  CLANG=""
+fi
+
+if [[ -n "${CLANG}" ]]; then
+  echo "== libFuzzer mode (${CLANG}), ${TIME_BUDGET}s per target =="
+  cmake -B "${BUILD_DIR}" -S . -DEQUIHIST_FUZZ=ON \
+    -DCMAKE_CXX_COMPILER="${CLANG}" \
+    -DEQUIHIST_BUILD_TESTS=OFF -DEQUIHIST_BUILD_BENCHMARKS=OFF \
+    -DEQUIHIST_BUILD_EXAMPLES=OFF
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TARGETS[@]}"
+  status=0
+  for target in "${TARGETS[@]}"; do
+    echo "== ${target} =="
+    workdir="${BUILD_DIR}/corpus/${target}"
+    mkdir -p "${workdir}"
+    # Grow a working corpus from the checked-in seeds; crashes land in
+    # the build tree for triage.
+    if ! "${BUILD_DIR}/fuzz/${target}" \
+        -max_total_time="${TIME_BUDGET}" -seed="${SEED}" -print_final_stats=1 \
+        -artifact_prefix="${BUILD_DIR}/" \
+        "${workdir}" "fuzz/corpus/${target}" "fuzz/crashes/${target}"; then
+      status=1
+      echo "!! ${target} crashed; artifact under ${BUILD_DIR}/" >&2
+    fi
+  done
+  exit "${status}"
+fi
+
+echo "== mutation-fallback mode (no clang), seed ${SEED}, ~${TIME_BUDGET}s per target =="
+if [[ ! -x "${BUILD_DIR}/fuzz/${TARGETS[0]}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DEQUIHIST_SANITIZE=address,undefined \
+    -DEQUIHIST_BUILD_TESTS=OFF -DEQUIHIST_BUILD_BENCHMARKS=OFF \
+    -DEQUIHIST_BUILD_EXAMPLES=OFF
+  cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TARGETS[@]}"
+fi
+status=0
+for target in "${TARGETS[@]}"; do
+  echo "== ${target} =="
+  # Calibrate the iteration count to the time budget: run a fixed probe
+  # batch, then scale.
+  start="$(date +%s%N)"
+  "${BUILD_DIR}/fuzz/${target}" --mutate=2000 --seed="${SEED}" \
+    "fuzz/corpus/${target}" "fuzz/crashes/${target}" >/dev/null 2>&1 || {
+      status=1
+      echo "!! ${target} crashed during the probe batch" >&2
+      continue
+    }
+  elapsed_ms=$((($(date +%s%N) - start) / 1000000))
+  [[ "${elapsed_ms}" -lt 1 ]] && elapsed_ms=1
+  iterations=$((TIME_BUDGET * 1000 * 2000 / elapsed_ms))
+  [[ "${iterations}" -lt 2000 ]] && iterations=2000
+  echo "   ${iterations} iterations (probe: 2000 in ${elapsed_ms}ms)"
+  if ! "${BUILD_DIR}/fuzz/${target}" --mutate="${iterations}" --seed="${SEED}" \
+      "fuzz/corpus/${target}" "fuzz/crashes/${target}"; then
+    status=1
+    echo "!! ${target} crashed; input at ${BUILD_DIR}/fuzz/${target}_last_input" >&2
+  fi
+done
+exit "${status}"

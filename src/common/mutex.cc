@@ -1,0 +1,99 @@
+#include "common/mutex.h"
+
+#if defined(EQUIHIST_LOCK_RANK_CHECK) && EQUIHIST_LOCK_RANK_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace equihist::lockrank {
+namespace {
+
+// Per-thread held-lock stack. A plain-old-data thread_local (fixed array,
+// no destructor) so it is safe to consult from any code that runs during
+// thread or static teardown — a heap-backed container would reopen the
+// destruction-order hazard this checker exists to catch bugs in.
+// kMaxHeld is far above the deepest real chain (build_mu -> shard mu_ ->
+// registry -> pool -> done_mu is five); overflow aborts loudly rather
+// than silently dropping coverage.
+constexpr int kMaxHeld = 32;
+
+struct Held {
+  const void* mu;
+  const Rank* rank;
+};
+
+struct HeldStack {
+  Held entries[kMaxHeld];
+  int size;
+};
+
+thread_local HeldStack tls_held;
+
+[[noreturn]] void Die(const Rank* acquiring, const Held& conflicting) {
+  std::fprintf(
+      stderr,
+      "equihist: lock-rank inversion: acquiring \"%s\" (rank %d) while "
+      "holding \"%s\" (rank %d%s)\n",
+      acquiring->name, acquiring->order, conflicting.rank->name,
+      conflicting.rank->order, conflicting.rank->leaf ? ", leaf" : "");
+  HeldStack& stack = tls_held;
+  std::fprintf(stderr, "equihist: held locks, oldest first:\n");
+  for (int i = 0; i < stack.size; ++i) {
+    std::fprintf(stderr, "equihist:   [%d] \"%s\" (rank %d%s)\n", i,
+                 stack.entries[i].rank->name, stack.entries[i].rank->order,
+                 stack.entries[i].rank->leaf ? ", leaf" : "");
+  }
+  std::abort();
+}
+
+void Push(const void* mu, const Rank* rank) {
+  HeldStack& stack = tls_held;
+  if (stack.size >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "equihist: lock-rank held stack overflow acquiring \"%s\"\n",
+                 rank->name);
+    std::abort();
+  }
+  stack.entries[stack.size++] = Held{mu, rank};
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, const Rank* rank) {
+  if (rank == nullptr) return;
+  HeldStack& stack = tls_held;
+  // A blocking acquisition must outrank EVERY held ranked lock, and may
+  // not happen at all under a held leaf. Checked before the lock call so
+  // an inversion aborts with a report instead of deadlocking silently.
+  for (int i = 0; i < stack.size; ++i) {
+    const Held& held = stack.entries[i];
+    if (held.rank->leaf || rank->order <= held.rank->order) {
+      Die(rank, held);
+    }
+  }
+  Push(mu, rank);
+}
+
+void NoteTryAcquire(const void* mu, const Rank* rank) {
+  if (rank == nullptr) return;
+  Push(mu, rank);
+}
+
+void NoteRelease(const void* mu, const Rank* rank) {
+  if (rank == nullptr) return;
+  HeldStack& stack = tls_held;
+  // Releases are usually LIFO but manual Lock()/Unlock() pairs may
+  // interleave; remove the newest record for this mutex wherever it sits.
+  for (int i = stack.size - 1; i >= 0; --i) {
+    if (stack.entries[i].mu != mu) continue;
+    for (int j = i; j + 1 < stack.size; ++j) {
+      stack.entries[j] = stack.entries[j + 1];
+    }
+    --stack.size;
+    return;
+  }
+}
+
+}  // namespace equihist::lockrank
+
+#endif  // EQUIHIST_LOCK_RANK_CHECK

@@ -28,7 +28,7 @@ struct ThreadPool::ForState {
       nullptr;
   std::atomic<std::size_t> next_shard{0};
   std::atomic<std::size_t> finished{0};
-  Mutex done_mu;
+  Mutex done_mu{lockrank::kThreadPoolDone};
   CondVar done_cv;
 };
 

@@ -93,7 +93,7 @@ class ThreadPool {
   static void RunShards(const std::shared_ptr<ForState>& state);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  Mutex mu_{lockrank::kThreadPool};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;

@@ -146,7 +146,7 @@ class BuildScheduler {
   const Options options_;
   metrics::MetricsPlane* const metrics_;  // may be null
   std::unique_ptr<ThreadPool> pool_;      // null when threads <= 1 (inline)
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kBuildScheduler};
   CondVar idle_cv_;
   std::array<ClassQueue, kClasses> classes_ GUARDED_BY(mu_);
   std::uint64_t inflight_ GUARDED_BY(mu_) = 0;

@@ -137,7 +137,7 @@ class HistogramBackendRegistry {
   std::vector<HistogramBackendId> Ids() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kBackendRegistry};
   std::map<HistogramBackendId, Backend> backends_ GUARDED_BY(mu_);
 };
 

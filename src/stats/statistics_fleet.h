@@ -69,7 +69,7 @@ class BatchCoalescer {
                         const std::vector<std::shared_ptr<Pending>>& wave,
                         metrics::MetricsPlane* metrics);
 
-  Mutex mu_;
+  Mutex mu_{lockrank::kCoalescer};
   CondVar cv_;
   std::vector<std::shared_ptr<Pending>> queue_ GUARDED_BY(mu_);
   bool leader_active_ GUARDED_BY(mu_) = false;

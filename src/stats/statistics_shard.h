@@ -328,7 +328,10 @@ class StatisticsShard {
   // maintenance.mu (the entry node outlives the map row, so this is safe
   // against a concurrent Drop).
   struct MaintenanceState {
-    Mutex mu;
+    // Leaf rank: holding it, NO ranked lock may be acquired — the
+    // enforced half of the never-nests contract above (rank order
+    // forbids the mu_-then-maintenance direction).
+    Mutex mu{lockrank::kShardMaintenance};
     // The split/merge equi-depth histogram plus its backing reservoir,
     // advanced in O(1) amortized per RecordInsert/RecordDelete. Empty
     // (cold) until a successful incremental build/install warms it.
@@ -363,7 +366,8 @@ class StatisticsShard {
     HistogramModelPtr model GUARDED_BY(*mu);
     std::atomic<std::uint64_t> modifications_since_build{0};
     std::uint64_t generation GUARDED_BY(*mu) = 0;  // # builds completed
-    Mutex build_mu;  // serializes builds of this column
+    // Serializes builds of this column.
+    Mutex build_mu{lockrank::kShardBuild};
     // Publication counter for the lock-free serving path: bumped (under
     // mu) whenever `stats` changes and when the column is dropped. A
     // thread-cached snapshot is current iff this still equals the value
@@ -458,7 +462,8 @@ class StatisticsShard {
 
   const Options options_;
   const std::uint64_t shard_id_;  // process-unique, assigned at construction
-  mutable SharedMutex mu_;  // guards entries_ map + snapshot/gen fields
+  // Guards the entries_ map + snapshot/gen fields.
+  mutable SharedMutex mu_{lockrank::kShardState};
   // shared_ptr nodes: an in-flight build keeps its Entry alive even if the
   // column is concurrently dropped, and Entry addresses stay stable so
   // per-entry mutexes can be held without the map lock.

@@ -50,6 +50,8 @@ void SleepBounded(std::uint64_t micros, std::uint64_t deadline_micros,
   }
 }
 
+}  // namespace
+
 // -- Envelope ---------------------------------------------------------------
 
 // payload := request_id [budget] checksum frame; message := len payload.
@@ -70,13 +72,6 @@ std::vector<std::uint8_t> EncodeEnvelope(std::uint64_t request_id,
   return out;
 }
 
-struct DecodedEnvelope {
-  std::uint64_t request_id = 0;
-  std::uint64_t budget_micros = 0;  // request direction only
-  bool checksum_ok = false;
-  std::vector<std::uint8_t> frame;
-};
-
 // Parses an envelope payload (everything after the length prefix). A
 // checksum mismatch is NOT a parse error: the framing is intact and the
 // stream stays usable, so the caller can answer with a typed rejection
@@ -96,6 +91,8 @@ Result<DecodedEnvelope> DecodeEnvelopePayload(
   envelope.checksum_ok = ChecksumBytes(envelope.frame) == checksum;
   return envelope;
 }
+
+namespace {
 
 // -- Bounded socket I/O -----------------------------------------------------
 //
@@ -195,6 +192,8 @@ Result<std::uint64_t> RecvVarint(int fd, std::uint64_t deadline_micros,
   return Status::Unavailable("oversized varint on transport stream");
 }
 
+}  // namespace
+
 // One whole envelope payload off the stream (length prefix consumed and
 // validated against `max_frame_bytes`).
 Result<std::vector<std::uint8_t>> RecvEnvelopePayload(
@@ -210,8 +209,6 @@ Result<std::vector<std::uint8_t>> RecvEnvelopePayload(
       RecvExact(fd, payload.data(), payload.size(), deadline_micros, stop));
   return payload;
 }
-
-}  // namespace
 
 std::uint64_t ChecksumBytes(std::span<const std::uint8_t> bytes) {
   // FNV-1a 64: cheap, stateless, and plenty for catching injected or real
@@ -533,7 +530,7 @@ Result<std::vector<std::uint8_t>> SocketTransport::RoundTripLocked(
 struct SocketTransportServer::Connection {
   int fd = -1;
   std::uint64_t id = 0;
-  Mutex write_mu;
+  Mutex write_mu{lockrank::kConnectionWrite};
   std::atomic<bool> done{false};  // reader thread exited
   std::thread reader;
   std::uint64_t serve_index = 0;  // frames read, reader thread only

@@ -63,6 +63,39 @@ namespace equihist::transport {
 // FNV-1a 64 over a byte span — the envelope checksum.
 std::uint64_t ChecksumBytes(std::span<const std::uint8_t> bytes);
 
+// -- Envelope codec ---------------------------------------------------------
+//
+// The framing functions the client and server both speak, public so the
+// transport tests and the fuzz/ harnesses (fuzz_transport_envelope) can
+// drive the exact production decode path with hostile bytes.
+
+// payload := request_id [budget] checksum frame; message := len payload.
+std::vector<std::uint8_t> EncodeEnvelope(std::uint64_t request_id,
+                                         std::uint64_t budget_micros,
+                                         bool include_budget,
+                                         std::span<const std::uint8_t> frame);
+
+struct DecodedEnvelope {
+  std::uint64_t request_id = 0;
+  std::uint64_t budget_micros = 0;  // request direction only
+  bool checksum_ok = false;
+  std::vector<std::uint8_t> frame;
+};
+
+// Parses an envelope payload (everything after the length prefix). A
+// checksum mismatch is NOT a parse error: the framing is intact and the
+// stream stays usable, so the caller can answer with a typed rejection
+// instead of tearing the connection down.
+Result<DecodedEnvelope> DecodeEnvelopePayload(
+    std::span<const std::uint8_t> payload, bool expect_budget);
+
+// Reads one whole envelope payload off `fd` — the length-prefix leg of
+// the server reader loop and the client receive path (prefix consumed
+// and validated against `max_frame_bytes` before any allocation).
+Result<std::vector<std::uint8_t>> RecvEnvelopePayload(
+    int fd, std::size_t max_frame_bytes, std::uint64_t deadline_micros,
+    const std::atomic<bool>* stop);
+
 // Where a SocketTransport connects / a SocketTransportServer listens.
 struct Endpoint {
   enum class Kind { kUnix, kTcp };
@@ -161,7 +194,8 @@ class SocketTransport final : public Transport {
       std::span<const std::uint8_t> frame, std::uint64_t budget_micros)
       REQUIRES(mu_);
 
-  Mutex mu_;  // serializes RoundTrip; the wire protocol is one-at-a-time
+  // Serializes RoundTrip; the wire protocol is one-at-a-time.
+  Mutex mu_{lockrank::kSocketTransport};
   int fd_;
   LinkFaultInjector* injector_;
   std::uint64_t connection_id_;
@@ -260,7 +294,7 @@ class SocketTransportServer {
   const Table* table_;
   Options options_;
 
-  Mutex mu_;
+  Mutex mu_{lockrank::kTransportServer};
   CondVar work_cv_;
   std::deque<WorkItem> queue_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;

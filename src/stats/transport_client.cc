@@ -36,7 +36,7 @@ struct TransportClient::PeerState {
 // tasks touch it; the shared_ptr keeps it alive past an abandoning
 // caller, so a late attempt completes into memory nobody reads.
 struct TransportClient::Exchange {
-  Mutex mu;
+  Mutex mu{lockrank::kExchange};
   CondVar cv;
   bool done GUARDED_BY(mu) = false;
   bool winner_is_hedge GUARDED_BY(mu) = false;

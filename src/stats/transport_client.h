@@ -154,7 +154,7 @@ class TransportClient {
 
   Options options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kTransportClient};
   std::vector<std::unique_ptr<PeerState>> peers_ GUARDED_BY(mu_);
   std::size_t next_peer_ GUARDED_BY(mu_) = 0;
   Rng jitter_rng_ GUARDED_BY(mu_);

@@ -125,7 +125,7 @@ class FaultInjector {
   std::unordered_set<std::uint64_t> lost_set_;
   std::unordered_set<std::uint64_t> corrupt_set_;
 
-  Mutex mu_;
+  Mutex mu_{lockrank::kFaultInjector};
   std::unordered_map<std::uint64_t, std::uint32_t> transient_failures_
       GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> corrupted_

@@ -200,5 +200,132 @@ TEST(CondVarTest, ProducerConsumerHandshake) {
   EXPECT_EQ(consumed, kItems);
 }
 
+#if defined(EQUIHIST_LOCK_RANK_CHECK) && EQUIHIST_LOCK_RANK_CHECK
+
+// The runtime lock-rank checker (DESIGN.md §18): blocking acquisitions
+// must strictly outrank every ranked lock the thread already holds, and a
+// leaf-ranked lock admits no further ranked acquisitions at all. The
+// negative cases are death tests — an inversion aborts the process,
+// naming both locks — so the checker's abort path is itself pinned.
+
+// Test-local ranks, spaced away from the production table in
+// common/mutex.h (orders 10-140).
+constexpr lockrank::Rank kRankLowTest{"test_low", 1000};
+constexpr lockrank::Rank kRankHighTest{"test_high", 1010};
+constexpr lockrank::Rank kRankLeafTest{"test_leaf", 1020, /*leaf=*/true};
+
+TEST(LockRankTest, AscendingOrderIsAccepted) {
+  Mutex low(kRankLowTest);
+  Mutex high(kRankHighTest);
+  low.Lock();
+  high.Lock();  // 1000 -> 1010: strictly increasing, fine
+  high.Unlock();
+  low.Unlock();
+  // Sequential (non-nested) acquisition in any order is fine too.
+  high.Lock();
+  high.Unlock();
+  low.Lock();
+  low.Unlock();
+}
+
+TEST(LockRankTest, UnrankedMutexesAreExempt) {
+  Mutex unranked;  // the documented exemption: default-constructed locks
+  Mutex high(kRankHighTest);
+  high.Lock();
+  unranked.Lock();  // invisible to the checker in both directions
+  high.Unlock();
+  unranked.Unlock();
+}
+
+TEST(LockRankTest, TryLockIsExemptFromTheOrderCheck) {
+  // A non-blocking acquisition cannot participate in a deadlock cycle, so
+  // TryLock records the hold but skips the order check.
+  Mutex low(kRankLowTest);
+  Mutex high(kRankHighTest);
+  high.Lock();
+  ASSERT_TRUE(low.TryLock());  // descending, but non-blocking
+  low.Unlock();
+  high.Unlock();
+}
+
+TEST(LockRankTest, NonLifoReleaseIsTracked) {
+  Mutex low(kRankLowTest);
+  Mutex high(kRankHighTest);
+  Mutex leaf(kRankLeafTest);
+  low.Lock();
+  high.Lock();
+  low.Unlock();  // release out of LIFO order
+  leaf.Lock();   // only `high` (1010) is held; 1020 outranks it
+  leaf.Unlock();
+  high.Unlock();
+}
+
+TEST(LockRankTest, SharedAcquisitionsCarryTheRank) {
+  SharedMutex low(kRankLowTest);
+  SharedMutex high(kRankHighTest);
+  low.ReaderLock();
+  high.ReaderLock();  // ascending reader-side nesting is fine
+  high.ReaderUnlock();
+  low.ReaderUnlock();
+}
+
+TEST(LockRankDeathTest, DescendingAcquisitionAbortsWithBothNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(kRankLowTest);
+  Mutex high(kRankHighTest);
+  EXPECT_DEATH(
+      {
+        high.Lock();
+        low.Lock();  // 1010 -> 1000: inversion
+      },
+      "test_low.*test_high");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a(kRankLowTest);
+  Mutex b(kRankLowTest);
+  EXPECT_DEATH(
+      {
+        a.Lock();
+        b.Lock();  // equal ranks cannot nest: no order between them
+      },
+      "test_low.*test_low");
+}
+
+TEST(LockRankDeathTest, LeafAdmitsNoFurtherRankedLocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex leaf(kRankLeafTest);
+  Mutex low(kRankLowTest);
+  Mutex high(kRankHighTest);
+  // Either direction past a held leaf aborts — even ascending order.
+  EXPECT_DEATH(
+      {
+        leaf.Lock();
+        high.Lock();
+      },
+      "test_high.*test_leaf");
+  EXPECT_DEATH(
+      {
+        leaf.Lock();
+        low.Lock();
+      },
+      "test_low.*test_leaf");
+}
+
+TEST(LockRankDeathTest, SharedAcquisitionInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SharedMutex low(kRankLowTest);
+  SharedMutex high(kRankHighTest);
+  EXPECT_DEATH(
+      {
+        high.ReaderLock();
+        low.ReaderLock();
+      },
+      "test_low.*test_high");
+}
+
+#endif  // EQUIHIST_LOCK_RANK_CHECK
+
 }  // namespace
 }  // namespace equihist

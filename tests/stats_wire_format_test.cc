@@ -1,0 +1,182 @@
+// Varint boundary tests for the wire::Reader primitives every decoder in
+// the tree is built on (stats/wire_format.h): maximal 10-byte encodings,
+// continuation-bit overflow past bit 63, truncation at every byte, and
+// length prefixes that over-claim the remaining buffer. The fuzz target
+// fuzz_wire_reader drives the same properties with mutated inputs; these
+// are the pinned deterministic cases.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/wire_format.h"
+
+namespace equihist::wire {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(WireVarintTest, MaximalTenByteEncodingRoundTrips) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  Bytes buf;
+  PutVarint(max, &buf);
+  ASSERT_EQ(buf.size(), 10u);  // 64 bits / 7 bits per byte, rounded up
+  for (std::size_t i = 0; i + 1 < buf.size(); ++i) {
+    EXPECT_EQ(buf[i] & 0x80, 0x80) << "byte " << i << " lost continuation";
+  }
+  EXPECT_EQ(buf.back(), 0x01);  // the top bit of the value, alone
+
+  Reader reader(buf);
+  const auto decoded = reader.Varint();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, max);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(WireVarintTest, EveryPowerOfTwoBoundaryRoundTrips) {
+  // 2^(7k) - 1 / 2^(7k) straddle every encoding-length boundary.
+  for (int shift = 7; shift < 64; shift += 7) {
+    for (const std::uint64_t v : {(std::uint64_t{1} << shift) - 1,
+                                  std::uint64_t{1} << shift}) {
+      Bytes buf;
+      PutVarint(v, &buf);
+      Reader reader(buf);
+      const auto decoded = reader.Varint();
+      ASSERT_TRUE(decoded.ok()) << v;
+      EXPECT_EQ(*decoded, v);
+      EXPECT_EQ(reader.remaining(), 0u) << v;
+    }
+  }
+}
+
+TEST(WireVarintTest, ContinuationBitsPastBit63AreRejected) {
+  // Eleven continuation bytes: the value would need bit 70. The reader
+  // must reject via its shift guard, not wrap or read on.
+  const Bytes overlong(11, 0x80);
+  Reader reader(overlong);
+  const auto decoded = reader.Varint();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireVarintTest, TenContinuationBytesOverflow) {
+  // Exactly 10 bytes, all with the continuation bit: byte 10 would start
+  // at shift 70 > 63, so this cannot encode any uint64.
+  const Bytes overlong(10, 0xFF);
+  Reader reader(overlong);
+  EXPECT_FALSE(reader.Varint().ok());
+}
+
+TEST(WireVarintTest, TruncationAtEveryByteIsRejected) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  Bytes buf;
+  PutVarint(max, &buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    Reader reader(std::span<const std::uint8_t>(buf.data(), cut));
+    const auto decoded = reader.Varint();
+    ASSERT_FALSE(decoded.ok()) << "accepted a " << cut << "-byte prefix";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireVarintTest, NonMinimalEncodingsStillDecode) {
+  // 0 padded with continuation zeros: wasteful but unambiguous; the
+  // reader accepts it (decoders canonicalize on re-serialization).
+  const Bytes padded{0x80, 0x80, 0x00};
+  Reader reader(padded);
+  const auto decoded = reader.Varint();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 0u);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(WireLengthPrefixTest, OverClaimingPrefixIsRejectedUpFront) {
+  // Claims 100 elements of 1 byte with 2 bytes remaining.
+  Bytes buf;
+  PutVarint(100, &buf);
+  buf.push_back(0xAA);
+  buf.push_back(0xBB);
+  Reader reader(buf);
+  const auto count = reader.LengthPrefixedCount();
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireLengthPrefixTest, PerElementSizeTightensTheBound) {
+  // 4 elements of 8 bytes need 32; 31 remain -> reject. The same count
+  // with per_element 1 fits.
+  Bytes buf;
+  PutVarint(4, &buf);
+  buf.resize(buf.size() + 31, 0);
+  {
+    Reader reader(buf);
+    EXPECT_FALSE(reader.LengthPrefixedCount(8).ok());
+  }
+  {
+    Reader reader(buf);
+    const auto count = reader.LengthPrefixedCount(1);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 4u);
+  }
+}
+
+TEST(WireLengthPrefixTest, HugeCountCannotOverflowTheAdmissionCheck) {
+  // A count near 2^64 times any per-element size must not wrap the
+  // multiplication into something that passes; the check divides instead.
+  Bytes buf;
+  PutVarint(std::numeric_limits<std::uint64_t>::max(), &buf);
+  buf.resize(buf.size() + 64, 0);
+  Reader reader(buf);
+  EXPECT_FALSE(reader.LengthPrefixedCount(8).ok());
+}
+
+TEST(WireLengthPrefixTest, ZeroPerElementIsTreatedAsOne) {
+  Bytes buf;
+  PutVarint(3, &buf);
+  buf.resize(buf.size() + 3, 0);
+  Reader reader(buf);
+  const auto count = reader.LengthPrefixedCount(0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+}
+
+TEST(WireSignedTest, ZigZagExtremesRoundTrip) {
+  for (const std::int64_t v : {std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::min() + 1,
+                               std::int64_t{-1}, std::int64_t{0},
+                               std::int64_t{1},
+                               std::numeric_limits<std::int64_t>::max()}) {
+    Bytes buf;
+    PutSigned(v, &buf);
+    Reader reader(buf);
+    const auto decoded = reader.Signed();
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(UnZigZag(ZigZag(v)), v);
+  }
+}
+
+TEST(WireF64Test, TruncatedDoubleIsRejected) {
+  Bytes buf;
+  PutF64(1.5, &buf);
+  ASSERT_EQ(buf.size(), 8u);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Reader reader(std::span<const std::uint8_t>(buf.data(), cut));
+    EXPECT_FALSE(reader.F64().ok()) << cut;
+  }
+}
+
+TEST(WireReaderTest, PositionAndRemainingStayCoherentAcrossFailures) {
+  const Bytes buf{0x80};  // truncated varint
+  Reader reader(buf);
+  EXPECT_FALSE(reader.Varint().ok());
+  // A failed read may consume bytes, but never past the buffer.
+  EXPECT_LE(reader.position(), buf.size());
+  EXPECT_EQ(reader.position() + reader.remaining(), buf.size());
+}
+
+}  // namespace
+}  // namespace equihist::wire
